@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt cover experiments
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/transport/...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/figure15a
+	$(GO) run ./cmd/figure15b
+	$(GO) run ./cmd/jointable
+	$(GO) run ./cmd/consistency
+	$(GO) run ./cmd/csettree
+	$(GO) run ./cmd/baselinecmp
+	$(GO) run ./cmd/msgsize
+	$(GO) run ./cmd/churn
+	$(GO) run ./cmd/workload -quiet

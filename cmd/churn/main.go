@@ -1,0 +1,122 @@
+// Command churn exercises the §7 extension protocols (leave, failure
+// recovery, table optimization) at scale and reports their cost and
+// outcome: the paper proposes the conceptual foundation for these
+// protocols as future work; this tool measures the implementation built
+// on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/overlay"
+	"hypercube/internal/topology"
+)
+
+func main() {
+	var (
+		b      = flag.Int("b", 16, "digit base")
+		d      = flag.Int("d", 8, "digits per ID")
+		n      = flag.Int("n", 1000, "initial network size")
+		leaves = flag.Int("leaves", 100, "graceful leaves (concurrent wave)")
+		crash  = flag.Int("crashes", 20, "crash/recovery cycles")
+		seed   = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+	p := id.Params{B: *b, D: *d}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	topo, err := topology.Generate(topology.Small(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+		os.Exit(1)
+	}
+	tl := overlay.NewTopologyLatency(topo)
+	net := overlay.New(overlay.Config{Params: p, Latency: tl.Func()})
+	refs := overlay.RandomRefs(p, *n, rng, nil)
+	hosts := topo.AttachHosts(len(refs), rng)
+	for i, ref := range refs {
+		tl.Bind(ref.ID, hosts[i])
+	}
+	net.BuildDirect(refs, rng)
+	fmt.Printf("initial consistent network: %d nodes (b=%d, d=%d)\n\n", net.Size(), p.B, p.D)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+
+	// Concurrent graceful leaves.
+	before := net.Delivered()
+	perm := rng.Perm(len(refs))
+	for i := 0; i < *leaves; i++ {
+		if err := net.ScheduleLeave(refs[perm[i]].ID, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	net.Run()
+	gone := net.FinalizeLeaves()
+	leaveMsgs := net.Delivered() - before
+	violations := len(net.CheckConsistency())
+	fmt.Fprintf(w, "graceful leaves\tcompleted %d/%d\tmessages %d (%.1f/leave)\tviolations %d\n",
+		len(gone), *leaves, leaveMsgs, float64(leaveMsgs)/float64(*leaves), violations)
+
+	// Crash / recovery cycles.
+	var totalLocal, totalRouted, totalRejoin, totalEmptied, unrepaired int
+	survivors := make([]id.ID, 0, net.Size())
+	for _, ref := range net.Members() {
+		survivors = append(survivors, ref.ID)
+	}
+	rng.Shuffle(len(survivors), func(i, j int) { survivors[i], survivors[j] = survivors[j], survivors[i] })
+	before = net.Delivered()
+	for i := 0; i < *crash && i < len(survivors); i++ {
+		dead := survivors[i]
+		if err := net.InjectFailure(dead); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+			os.Exit(1)
+		}
+		st := net.RecoverFailure(dead, rng, 0)
+		totalLocal += st.LocalRepairs
+		totalRouted += st.RoutedRepairs
+		totalRejoin += st.Rejoined
+		totalEmptied += st.Emptied
+		unrepaired += st.Unrepaired
+	}
+	crashMsgs := net.Delivered() - before
+	violations = len(net.CheckConsistency())
+	fmt.Fprintf(w, "crash recovery\t%d crashes\tmessages %d (%.1f/crash)\tviolations %d\n",
+		*crash, crashMsgs, float64(crashMsgs)/float64(*crash), violations)
+	fmt.Fprintf(w, "\trepairs: %d local, %d routed, %d rejoins, %d emptied, %d unrepaired\t\t\n",
+		totalLocal, totalRouted, totalRejoin, totalEmptied, unrepaired)
+
+	// Table optimization.
+	srng := rand.New(rand.NewSource(*seed + 1))
+	beforeStretch := net.MeasureStretch(1000, rand.New(rand.NewSource(*seed+2)))
+	opt := net.OptimizeTables(2)
+	afterStretch := net.MeasureStretch(1000, rand.New(rand.NewSource(*seed+2)))
+	_ = srng
+	violations = len(net.CheckConsistency())
+	fmt.Fprintf(w, "optimization\t%d/%d entries switched\tstretch %.2f -> %.2f (p95 %.2f -> %.2f)\tviolations %d\n",
+		opt.Improved, opt.Considered, beforeStretch.Mean, afterStretch.Mean,
+		beforeStretch.P95, afterStretch.P95, violations)
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Survivor-side counters (the leavers' machines are gone, so count
+	// receipts rather than sends).
+	traffic := net.AggregateTraffic()
+	fmt.Printf("\nfinal network: %d nodes, consistent; %d LeaveMsg received, %d FindMsg sent in total\n",
+		net.Size(), traffic.ReceivedOf(msg.TLeave), traffic.SentOf(msg.TFind))
+	if violations != 0 || unrepaired != 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,78 @@
+// Command consistency stress-verifies Theorems 1 and 2 of Liu & Lam
+// (ICDCS 2003): over a grid of ID-space parameters and random seeds, run
+// concurrent join waves and check that every joining node terminates as
+// an S-node and that the final network satisfies Definition 3.8. It also
+// verifies the Theorem-3 message bound on every single join.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"hypercube/internal/id"
+	"hypercube/internal/overlay"
+	"hypercube/internal/stats"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 5, "random seeds per configuration")
+		n      = flag.Int("n", 200, "initial network size")
+		m      = flag.Int("m", 100, "concurrent joiners per wave")
+	)
+	flag.Parse()
+
+	grids := []id.Params{
+		{B: 2, D: 12},
+		{B: 4, D: 6},
+		{B: 8, D: 5},
+		{B: 16, D: 8},
+		{B: 16, D: 40},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "b\td\tn\tm\ttrials\tall S-nodes\tconsistent\tThm3 ok\tmean JoinNoti\tp99 JoinNoti")
+	failures := 0
+	for _, p := range grids {
+		allS, consistent, thm3 := true, true, true
+		var joinNoti []int
+		for trial := 0; trial < *trials; trial++ {
+			res, err := overlay.RunWave(overlay.WaveConfig{
+				Params: p, N: *n, M: *m, Seed: int64(trial)*7919 + 13,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "consistency: %v\n", err)
+				os.Exit(1)
+			}
+			if !res.AllSNodes {
+				allS = false
+			}
+			if !res.Consistent() {
+				consistent = false
+			}
+			for _, rec := range res.Records {
+				if rec.CpRstSent+rec.JoinWaitSent > p.D+1 {
+					thm3 = false
+				}
+			}
+			joinNoti = append(joinNoti, res.JoinNoti...)
+		}
+		if !allS || !consistent || !thm3 {
+			failures++
+		}
+		sum := stats.Summarize(joinNoti)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%v\t%v\t%v\t%.3f\t%.1f\n",
+			p.B, p.D, *n, *m, *trials, allS, consistent, thm3, sum.Mean, sum.P99)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "consistency: %v\n", err)
+		os.Exit(1)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "consistency: %d configurations FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall configurations satisfied Theorems 1, 2 and 3")
+}

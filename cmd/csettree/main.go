@@ -1,0 +1,119 @@
+// Command csettree reproduces Figure 2 of Liu & Lam (ICDCS 2003): the
+// C-set tree template C(V,W) for the §3.3 example (b=8, d=5, W = {10261,
+// 47051, 00261} joining V = {72430, 10353, 62332, 13141, 31701}), and a
+// realization cset(V,W) obtained by actually running the join protocol.
+// With -v and -w flags, arbitrary scenarios can be inspected.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"hypercube/internal/cset"
+	"hypercube/internal/id"
+	"hypercube/internal/netcheck"
+	"hypercube/internal/overlay"
+	"hypercube/internal/table"
+)
+
+func main() {
+	var (
+		b     = flag.Int("b", 8, "digit base")
+		d     = flag.Int("d", 5, "digits per ID")
+		vList = flag.String("v", "72430,10353,62332,13141,31701", "existing node IDs, comma separated")
+		wList = flag.String("w", "10261,47051,00261", "joining node IDs, comma separated")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	p := id.Params{B: *b, D: *d}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "csettree: %v\n", err)
+		os.Exit(1)
+	}
+	v, err := parseIDs(p, *vList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csettree: -v: %v\n", err)
+		os.Exit(1)
+	}
+	w, err := parseIDs(p, *wList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csettree: -w: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Group joiners by notification suffix: one C-set tree per group.
+	reg := netcheck.NewSuffixRegistry(p, v)
+	groups := make(map[id.Suffix][]id.ID)
+	for _, x := range w {
+		omega := cset.NotifySuffix(p, reg, x)
+		groups[omega] = append(groups[omega], x)
+		fmt.Printf("node %v: notification set V_%v\n", x, omega)
+	}
+
+	// Run the actual join protocol to realize the trees.
+	rng := rand.New(rand.NewSource(*seed))
+	net := overlay.New(overlay.Config{
+		Params:  p,
+		Latency: overlay.HashedUniformLatency(5*time.Millisecond, 80*time.Millisecond, *seed),
+	})
+	vRefs := make([]table.Ref, len(v))
+	for i, x := range v {
+		vRefs[i] = table.Ref{ID: x, Addr: "sim://" + x.String()}
+	}
+	net.BuildDirect(vRefs, rng)
+	for _, x := range w {
+		net.ScheduleJoin(table.Ref{ID: x, Addr: "sim://" + x.String()}, vRefs[rng.Intn(len(vRefs))], 0)
+	}
+	net.Run()
+	if violations := net.CheckConsistency(); len(violations) != 0 {
+		fmt.Fprintf(os.Stderr, "csettree: network inconsistent after joins: %v\n", violations[0])
+		os.Exit(1)
+	}
+
+	for omega, group := range groups {
+		template := cset.Template(p, group, omega)
+		realized := cset.Realized(p, v, group, omega, net.Tables())
+		fmt.Printf("\n== C-set tree rooted at V_%v ==\n", omega)
+		fmt.Println("template C(V,W):")
+		fmt.Print(indent(template.String()))
+		fmt.Println("realized cset(V,W) after protocol run:")
+		fmt.Print(indent(realized.String()))
+		problems := cset.VerifyConditions(p, template, realized, v, group, net.Tables())
+		if len(problems) == 0 {
+			fmt.Println("conditions (1), (2), (3) of §3.3: satisfied")
+		} else {
+			for _, pr := range problems {
+				fmt.Printf("VIOLATED %v\n", pr)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+func parseIDs(p id.Params, list string) ([]id.ID, error) {
+	var out []id.ID
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		x, err := id.Parse(p, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no IDs in %q", list)
+	}
+	return out, nil
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}

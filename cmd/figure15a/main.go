@@ -1,0 +1,41 @@
+// Command figure15a regenerates Figure 15(a) of Liu & Lam (ICDCS 2003):
+// the theoretical upper bound (Theorem 5) of the expected number of
+// JoinNotiMsg sent by a joining node, as a function of the network size
+// n, for the paper's four parameter combinations (m ∈ {500, 1000},
+// b = 16, d ∈ {8, 40}).
+//
+// Output is a text table with one column per curve, directly comparable
+// to the paper's plot (y-axis range 3..9 over n = 10000..100000).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypercube/internal/analysis"
+	"hypercube/internal/stats"
+)
+
+func main() {
+	var (
+		nMin  = flag.Int("nmin", 10_000, "smallest network size n")
+		nMax  = flag.Int("nmax", 100_000, "largest network size n")
+		nStep = flag.Int("nstep", 10_000, "step between n samples")
+	)
+	flag.Parse()
+	if *nMin < 1 || *nMax < *nMin || *nStep < 1 {
+		fmt.Fprintln(os.Stderr, "figure15a: invalid n range")
+		os.Exit(1)
+	}
+
+	ns := make([]int, 0, (*nMax-*nMin) / *nStep + 1)
+	for n := *nMin; n <= *nMax; n += *nStep {
+		ns = append(ns, n)
+	}
+	series := analysis.Figure15a(analysis.PaperFigure15aCurves(), ns)
+
+	fmt.Println("Figure 15(a): upper bound of E(J) — number of JoinNotiMsg per join (Theorem 5)")
+	fmt.Println()
+	fmt.Print(stats.FormatTable(series, "n"))
+}

@@ -1,0 +1,86 @@
+// Command figure15b regenerates Figure 15(b) of Liu & Lam (ICDCS 2003):
+// the cumulative distribution of the number of JoinNotiMsg sent by each
+// joining node, measured by event-driven simulation over a transit-stub
+// topology with 8320 routers.
+//
+// The paper's two setups are reproduced: 4096 attached end hosts of which
+// 3096 form the initial consistent network and 1000 join concurrently,
+// and 8192 hosts with 7192 existing and 1000 joining — each with b=16 and
+// d ∈ {8, 40}. All joins start at the same instant, as in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypercube/internal/analysis"
+	"hypercube/internal/id"
+	"hypercube/internal/overlay"
+	"hypercube/internal/stats"
+	"hypercube/internal/topology"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		m     = flag.Int("m", 1000, "number of concurrently joining nodes")
+		maxX  = flag.Int("maxx", 50, "largest JoinNotiMsg count on the x axis")
+		small = flag.Bool("small", false, "run a reduced-scale variant (for smoke tests)")
+	)
+	flag.Parse()
+
+	setups := []struct {
+		n, d int
+	}{
+		{3096, 8}, {3096, 40}, {7192, 8}, {7192, 40},
+	}
+	joiners := *m
+	topoCfg := topology.Default8320(*seed)
+	if *small {
+		for i := range setups {
+			setups[i].n /= 16
+		}
+		joiners = *m / 16
+		topoCfg = topology.Small(*seed)
+	}
+
+	fmt.Println("Figure 15(b): CDF of the number of JoinNotiMsg sent by a joining node")
+	fmt.Printf("topology: %d routers (transit-stub), all joins start at t=0\n\n", topoCfg.RouterCount())
+
+	var series []stats.Series
+	for _, su := range setups {
+		start := time.Now()
+		topo, err := topology.Generate(topoCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure15b: topology: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := overlay.RunWave(overlay.WaveConfig{
+			Params:   id.Params{B: 16, D: su.d},
+			N:        su.n,
+			M:        joiners,
+			Seed:     *seed,
+			Topology: topo,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure15b: wave: %v\n", err)
+			os.Exit(1)
+		}
+		if !res.Consistent() || !res.AllSNodes {
+			fmt.Fprintf(os.Stderr, "figure15b: n=%d d=%d: consistency violated (%d violations, allS=%v)\n",
+				su.n, su.d, len(res.Violations), res.AllSNodes)
+			os.Exit(1)
+		}
+		label := fmt.Sprintf("n=%d, m=%d, b=16, d=%d", su.n, joiners, su.d)
+		cdf := stats.NewCDF(res.JoinNoti)
+		series = append(series, stats.Series{Label: label, Points: cdf.Points(0, *maxX)})
+		bound := analysis.UpperBoundJoinNoti(16, su.d, su.n, joiners)
+		fmt.Printf("%-28s mean JoinNotiMsg %.3f (Theorem 5 bound %.3f), consistent, %d events, %v wall\n",
+			label, res.MeanJoinNoti(), bound, res.Events, time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println()
+	fmt.Print(stats.FormatTable(series, "#JoinNotiMsg"))
+}

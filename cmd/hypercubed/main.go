@@ -1,0 +1,152 @@
+// Command hypercubed runs a single protocol node over real TCP: the
+// deployable face of the library. A first node seeds a network; further
+// nodes join through any member. Each daemon exposes an HTTP admin
+// endpoint (status, table, join, leave) and departs gracefully on
+// SIGINT/SIGTERM, repairing its holders' tables on the way out.
+//
+// Start a seed, then join two more nodes:
+//
+//	hypercubed -listen 127.0.0.1:7001 -admin 127.0.0.1:8001 -name alpha
+//	hypercubed -listen 127.0.0.1:7002 -admin 127.0.0.1:8002 -name beta \
+//	    -join <seedID>@127.0.0.1:7001
+//	curl -s 127.0.0.1:8002/status
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/persist"
+	"hypercube/internal/table"
+	"hypercube/internal/transport/tcptransport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "hypercubed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:0", "protocol listen address")
+		admin   = flag.String("admin", "", "HTTP admin listen address (empty = disabled)")
+		name    = flag.String("name", "", "node name, hashed into the ID space (default: the listen address)")
+		idStr   = flag.String("id", "", "explicit node ID (overrides -name)")
+		b       = flag.Int("b", 16, "digit base")
+		d       = flag.Int("d", 8, "digits per ID")
+		join    = flag.String("join", "", "bootstrap as id@host:port; empty starts a new network (seed)")
+		dump    = flag.String("dump", "", "write the neighbor table to this file on exit")
+		timeout = flag.Duration("timeout", time.Minute, "join/leave completion timeout")
+	)
+	flag.Parse()
+	p := id.Params{B: *b, D: *d}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	nodeID, err := resolveID(p, *idStr, *name, *listen)
+	if err != nil {
+		return err
+	}
+
+	var node *tcptransport.Node
+	if *join == "" {
+		node, err = tcptransport.StartSeed(p, core.Options{}, nodeID, *listen)
+	} else {
+		node, err = tcptransport.StartJoiner(p, core.Options{}, nodeID, *listen)
+	}
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("node %v listening on %s\n", node.Ref().ID, node.Ref().Addr)
+
+	if *admin != "" {
+		srv := &http.Server{Addr: *admin, Handler: node.AdminHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "hypercubed: admin: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("admin endpoint on http://%s (/status /table /join /leave)\n", *admin)
+	}
+
+	if *join != "" {
+		boot, err := parseBootstrap(p, *join)
+		if err != nil {
+			return err
+		}
+		if err := node.Join(boot); err != nil {
+			return err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		err = node.AwaitStatus(ctx, core.StatusInSystem)
+		cancel()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("joined the network through %v (%d table entries)\n",
+			boot.ID, node.Snapshot().FilledCount())
+	}
+
+	// Wait for shutdown, then leave gracefully so holders can repair.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down: announcing departure...")
+	if node.Status() == core.StatusInSystem {
+		if err := node.Leave(); err != nil {
+			fmt.Fprintf(os.Stderr, "hypercubed: leave: %v\n", err)
+		} else {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			if err := node.AwaitStatus(ctx, core.StatusLeft); err != nil {
+				fmt.Fprintf(os.Stderr, "hypercubed: %v\n", err)
+			} else {
+				fmt.Println("departure acknowledged by all holders")
+			}
+			cancel()
+		}
+	}
+	if *dump != "" {
+		if err := persist.SaveFile(*dump, node.Snapshot()); err != nil {
+			return err
+		}
+		fmt.Printf("table written to %s\n", *dump)
+	}
+	return nil
+}
+
+func resolveID(p id.Params, idStr, name, listen string) (id.ID, error) {
+	if idStr != "" {
+		return id.Parse(p, idStr)
+	}
+	if name == "" {
+		name = listen
+	}
+	return id.FromName(p, name), nil
+}
+
+func parseBootstrap(p id.Params, s string) (table.Ref, error) {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 || at == len(s)-1 {
+		return table.Ref{}, fmt.Errorf("-join must be id@host:port, got %q", s)
+	}
+	bootID, err := id.Parse(p, s[:at])
+	if err != nil {
+		return table.Ref{}, fmt.Errorf("-join id: %w", err)
+	}
+	return table.Ref{ID: bootID, Addr: s[at+1:]}, nil
+}

@@ -1,0 +1,102 @@
+// Command jointable regenerates the in-text comparison of §5.2 of
+// Liu & Lam (ICDCS 2003): the average number of JoinNotiMsg sent per
+// joining node in simulation (paper: 6.117, 6.051, 5.026, 5.399) against
+// the Theorem-5 upper bounds (paper: 8.001, 8.001, 6.986, 6.986), plus
+// Theorem-3 and Theorem-4 columns and the SpeNotiMsg frequency (paper
+// footnote 8: "rarely sent").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"hypercube/internal/analysis"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/overlay"
+	"hypercube/internal/topology"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		m     = flag.Int("m", 1000, "number of concurrently joining nodes")
+		small = flag.Bool("small", false, "run a reduced-scale variant")
+	)
+	flag.Parse()
+
+	setups := []struct{ n, d int }{
+		{3096, 8}, {3096, 40}, {7192, 8}, {7192, 40},
+	}
+	joiners := *m
+	topoCfg := topology.Default8320(*seed)
+	if *small {
+		for i := range setups {
+			setups[i].n /= 16
+		}
+		joiners = *m / 16
+		topoCfg = topology.Small(*seed)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "n\td\tm\tavg JoinNoti\tThm5 bound\tThm4 E(J)\tmax CpRst+JoinWait\tThm3 bound\tSpeNoti/join\tconsistent")
+	var last *overlay.WaveResult
+	for _, su := range setups {
+		topo, err := topology.Generate(topoCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jointable: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := overlay.RunWave(overlay.WaveConfig{
+			Params:   id.Params{B: 16, D: su.d},
+			N:        su.n,
+			M:        joiners,
+			Seed:     *seed,
+			Topology: topo,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jointable: %v\n", err)
+			os.Exit(1)
+		}
+		last = res
+		maxSetup := 0
+		totalSpe := 0
+		for _, rec := range res.Records {
+			if s := rec.CpRstSent + rec.JoinWaitSent; s > maxSetup {
+				maxSetup = s
+			}
+			totalSpe += rec.SpeNotiSent
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.3f\t%.3f\t%.3f\t%d\t%d\t%.4f\t%v\n",
+			su.n, su.d, joiners,
+			res.MeanJoinNoti(),
+			analysis.UpperBoundJoinNoti(16, su.d, su.n, joiners),
+			analysis.ExpectedJoinNoti(16, su.d, su.n),
+			maxSetup,
+			analysis.Theorem3Bound(su.d),
+			float64(totalSpe)/float64(len(res.Records)),
+			res.Consistent() && res.AllSNodes,
+		)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "jointable: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\npaper §5.2: averages 6.117, 6.051, 5.026, 5.399; bounds 8.001, 8.001, 6.986, 6.986")
+
+	if last != nil {
+		fmt.Println("\nper-join message breakdown (last setup, all types, sent by joiners):")
+		bw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, typ := range msg.Types() {
+			if v := last.SentPerJoin[typ]; v > 0 {
+				fmt.Fprintf(bw, "  %v\t%.3f\n", typ, v)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "jointable: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

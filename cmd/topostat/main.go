@@ -1,0 +1,45 @@
+// Command topostat generates a transit-stub topology (the GT-ITM
+// substitute used by the simulations) and prints its structure and
+// host-to-host latency statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hypercube/internal/topology"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "generator seed")
+		hosts = flag.Int("hosts", 8192, "end hosts to attach")
+		pairs = flag.Int("pairs", 20000, "host pairs to sample for latency stats")
+		small = flag.Bool("small", false, "generate the reduced test-scale topology")
+	)
+	flag.Parse()
+
+	cfg := topology.Default8320(*seed)
+	if *small {
+		cfg = topology.Small(*seed)
+	}
+	topo, err := topology.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topostat: %v\n", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed + 1))
+	topo.AttachHosts(*hosts, rng)
+	st := topo.SampleStats(*pairs, rng)
+
+	fmt.Printf("transit-stub topology (seed %d)\n", *seed)
+	fmt.Printf("  routers:          %d\n", st.Routers)
+	fmt.Printf("  transit routers:  %d\n", st.TransitRouters)
+	fmt.Printf("  stub domains:     %d\n", st.Stubs)
+	fmt.Printf("  links:            %d\n", st.Edges)
+	fmt.Printf("  end hosts:        %d\n", st.Hosts)
+	fmt.Printf("  mean host-host latency: %v (over %d sampled pairs)\n", st.MeanHostLatency, st.SampledPairs)
+	fmt.Printf("  max  host-host latency: %v\n", st.MaxHostLatency)
+}

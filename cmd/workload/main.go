@@ -1,0 +1,83 @@
+// Command workload runs a long random churn scenario — the paper's
+// "dynamic peer-to-peer network" — and verifies neighbor-table
+// consistency after every membership event. It prints a per-operation
+// log and a final summary; a non-zero exit means a consistency violation
+// or an incomplete operation, which would falsify the implementation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"hypercube/internal/id"
+	"hypercube/internal/workload"
+)
+
+func main() {
+	var (
+		b       = flag.Int("b", 16, "digit base")
+		d       = flag.Int("d", 6, "digits per ID")
+		initial = flag.Int("initial", 200, "initial network size")
+		ops     = flag.Int("ops", 60, "number of churn operations")
+		seed    = flag.Int64("seed", 1, "seed")
+		quiet   = flag.Bool("quiet", false, "suppress the per-operation log")
+	)
+	flag.Parse()
+	p := id.Params{B: *b, D: *d}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		os.Exit(1)
+	}
+
+	runner, err := workload.NewRunner(p, *initial, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		os.Exit(1)
+	}
+	rng := rand.New(rand.NewSource(*seed * 31))
+	script := workload.RandomScript(rng, *ops, workload.DefaultMix())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	if !*quiet {
+		fmt.Fprintln(w, "#\top\tcount\tapplied\tsize\tmessages\tviolations")
+	}
+	counts := make(map[workload.Kind]int)
+	var totalMsgs uint64
+	for i, op := range script {
+		rep, err := runner.Apply(op)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "workload: op %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		counts[op.Kind] += rep.Applied
+		totalMsgs += rep.Messages
+		if !*quiet {
+			fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\t%d\t%d\n",
+				i, op.Kind, op.Count, rep.Applied, rep.Size, rep.Messages, rep.Violations)
+		}
+		if rep.Violations > 0 || rep.Unrepaired > 0 {
+			if err := w.Flush(); err == nil {
+				fmt.Fprintf(os.Stderr, "workload: op %d left violations=%d unrepaired=%d\n",
+					i, rep.Violations, rep.Unrepaired)
+			}
+			os.Exit(1)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+		os.Exit(1)
+	}
+
+	failedRoutes := runner.VerifyReachability(2000)
+	fmt.Printf("\n%d operations (%d joins, %d leaves, %d crashes, %d optimizations), %d messages\n",
+		*ops, counts[workload.KindJoin], counts[workload.KindLeave],
+		counts[workload.KindCrash], counts[workload.KindOptimize], totalMsgs)
+	fmt.Printf("final network: %d nodes, consistent after every operation, %d/2000 sampled routes failed\n",
+		runner.Size(), failedRoutes)
+	if failedRoutes > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package hypercube is a reproduction of Liu & Lam, "Neighbor Table
+// Construction and Update in a Dynamic Peer-to-Peer Network" (IEEE ICDCS
+// 2003): the hypercube (suffix-matching) routing scheme of PRR/Pastry/
+// Tapestry, the paper's join protocol with provable neighbor-table
+// consistency under arbitrary concurrent joins, C-set trees, the
+// communication-cost model, and the simulation experiments.
+//
+// The implementation lives under internal/ (see DESIGN.md for the map);
+// runnable experiment tools are under cmd/ and worked examples under
+// examples/. This root package holds the benchmark harness that
+// regenerates every table and figure of the paper's evaluation
+// (bench_test.go).
+package hypercube

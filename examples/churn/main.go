@@ -1,0 +1,88 @@
+// Churn: the full lifecycle the paper's §7 sketches as future work, built
+// on its conceptual foundation — nodes join concurrently, leave
+// gracefully, crash and get repaired, and tables are optimized for
+// proximity — with the network verifiably consistent after every step.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hypercube/internal/id"
+	"hypercube/internal/overlay"
+	"hypercube/internal/topology"
+)
+
+func check(net *overlay.Network, step string) {
+	if v := net.CheckConsistency(); len(v) != 0 {
+		fmt.Fprintf(os.Stderr, "churn example: inconsistent after %s: %v\n", step, v[0])
+		os.Exit(1)
+	}
+	fmt.Printf("%-40s network size %4d, consistent\n", step, net.Size())
+}
+
+func main() {
+	p := id.Params{B: 16, D: 6}
+	rng := rand.New(rand.NewSource(21))
+
+	topo, err := topology.Generate(topology.Small(21))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "churn example:", err)
+		os.Exit(1)
+	}
+	tl := overlay.NewTopologyLatency(topo)
+	net := overlay.New(overlay.Config{Params: p, Latency: tl.Func()})
+
+	taken := make(map[id.ID]bool)
+	refs := overlay.RandomRefs(p, 300, rng, taken)
+	hosts := topo.AttachHosts(500, rng)
+	for i, ref := range refs {
+		tl.Bind(ref.ID, hosts[i])
+	}
+	net.BuildDirect(refs, rng)
+	check(net, "initial network")
+
+	// 1. A concurrent join wave.
+	joiners := overlay.RandomRefs(p, 100, rng, taken)
+	for i, j := range joiners {
+		tl.Bind(j.ID, hosts[300+i])
+		net.ScheduleJoin(j, refs[rng.Intn(len(refs))], 0)
+	}
+	net.Run()
+	check(net, "after 100 concurrent joins")
+
+	// 2. A concurrent wave of graceful leaves: each leaver hands its
+	// holders the information to repair their tables.
+	for i := 0; i < 60; i++ {
+		if err := net.ScheduleLeave(joiners[i].ID, net.Engine().Now()); err != nil {
+			fmt.Fprintln(os.Stderr, "churn example:", err)
+			os.Exit(1)
+		}
+	}
+	net.Run()
+	gone := net.FinalizeLeaves()
+	check(net, fmt.Sprintf("after %d concurrent leaves", len(gone)))
+
+	// 3. Crashes: no goodbye; survivors repair via local scans, routed
+	// queries, and orphan re-joins.
+	for i := 0; i < 5; i++ {
+		dead := refs[10+i].ID
+		if err := net.InjectFailure(dead); err != nil {
+			fmt.Fprintln(os.Stderr, "churn example:", err)
+			os.Exit(1)
+		}
+		st := net.RecoverFailure(dead, rng, 0)
+		fmt.Printf("  crash %v: %d holders, %d local + %d routed repairs, %d rejoins, %d emptied\n",
+			dead, st.Holders, st.LocalRepairs, st.RoutedRepairs, st.Rejoined, st.Emptied)
+	}
+	check(net, "after 5 crashes + recovery")
+
+	// 4. Proximity optimization: swap entries for nearer qualifying nodes.
+	before := net.MeasureStretch(500, rand.New(rand.NewSource(1)))
+	opt := net.OptimizeTables(2)
+	after := net.MeasureStretch(500, rand.New(rand.NewSource(1)))
+	fmt.Printf("  optimization: %d entries switched, route stretch %.2f -> %.2f\n",
+		opt.Improved, before.Mean, after.Mean)
+	check(net, "after table optimization")
+}

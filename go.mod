@@ -1,0 +1,3 @@
+module hypercube
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package analysis implements the communication-cost model of Liu & Lam
+// (ICDCS 2003, §5.2): Theorem 3's bound on CpRstMsg+JoinWaitMsg, Theorem
+// 4's expected number of JoinNotiMsg for a single join, and Theorem 5's
+// upper bound under concurrent joins — the curves of Figure 15(a).
+//
+// The paper states
+//
+//	P_i(n) = Σ_{k=1}^{min(n,B)} C(B,k)·C(b^d − b^{d-i}, n−k) / C(b^d − 1, n)
+//
+// with B = (b−1)·b^{d−1−i}. By Vandermonde's identity the sum telescopes:
+// adding the k=0 term gives C(b^d − b^{d−i−1}, n)/C(b^d − 1, n), so with
+//
+//	Q_i(n) = C(b^d − b^{d−i}, n) / C(b^d − 1, n)
+//	       = Pr[no node of V shares ≥ i rightmost digits with x]
+//
+// we get P_i(n) = Q_{i+1}(n) − Q_i(n): the probability that the joining
+// node's notification level is exactly i. This form avoids summing
+// hypergeometric terms over binomials of astronomically large arguments
+// (b^d = 16^40 ≈ 1.5e48) and is what this package evaluates, in log space.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"hypercube/internal/stats"
+)
+
+// Theorem3Bound returns the paper's bound on the number of CpRstMsg plus
+// JoinWaitMsg a joining node sends: d+1.
+func Theorem3Bound(d int) int { return d + 1 }
+
+// Q returns Q_i(n) = C(b^d − b^{d−i}, n)/C(b^d − 1, n): the probability
+// that none of n uniformly drawn distinct IDs (excluding x itself) shares
+// the rightmost i digits with x. Q_0 = 0 for n ≥ 1 and Q_d = 1.
+func Q(b, d, i, n int) float64 {
+	validate(b, d)
+	if i < 0 || i > d {
+		panic(fmt.Sprintf("analysis: level %d out of [0,%d]", i, d))
+	}
+	if n == 0 {
+		return 1
+	}
+	total := math.Pow(float64(b), float64(d)) // b^d
+	t := total - 1                            // IDs available to V (excluding x)
+	matching := math.Pow(float64(b), float64(d-i))
+	a := total - matching // IDs not sharing the rightmost i digits
+	if a < float64(n) {
+		return 0 // cannot pick n distinct non-matching IDs
+	}
+	diff := matching - 1 // t - a
+	if diff <= 0 {
+		return 1 // i == d: every non-x ID differs somewhere
+	}
+	// ln Q = Σ_{j=0}^{n-1} ln((a-j)/(t-j)) = Σ log1p(-diff/(t-j)).
+	var lnQ float64
+	if t > 1e12*float64(n) {
+		// t-j ≈ t across the whole sum to relative error < 1e-12.
+		lnQ = float64(n) * math.Log1p(-diff/t)
+	} else {
+		for j := 0; j < n; j++ {
+			lnQ += math.Log1p(-diff / (t - float64(j)))
+		}
+	}
+	return math.Exp(lnQ)
+}
+
+// P returns P_i(n): the probability that a node joining a consistent
+// network of n random IDs has notification level exactly i, i.e. some
+// node shares its rightmost i digits but none shares i+1 (Theorem 4's
+// P_i, evaluated as Q_{i+1} − Q_i).
+func P(b, d, i, n int) float64 {
+	p := Q(b, d, i+1, n) - Q(b, d, i, n)
+	if p < 0 {
+		return 0 // floating-point noise at negligible levels
+	}
+	return p
+}
+
+// Levels returns the full distribution P_0..P_{d-1}. The entries sum to 1
+// (the last level absorbs the telescoping remainder, matching the paper's
+// P_{d-1} = 1 − Σ P_j).
+func Levels(b, d, n int) []float64 {
+	out := make([]float64, d)
+	prev := Q(b, d, 0, n)
+	for i := 0; i < d; i++ {
+		next := Q(b, d, i+1, n)
+		p := next - prev
+		if p < 0 {
+			p = 0
+		}
+		out[i] = p
+		prev = next
+	}
+	return out
+}
+
+// ExpectedJoinNoti returns Theorem 4's expected number of JoinNotiMsg
+// sent by a node joining a consistent network of n nodes:
+// Σ_{i=0}^{d-1} (n/b^i)·P_i(n) − 1.
+func ExpectedJoinNoti(b, d, n int) float64 {
+	validate(b, d)
+	total := 0.0
+	scale := float64(n)
+	for i := 0; i < d; i++ {
+		total += scale * P(b, d, i, n)
+		scale /= float64(b)
+	}
+	return total - 1
+}
+
+// UpperBoundJoinNoti returns Theorem 5's upper bound on the expected
+// number of JoinNotiMsg sent by each of m nodes joining a consistent
+// network of n nodes concurrently: Σ_{i=0}^{d-1} ((n+m)/b^i)·P_i(n).
+func UpperBoundJoinNoti(b, d, n, m int) float64 {
+	validate(b, d)
+	total := 0.0
+	scale := float64(n + m)
+	for i := 0; i < d; i++ {
+		total += scale * P(b, d, i, n)
+		scale /= float64(b)
+	}
+	return total
+}
+
+func validate(b, d int) {
+	if b < 2 || d < 1 {
+		panic(fmt.Sprintf("analysis: invalid parameters b=%d d=%d", b, d))
+	}
+}
+
+// Figure15aCurve describes one curve of Figure 15(a).
+type Figure15aCurve struct {
+	B, D, M int
+}
+
+// Label renders the curve's legend text as in the paper.
+func (c Figure15aCurve) Label() string {
+	return fmt.Sprintf("m=%d, b=%d, d=%d", c.M, c.B, c.D)
+}
+
+// PaperFigure15aCurves returns the four curves plotted in Figure 15(a).
+func PaperFigure15aCurves() []Figure15aCurve {
+	return []Figure15aCurve{
+		{B: 16, D: 40, M: 500},
+		{B: 16, D: 40, M: 1000},
+		{B: 16, D: 8, M: 500},
+		{B: 16, D: 8, M: 1000},
+	}
+}
+
+// PaperFigure15aN returns the x-axis sample points of Figure 15(a):
+// n = 10000..100000 in steps of 10000.
+func PaperFigure15aN() []int {
+	out := make([]int, 0, 10)
+	for n := 10_000; n <= 100_000; n += 10_000 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Figure15a evaluates the given curves at the given n values, producing
+// the series of the paper's Figure 15(a) (upper bound of E(J) vs n).
+func Figure15a(curves []Figure15aCurve, ns []int) []stats.Series {
+	out := make([]stats.Series, 0, len(curves))
+	for _, c := range curves {
+		s := stats.Series{Label: c.Label()}
+		for _, n := range ns {
+			s.Points = append(s.Points, stats.Point{
+				X: float64(n),
+				Y: UpperBoundJoinNoti(c.B, c.D, n, c.M),
+			})
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hypercube/internal/id"
+)
+
+func TestTheorem3Bound(t *testing.T) {
+	if Theorem3Bound(8) != 9 || Theorem3Bound(40) != 41 {
+		t.Error("Theorem3Bound wrong")
+	}
+}
+
+// TestPaperInTextBounds reproduces the §5.2 in-text Theorem-5 values:
+// "the upper bounds by Theorem 5 are 8.001, 8.001, 6.986, and 6.986" for
+// the setups (n=3096, d=8), (n=3096, d=40), (n=7192, d=8), (n=7192, d=40)
+// with b=16, m=1000.
+func TestPaperInTextBounds(t *testing.T) {
+	tests := []struct {
+		n, d int
+		want float64
+	}{
+		{3096, 8, 8.001},
+		{3096, 40, 8.001},
+		{7192, 8, 6.986},
+		{7192, 40, 6.986},
+	}
+	for _, tt := range tests {
+		got := UpperBoundJoinNoti(16, tt.d, tt.n, 1000)
+		if math.Abs(got-tt.want) > 0.0015 {
+			t.Errorf("UpperBound(b=16,d=%d,n=%d,m=1000) = %.4f, paper says %.3f", tt.d, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestQBoundaries(t *testing.T) {
+	// Q_0 = 0 for n >= 1 (some node always shares the empty suffix... the
+	// matching set at i=0 is the whole space, so no non-matching ID exists).
+	if got := Q(16, 8, 0, 100); got != 0 {
+		t.Errorf("Q_0 = %v, want 0", got)
+	}
+	// Q_d = 1: no other node shares all d digits (IDs are unique).
+	if got := Q(16, 8, 8, 100); got != 1 {
+		t.Errorf("Q_d = %v, want 1", got)
+	}
+	// n = 0: trivially no node shares anything.
+	if got := Q(16, 8, 3, 0); got != 1 {
+		t.Errorf("Q(n=0) = %v, want 1", got)
+	}
+	// Monotone in i: sharing more digits is harder.
+	prev := -1.0
+	for i := 0; i <= 8; i++ {
+		q := Q(16, 8, i, 5000)
+		if q < prev-1e-12 {
+			t.Fatalf("Q not monotone at i=%d: %v < %v", i, q, prev)
+		}
+		if q < 0 || q > 1 {
+			t.Fatalf("Q_%d = %v out of [0,1]", i, q)
+		}
+		prev = q
+	}
+}
+
+func TestQPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Q(16, 8, -1, 10) },
+		func() { Q(16, 8, 9, 10) },
+		func() { Q(1, 8, 2, 10) },
+		func() { ExpectedJoinNoti(16, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLevelsSumToOne(t *testing.T) {
+	for _, tt := range []struct{ b, d, n int }{
+		{16, 8, 1}, {16, 8, 3096}, {16, 40, 7192}, {4, 5, 100}, {2, 10, 50}, {16, 8, 100000},
+	} {
+		levels := Levels(tt.b, tt.d, tt.n)
+		if len(levels) != tt.d {
+			t.Fatalf("Levels returned %d entries", len(levels))
+		}
+		sum := 0.0
+		for _, p := range levels {
+			if p < 0 || p > 1 {
+				t.Fatalf("P out of range: %v", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("ΣP_i = %v for b=%d d=%d n=%d", sum, tt.b, tt.d, tt.n)
+		}
+	}
+}
+
+func TestPMatchesQDifference(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		want := Q(16, 8, i+1, 3096) - Q(16, 8, i, 3096)
+		if want < 0 {
+			want = 0
+		}
+		if got := P(16, 8, i, 3096); math.Abs(got-want) > 1e-15 {
+			t.Errorf("P_%d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestLevelsAgainstMonteCarlo cross-checks the closed form against direct
+// simulation in a small ID space: draw n distinct IDs, measure the
+// longest-suffix-match distribution against a reference ID.
+func TestLevelsAgainstMonteCarlo(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	const n = 40
+	const trials = 30000
+	rng := rand.New(rand.NewSource(17))
+	counts := make([]int, p.D)
+	for trial := 0; trial < trials; trial++ {
+		x := id.Random(p, rng)
+		seen := map[id.ID]bool{x: true}
+		best := 0
+		for drawn := 0; drawn < n; {
+			y := id.Random(p, rng)
+			if seen[y] {
+				continue
+			}
+			seen[y] = true
+			drawn++
+			if k := x.CommonSuffixLen(y); k > best {
+				best = k
+			}
+		}
+		counts[best]++
+	}
+	levels := Levels(p.B, p.D, n)
+	for i := 0; i < p.D; i++ {
+		got := float64(counts[i]) / trials
+		if math.Abs(got-levels[i]) > 0.01 {
+			t.Errorf("P_%d: closed form %.4f vs Monte Carlo %.4f", i, levels[i], got)
+		}
+	}
+}
+
+func TestExpectedVsUpperBound(t *testing.T) {
+	// The Theorem 5 bound with m joiners must dominate the single-join
+	// expectation (which effectively has m=0 and subtracts the self term).
+	for _, n := range []int{100, 3096, 7192, 50000} {
+		e := ExpectedJoinNoti(16, 8, n)
+		ub := UpperBoundJoinNoti(16, 8, n, 1000)
+		if e >= ub {
+			t.Errorf("n=%d: E(J)=%v >= bound %v", n, e, ub)
+		}
+		if e < 0 {
+			t.Errorf("n=%d: negative expectation %v", n, e)
+		}
+	}
+}
+
+func TestUpperBoundGrowsWithM(t *testing.T) {
+	prev := 0.0
+	for _, m := range []int{0, 100, 500, 1000, 5000} {
+		ub := UpperBoundJoinNoti(16, 8, 3096, m)
+		if ub <= prev && m > 0 {
+			t.Errorf("bound not increasing in m: %v at m=%d", ub, m)
+		}
+		prev = ub
+	}
+}
+
+func TestBoundInsensitiveToLargeD(t *testing.T) {
+	// The paper's bounds for d=8 and d=40 agree to 3 decimals: beyond the
+	// levels where matches are probable, P_i ≈ 0.
+	a := UpperBoundJoinNoti(16, 8, 3096, 1000)
+	b := UpperBoundJoinNoti(16, 40, 3096, 1000)
+	if math.Abs(a-b) > 0.001 {
+		t.Errorf("d=8 vs d=40 bounds differ: %v vs %v", a, b)
+	}
+}
+
+func TestFigure15aSeries(t *testing.T) {
+	curves := PaperFigure15aCurves()
+	if len(curves) != 4 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	ns := PaperFigure15aN()
+	if len(ns) != 10 || ns[0] != 10000 || ns[9] != 100000 {
+		t.Fatalf("ns = %v", ns)
+	}
+	series := Figure15a(curves, ns)
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) != 10 {
+			t.Fatalf("series %q has %d points", s.Label, len(s.Points))
+		}
+		for _, pt := range s.Points {
+			// The paper's y-axis spans 3..9 over this range.
+			if pt.Y < 3 || pt.Y > 9 {
+				t.Errorf("series %q point (%v,%v) outside the paper's plotted range", s.Label, pt.X, pt.Y)
+			}
+		}
+	}
+	// m=1000 curves dominate m=500 curves pointwise.
+	for i := range ns {
+		if series[0].Points[i].Y >= series[1].Points[i].Y {
+			t.Errorf("m=500 curve not below m=1000 at n=%v", series[0].Points[i].X)
+		}
+	}
+	if series[0].Label != "m=500, b=16, d=40" {
+		t.Errorf("label = %q", series[0].Label)
+	}
+}
+
+func BenchmarkUpperBound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = UpperBoundJoinNoti(16, 40, 100000, 1000)
+	}
+}

@@ -1,0 +1,467 @@
+// Leave protocol and failure recovery — the extensions §7 of the paper
+// names as future work ("we plan to use this conceptual foundation to
+// design protocols for leaving, failure recovery, and neighbor table
+// optimization"). They follow the paper's design philosophy: the burden
+// falls on the departing side where possible, and repairs use only local
+// information plus routed queries.
+//
+// Graceful leave. A leaving node x sends LeaveMsg, carrying x.table, to
+// every node known to store x (its reverse-neighbor set) and to every
+// node x stores (so they drop x from their reverse sets). A holder u
+// repairs each entry occupied by x using the attached table: if the entry
+// wants suffix ω' and V∖{x} still has a member with ω', then x's own
+// consistent table is guaranteed to contain one — take any y ∈ V_ω'∖{x}
+// and let k = |csuf(x,y)| ≥ |ω'|; entry (k, y[k]) of x.table is non-empty
+// by consistency and its occupant carries ω' (its desired suffix extends
+// ω') — so local repair suffices and consistency is preserved. If no
+// replacement exists in either table, the suffix died with x and the
+// entry is correctly cleared.
+//
+// Failure recovery. When x crashes there is no table to repair from. A
+// holder u first tries a local scan; failing that it sends a FindMsg
+// toward the wanted suffix through a helper. Queries that would route
+// through the dead node report Blocked and are retried after other
+// holders repair their own entries; Machine.RepairEntry drives one
+// attempt and the harness (overlay.Network.RecoverFailure) iterates
+// rounds to a fixed point.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// StatusLeaving and StatusLeft extend the paper's status set for the
+// leave protocol.
+const (
+	// StatusLeaving: the node has announced departure and is waiting for
+	// LeaveRlyMsg acknowledgments.
+	StatusLeaving Status = iota + 10
+	// StatusLeft: departure complete; the machine is inert.
+	StatusLeft
+)
+
+// StartLeave begins a graceful departure (only valid for S-nodes) and
+// returns the LeaveMsg announcements. The node leaves once every holder
+// acknowledged; Status() then reports StatusLeft.
+func (m *Machine) StartLeave() []msg.Envelope {
+	if m.status != StatusInSystem {
+		panic(fmt.Sprintf("core: StartLeave on node %v in status %v", m.self.ID, m.status))
+	}
+	m.out = m.out[:0]
+	m.status = StatusLeaving
+
+	// Announce to everyone who stores us (reverse set) and everyone we
+	// store (they must forget us as a reverse neighbor). One message per
+	// distinct node.
+	targets := make(map[id.ID]table.Ref, len(m.reverse))
+	for x, ref := range m.reverse {
+		targets[x] = ref
+	}
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID != m.self.ID {
+			targets[n.ID] = n.Ref()
+		}
+	})
+	snap := m.tbl.Snapshot()
+	m.leaveAcks = make(map[id.ID]struct{}, len(targets))
+	for _, ref := range sortedRefs(targets) {
+		m.leaveAcks[ref.ID] = struct{}{}
+		m.send(ref, msg.Leave{Table: snap})
+	}
+	if len(m.leaveAcks) == 0 {
+		m.status = StatusLeft
+	}
+	return m.take()
+}
+
+// LeaveAcksPending returns the nodes whose LeaveRlyMsg a leaving node is
+// still waiting for (empty unless status is leaving) — for diagnostics.
+func (m *Machine) LeaveAcksPending() []id.ID {
+	out := make([]id.ID, 0, len(m.leaveAcks))
+	for x := range m.leaveAcks {
+		out = append(out, x)
+	}
+	return out
+}
+
+// onLeave repairs every entry occupied by the leaver and acknowledges.
+// A node that is itself departing only acknowledges: repairing its own
+// soon-to-be-discarded table would send RvNghNoti messages that re-insert
+// it into peers' reverse sets after they already processed its departure,
+// leaving its own departure waiting for acks from long-gone nodes.
+func (m *Machine) onLeave(from table.Ref, pm msg.Leave) {
+	delete(m.reverse, from.ID)
+	if m.departed == nil {
+		m.departed = make(map[id.ID]struct{})
+	}
+	m.departed[from.ID] = struct{}{}
+	if m.status != StatusLeaving && m.status != StatusLeft {
+		m.tbl.ForEach(func(level, digit int, n table.Neighbor) {
+			if n.ID != from.ID {
+				return
+			}
+			m.repairViaDonor(level, digit, from.ID, pm.Table)
+		})
+	}
+	m.send(from, msg.LeaveRly{})
+}
+
+// onLeaveRly counts down the leaver's outstanding acknowledgments.
+func (m *Machine) onLeaveRly(from table.Ref) {
+	if m.status != StatusLeaving {
+		return
+	}
+	delete(m.leaveAcks, from.ID)
+	if len(m.leaveAcks) == 0 {
+		m.status = StatusLeft
+		m.trace("%v status -> left", m.self.ID)
+	}
+}
+
+// scanCandidates searches the donor snapshot and the local table for
+// occupants carrying want: live (not known-departed) first, with the
+// departed carriers collected for the BFS fallback.
+func (m *Machine) scanCandidates(want id.Suffix, gone id.ID, donor table.Snapshot) (live table.Neighbor, departed []table.Neighbor) {
+	seenDeparted := make(map[id.ID]bool)
+	scan := func(n table.Neighbor) {
+		if n.ID == gone || n.ID == m.self.ID || !n.ID.HasSuffix(want) {
+			return
+		}
+		if _, left := m.departed[n.ID]; left {
+			if !seenDeparted[n.ID] {
+				seenDeparted[n.ID] = true
+				departed = append(departed, n)
+			}
+			return
+		}
+		if live.IsZero() {
+			live = n
+		}
+	}
+	if !donor.IsZero() {
+		donor.ForEach(func(_, _ int, n table.Neighbor) { scan(n) })
+	}
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) { scan(n) })
+	return live, departed
+}
+
+// repairFromTables refills entry (level,digit) after removing gone,
+// searching the donor snapshot and the local table for a live qualifying
+// replacement. It reports whether a replacement was installed.
+func (m *Machine) repairFromTables(level, digit int, gone id.ID, donor table.Snapshot) bool {
+	want := m.tbl.DesiredSuffix(level, digit)
+	m.tbl.Set(level, digit, table.Neighbor{})
+	live, _ := m.scanCandidates(want, gone, donor)
+	if live.IsZero() {
+		return false
+	}
+	m.setNeighbor(level, digit, live, false)
+	return true
+}
+
+// repairViaDonor is the leave-time repair: install a live replacement if
+// one is visible, otherwise chase the tables of departed carriers. Under
+// concurrent leaves the donor's carrier for the wanted suffix may itself
+// be leaving; departed nodes linger until their own departure is fully
+// acknowledged, so their tables remain requestable (CpRstMsg). The chase
+// is a breadth-first search with a visited set: for any live carrier y,
+// every consistent carrier table contains a carrier strictly closer to y
+// in suffix depth, so the BFS reaches y if it exists; exhaustion without
+// a live carrier proves the suffix departed entirely.
+func (m *Machine) repairViaDonor(level, digit int, gone id.ID, donor table.Snapshot) {
+	want := m.tbl.DesiredSuffix(level, digit)
+	m.tbl.Set(level, digit, table.Neighbor{})
+	live, departedCands := m.scanCandidates(want, gone, donor)
+	if !live.IsZero() {
+		m.setNeighbor(level, digit, live, false)
+		return
+	}
+	if len(departedCands) == 0 {
+		return // suffix provably uninhabited among remaining members
+	}
+	if m.pendingFinds == nil {
+		m.pendingFinds = make(map[id.Suffix]findState)
+	}
+	st := m.pendingFinds[want]
+	st.entries = appendEntryOnce(st.entries, [2]int{level, digit})
+	if st.visited == nil {
+		st.visited = make(map[id.ID]bool)
+	}
+	for _, c := range departedCands {
+		if st.visited[c.ID] {
+			continue
+		}
+		st.visited[c.ID] = true
+		st.outstanding++
+		m.send(c.Ref(), msg.CpRst{})
+	}
+	m.pendingFinds[want] = st
+}
+
+// onRepairCpRly consumes a table copy requested while chasing departed
+// carriers: fill from a live carrier if the copy reveals one, otherwise
+// expand the search to newly discovered departed carriers.
+func (m *Machine) onRepairCpRly(from table.Ref, donor table.Snapshot) {
+	if m.status == StatusLeaving || m.status == StatusLeft {
+		// Our table is being abandoned; drop the chase.
+		m.pendingFinds = nil
+		return
+	}
+	wants := make([]id.Suffix, 0, len(m.pendingFinds))
+	for want := range m.pendingFinds {
+		wants = append(wants, want)
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].String() < wants[j].String() })
+	for _, want := range wants {
+		st := m.pendingFinds[want]
+		if !st.visited[from.ID] || st.outstanding == 0 {
+			continue
+		}
+		st.outstanding--
+		live, departedCands := m.scanCandidates(want, from.ID, donor)
+		switch {
+		case !live.IsZero():
+			for _, e := range st.entries {
+				if m.tbl.Get(e[0], e[1]).IsZero() {
+					m.setNeighbor(e[0], e[1], live, false)
+				}
+				delete(m.inRepair, e)
+			}
+			delete(m.pendingFinds, want)
+			continue
+		default:
+			for _, c := range departedCands {
+				if st.visited[c.ID] {
+					continue
+				}
+				st.visited[c.ID] = true
+				st.outstanding++
+				m.send(c.Ref(), msg.CpRst{})
+			}
+			if st.outstanding == 0 {
+				// Search exhausted: every carrier departed; entries
+				// correctly stay empty.
+				for _, e := range st.entries {
+					delete(m.inRepair, e)
+				}
+				delete(m.pendingFinds, want)
+				continue
+			}
+		}
+		m.pendingFinds[want] = st
+	}
+}
+
+// DropFailed removes a crashed node from every entry and from the reverse
+// set, attempting local-only repair, and returns the entries that remain
+// unrepaired (their desired suffix may still be inhabited — RepairEntry
+// resolves them via routed queries).
+func (m *Machine) DropFailed(gone id.ID) (unrepaired [][2]int) {
+	delete(m.reverse, gone)
+	var held [][2]int
+	m.tbl.ForEach(func(level, digit int, n table.Neighbor) {
+		if n.ID == gone {
+			held = append(held, [2]int{level, digit})
+		}
+	})
+	for _, e := range held {
+		if !m.repairFromTables(e[0], e[1], gone, table.Snapshot{}) {
+			if m.inRepair == nil {
+				m.inRepair = make(map[[2]int]bool)
+			}
+			m.inRepair[e] = true
+			unrepaired = append(unrepaired, e)
+		}
+	}
+	return unrepaired
+}
+
+// RepairEntry launches a routed Find for the desired suffix of the given
+// (empty) entry through the helper node, avoiding the failed node. The
+// result arrives as a FindRly handled by the machine; ResolveRepair
+// reports the outcome.
+func (m *Machine) RepairEntry(level, digit int, helper table.Ref, avoid id.ID) []msg.Envelope {
+	m.out = m.out[:0]
+	want := m.tbl.DesiredSuffix(level, digit)
+	if m.pendingFinds == nil {
+		m.pendingFinds = make(map[id.Suffix]findState)
+	}
+	st := m.pendingFinds[want]
+	st.entries = appendEntryOnce(st.entries, [2]int{level, digit})
+	st.outstanding++
+	m.pendingFinds[want] = st
+	m.send(helper, msg.Find{Want: want, Origin: m.self, Avoid: avoid})
+	return m.take()
+}
+
+func appendEntryOnce(entries [][2]int, e [2]int) [][2]int {
+	for _, have := range entries {
+		if have == e {
+			return entries
+		}
+	}
+	return append(entries, e)
+}
+
+// RepairOutcome describes the result of a RepairEntry query.
+type RepairOutcome uint8
+
+const (
+	// RepairPending: no reply yet.
+	RepairPending RepairOutcome = iota + 1
+	// RepairFilled: a replacement was installed.
+	RepairFilled
+	// RepairEmpty: provably no member carries the suffix; entry stays empty.
+	RepairEmpty
+	// RepairBlocked: the route ran through the failed node; retry later.
+	RepairBlocked
+)
+
+// ResolveRepair reports and clears the outcome for an entry previously
+// passed to RepairEntry.
+func (m *Machine) ResolveRepair(level, digit int) RepairOutcome {
+	want := m.tbl.DesiredSuffix(level, digit)
+	st, ok := m.pendingFinds[want]
+	if !ok {
+		return RepairPending
+	}
+	if st.outstanding > 0 {
+		return RepairPending
+	}
+	defer delete(m.pendingFinds, want)
+	switch {
+	case st.blocked:
+		return RepairBlocked
+	case !m.tbl.Get(level, digit).IsZero():
+		return RepairFilled
+	default:
+		return RepairEmpty
+	}
+}
+
+// StartRejoin re-runs the join protocol for an established node, keeping
+// its table. It exists for failure recovery: if the crashed node was the
+// sole node storing this one (its "bridge" — possible when this node's
+// join notified only the crashed node), no survivor can find this node by
+// search, so it must re-announce itself. Re-joining reuses the notifying
+// machinery, whose Theorem-1 guarantee is exactly that every node in the
+// notification set ends up storing the (re-)joiner.
+func (m *Machine) StartRejoin(g0 table.Ref) []msg.Envelope {
+	if m.status != StatusInSystem {
+		panic(fmt.Sprintf("core: StartRejoin on node %v in status %v", m.self.ID, m.status))
+	}
+	if g0.IsZero() || g0.ID == m.self.ID {
+		panic(fmt.Sprintf("core: StartRejoin with invalid bootstrap %v", g0.ID))
+	}
+	m.out = m.out[:0]
+	m.status = StatusCopying
+	m.qn = make(map[id.ID]struct{})
+	m.qr = make(map[id.ID]struct{})
+	m.qsn = make(map[id.ID]struct{})
+	m.qsr = make(map[id.ID]struct{})
+	m.copyLevel = 0
+	m.copyFrom = g0
+	m.send(g0, msg.CpRst{Level: 0})
+	return m.take()
+}
+
+// DeepestNeighborIs reports whether who shares at least as many rightmost
+// digits with this node as every other node in its table — the orphan
+// heuristic: if a deepest-known neighbor crashed, it may have been the
+// only node storing us, so we should re-join. Ties count as deepest: a
+// same-depth neighbor does not necessarily store us (it may itself have
+// joined through the crashed node), and a spurious re-join is cheap and
+// harmless while a missed one leaves us unreachable.
+func (m *Machine) DeepestNeighborIs(who id.ID) bool {
+	kWho := m.self.ID.CommonSuffixLen(who)
+	deepest := true
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID == m.self.ID || n.ID == who {
+			return
+		}
+		if m.self.ID.CommonSuffixLen(n.ID) > kWho {
+			deepest = false
+		}
+	})
+	return deepest
+}
+
+// AbandonRepair resolves a pending repair as "suffix no longer
+// inhabited": the entry stays empty and stops blocking Find queries. The
+// recovery coordinator calls it when repair rounds stop making progress —
+// which happens exactly when the dead node was the sole carrier of the
+// suffix, so every potential certifier is itself waiting (see
+// overlay.RecoverFailure for the convergence rule).
+func (m *Machine) AbandonRepair(level, digit int) {
+	want := m.tbl.DesiredSuffix(level, digit)
+	delete(m.pendingFinds, want)
+	delete(m.inRepair, [2]int{level, digit})
+}
+
+// findState tracks one outstanding suffix search (crash-repair Find
+// queries and leave-repair table chases share it).
+type findState struct {
+	entries     [][2]int
+	outstanding int
+	visited     map[id.ID]bool
+	blocked     bool
+}
+
+// onFind routes a suffix query one hop (or answers it).
+func (m *Machine) onFind(pm msg.Find) {
+	if m.self.ID.HasSuffix(pm.Want) && m.self.ID != pm.Avoid {
+		m.send(pm.Origin, msg.FindRly{
+			Want:  pm.Want,
+			Found: table.Neighbor{ID: m.self.ID, Addr: m.self.Addr, State: table.StateS},
+		})
+		return
+	}
+	k := m.self.ID.SuffixMatch(pm.Want)
+	// k == |Want| is impossible here (HasSuffix would have matched), so
+	// entry (k, Want[k]) exists; its desired suffix is Want[k..0].
+	next := m.tbl.Get(k, pm.Want.Digit(k))
+	switch {
+	case next.IsZero() && m.inRepair[[2]int{k, pm.Want.Digit(k)}]:
+		// The entry was emptied by a crash and is awaiting repair: its
+		// emptiness proves nothing yet. Tell the origin to retry.
+		m.send(pm.Origin, msg.FindRly{Want: pm.Want, Blocked: true})
+	case next.IsZero():
+		// No member carries even the shorter suffix Want[k..0], hence
+		// none carries Want: provably absent.
+		m.send(pm.Origin, msg.FindRly{Want: pm.Want})
+	case next.ID == pm.Avoid:
+		m.send(pm.Origin, msg.FindRly{Want: pm.Want, Blocked: true})
+	case next.ID == m.self.ID:
+		// Unreachable for well-formed tables (the occupant's digit k must
+		// equal Want[k], which differs from self[k]); report Blocked
+		// rather than claiming provable absence.
+		m.send(pm.Origin, msg.FindRly{Want: pm.Want, Blocked: true})
+	default:
+		m.send(next.Ref(), pm)
+	}
+}
+
+// onFindRly applies a query result to the entries waiting on it.
+func (m *Machine) onFindRly(pm msg.FindRly) {
+	st, ok := m.pendingFinds[pm.Want]
+	if !ok || st.outstanding == 0 {
+		return
+	}
+	st.outstanding--
+	st.blocked = pm.Blocked
+	m.pendingFinds[pm.Want] = st
+	if pm.Blocked {
+		return
+	}
+	for _, e := range st.entries {
+		delete(m.inRepair, e) // resolved: filled or provably empty
+		if !pm.Found.IsZero() && m.tbl.Get(e[0], e[1]).IsZero() {
+			m.setNeighbor(e[0], e[1], pm.Found, false)
+		}
+	}
+}

@@ -1,0 +1,616 @@
+// Package core implements the join protocol of Liu & Lam (ICDCS 2003) for
+// the hypercube routing scheme: the per-node protocol state machine of
+// Figures 5-14, and the suffix-matching routing of §2.2.
+//
+// A Machine holds one node's protocol state. It is a pure, non-blocking
+// state machine: Deliver consumes one message and returns the messages to
+// transmit. The discrete-event simulator (internal/sim + internal/overlay),
+// the goroutine runtime (internal/transport), and the TCP transport
+// (internal/transport/tcptransport) all drive the same Machine, so the
+// protocol logic exists exactly once.
+//
+// Per the paper's design, only joining nodes keep extra join state (the
+// sets Qr, Qn, Qj, Qsn, Qsr and noti_level); established nodes keep only
+// their neighbor table and reverse-neighbor set.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// Status is a node's protocol status (§4).
+type Status uint8
+
+const (
+	// StatusCopying: the node is building its table level by level by
+	// copying from nodes already in the network (Figure 5).
+	StatusCopying Status = iota + 1
+	// StatusWaiting: the node has sent a JoinWaitMsg and waits to be
+	// stored in some node's table (Figures 6-7).
+	StatusWaiting
+	// StatusNotifying: the node is notifying nodes that share at least
+	// noti_level rightmost digits with it (Figures 8-12).
+	StatusNotifying
+	// StatusInSystem: the node is an S-node, fully part of the network.
+	StatusInSystem
+)
+
+// String renders the paper's name for the status.
+func (s Status) String() string {
+	switch s {
+	case StatusCopying:
+		return "copying"
+	case StatusWaiting:
+		return "waiting"
+	case StatusNotifying:
+		return "notifying"
+	case StatusInSystem:
+		return "in_system"
+	case StatusLeaving:
+		return "leaving"
+	case StatusLeft:
+		return "left"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Options select the optional §6.2 message-size reductions.
+type Options struct {
+	// ReduceLevels ships only levels [noti_level, csuf] of the joiner's
+	// table inside JoinNotiMsg instead of the whole table.
+	ReduceLevels bool
+	// BitVector attaches the joiner's fill vector to JoinNotiMsg so the
+	// receiver's reply omits entries the joiner already has.
+	BitVector bool
+}
+
+// Machine is the protocol state machine for a single node.
+// It is not safe for concurrent use; drive it from one goroutine or under
+// an external lock.
+type Machine struct {
+	params id.Params
+	self   table.Ref
+	status Status
+	tbl    *table.Table
+	opts   Options
+
+	// reverse is the set of nodes known to store this node in their
+	// tables (the paper's R sets, keyed by node instead of entry: the
+	// only consumer, InSysNoti fan-out, needs the node set).
+	reverse map[id.ID]table.Ref
+
+	notiLevel int
+	qr        map[id.ID]struct{} // nodes we await JoinWait/JoinNoti replies from
+	qn        map[id.ID]struct{} // nodes we have notified
+	qj        map[id.ID]table.Ref
+	qsn       map[id.ID]struct{} // nodes announced via SpeNoti
+	qsr       map[id.ID]struct{} // SpeNoti replies outstanding (keyed by Y)
+
+	// copying-phase cursor
+	copyLevel int
+	copyFrom  table.Ref
+
+	// §7-extension state (leave protocol and failure recovery).
+	leaveAcks    map[id.ID]struct{}
+	pendingFinds map[id.Suffix]findState
+	// departed remembers nodes whose LeaveMsg we processed, so repairs
+	// never reinstall them (concurrent leavers can appear in each
+	// other's donor tables).
+	departed map[id.ID]struct{}
+	// inRepair marks entries emptied by a crash and not yet resolved;
+	// while marked, the entry is not evidence of suffix absence and
+	// Find queries crossing it answer Blocked instead of not-found.
+	inRepair map[[2]int]bool
+
+	counters msg.Counters
+	out      []msg.Envelope
+
+	// Trace, when non-nil, receives a line per protocol step; for tests
+	// and debugging only.
+	Trace func(format string, args ...any)
+}
+
+// NewJoiner returns a machine for a node about to join: status copying,
+// empty table. Call StartJoin with the bootstrap node to begin.
+func NewJoiner(p id.Params, self table.Ref, opts Options) *Machine {
+	return newMachine(p, self, StatusCopying, opts)
+}
+
+// NewSeed returns the machine of the very first node of a network
+// (§6.1): status in_system, table holding only its own diagonal entries
+// with state S.
+func NewSeed(p id.Params, self table.Ref, opts Options) *Machine {
+	m := newMachine(p, self, StatusInSystem, opts)
+	for i := 0; i < p.D; i++ {
+		m.tbl.Set(i, self.ID.Digit(i), table.Neighbor{ID: self.ID, Addr: self.Addr, State: table.StateS})
+	}
+	return m
+}
+
+// NewEstablished wraps a pre-built consistent table (e.g. constructed with
+// global knowledge for simulation initial conditions) in an in_system
+// machine. The table is adopted, not copied; the caller must not retain it.
+func NewEstablished(p id.Params, self table.Ref, tbl *table.Table, opts Options) *Machine {
+	if tbl.Owner() != self.ID {
+		panic(fmt.Sprintf("core: table owner %v is not %v", tbl.Owner(), self.ID))
+	}
+	m := newMachine(p, self, StatusInSystem, opts)
+	m.tbl = tbl
+	return m
+}
+
+func newMachine(p id.Params, self table.Ref, status Status, opts Options) *Machine {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("core: invalid params: %v", err))
+	}
+	return &Machine{
+		params:  p,
+		self:    self,
+		status:  status,
+		tbl:     table.New(p, self.ID),
+		opts:    opts,
+		reverse: make(map[id.ID]table.Ref),
+		qr:      make(map[id.ID]struct{}),
+		qn:      make(map[id.ID]struct{}),
+		qj:      make(map[id.ID]table.Ref),
+		qsn:     make(map[id.ID]struct{}),
+		qsr:     make(map[id.ID]struct{}),
+	}
+}
+
+// Self returns the node's own reference.
+func (m *Machine) Self() table.Ref { return m.self }
+
+// Params returns the ID-space parameters.
+func (m *Machine) Params() id.Params { return m.params }
+
+// Status returns the node's current protocol status.
+func (m *Machine) Status() Status { return m.status }
+
+// IsSNode reports whether the node reached status in_system.
+func (m *Machine) IsSNode() bool { return m.status == StatusInSystem }
+
+// NotiLevel returns the node's noti_level (meaningful once notifying).
+func (m *Machine) NotiLevel() int { return m.notiLevel }
+
+// Table exposes the node's neighbor table for inspection. Callers must
+// not mutate it; use Snapshot for a safe copy.
+func (m *Machine) Table() *table.Table { return m.tbl }
+
+// Snapshot returns an immutable copy of the node's table.
+func (m *Machine) Snapshot() table.Snapshot { return m.tbl.Snapshot() }
+
+// Counters returns the node's message counters.
+func (m *Machine) Counters() *msg.Counters { return &m.counters }
+
+// AddReverseNeighbor registers w as a node known to store this node,
+// without a message exchange. The simulation harness uses it when
+// installing globally-constructed consistent networks, whose tables never
+// exchanged RvNghNotiMsg; the leave protocol depends on reverse sets
+// being complete.
+func (m *Machine) AddReverseNeighbor(w table.Ref) {
+	if w.ID != m.self.ID {
+		m.reverse[w.ID] = w
+	}
+}
+
+// ReverseNeighbors returns a copy of the reverse-neighbor set.
+func (m *Machine) ReverseNeighbors() []table.Ref {
+	out := make([]table.Ref, 0, len(m.reverse))
+	for _, r := range m.reverse {
+		out = append(out, r)
+	}
+	return out
+}
+
+// JoinStateSize returns how many units of join-protocol bookkeeping the
+// node currently holds (|Qr|+|Qn|+|Qj|+|Qsn|+|Qsr|). For S-nodes of the
+// original network this stays 0 except for deferred-join Qj entries held
+// by T-nodes — the paper's claim that the join burden rests on joiners.
+func (m *Machine) JoinStateSize() int {
+	return len(m.qr) + len(m.qn) + len(m.qj) + len(m.qsn) + len(m.qsr)
+}
+
+func (m *Machine) trace(format string, args ...any) {
+	if m.Trace != nil {
+		m.Trace(format, args...)
+	}
+}
+
+// send queues an envelope and counts it.
+func (m *Machine) send(to table.Ref, pm msg.Message) {
+	if to.IsZero() {
+		panic(fmt.Sprintf("core: %v sending %v to null ref", m.self.ID, pm.Type()))
+	}
+	m.counters.CountSent(pm)
+	m.out = append(m.out, msg.Envelope{From: m.self, To: to, Msg: pm})
+	m.trace("%v -> %v: %v", m.self.ID, to.ID, pm.Type())
+}
+
+// setNeighbor fills entry (level,digit) and, per the protocol note in §4,
+// informs the stored node that it gained a reverse neighbor — unless the
+// fill is communicated in-band by an immediate reply (inBand=true).
+func (m *Machine) setNeighbor(level, digit int, n table.Neighbor, inBand bool) {
+	m.tbl.Set(level, digit, n)
+	if n.ID != m.self.ID && !inBand {
+		m.send(table.Ref{ID: n.ID, Addr: n.Addr}, msg.RvNghNoti{Level: level, Digit: digit, State: n.State})
+	}
+}
+
+// StartJoin begins the join process (Figure 5) given a bootstrap node g0
+// already in the network, and returns the first messages to transmit.
+func (m *Machine) StartJoin(g0 table.Ref) []msg.Envelope {
+	if m.status != StatusCopying {
+		panic(fmt.Sprintf("core: StartJoin on node %v in status %v", m.self.ID, m.status))
+	}
+	if g0.IsZero() || g0.ID == m.self.ID {
+		panic(fmt.Sprintf("core: StartJoin with invalid bootstrap %v", g0.ID))
+	}
+	m.out = m.out[:0]
+	m.copyLevel = 0
+	m.copyFrom = g0
+	m.send(g0, msg.CpRst{Level: 0})
+	return m.take()
+}
+
+// Deliver processes one incoming message and returns the messages to
+// transmit in response.
+func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
+	if env.To.ID != m.self.ID {
+		panic(fmt.Sprintf("core: %v delivered envelope for %v", m.self.ID, env.To.ID))
+	}
+	m.counters.CountReceived(env.Msg)
+	m.out = m.out[:0]
+	from := env.From
+	switch pm := env.Msg.(type) {
+	case msg.CpRst:
+		m.onCpRst(from)
+	case msg.CpRly:
+		m.onCpRly(from, pm)
+	case msg.JoinWait:
+		m.onJoinWait(from)
+	case msg.JoinWaitRly:
+		m.onJoinWaitRly(from, pm)
+	case msg.JoinNoti:
+		m.onJoinNoti(from, pm)
+	case msg.JoinNotiRly:
+		m.onJoinNotiRly(from, pm)
+	case msg.InSysNoti:
+		m.onInSysNoti(from)
+	case msg.SpeNoti:
+		m.onSpeNoti(pm)
+	case msg.SpeNotiRly:
+		m.onSpeNotiRly(pm)
+	case msg.RvNghNoti:
+		m.onRvNghNoti(from, pm)
+	case msg.RvNghNotiRly:
+		m.onRvNghNotiRly(from, pm)
+	case msg.Leave:
+		m.onLeave(from, pm)
+	case msg.LeaveRly:
+		m.onLeaveRly(from)
+	case msg.Find:
+		m.onFind(pm)
+	case msg.FindRly:
+		m.onFindRly(pm)
+	default:
+		panic(fmt.Sprintf("core: unknown message %T", env.Msg))
+	}
+	return m.take()
+}
+
+func (m *Machine) take() []msg.Envelope {
+	out := make([]msg.Envelope, len(m.out))
+	copy(out, m.out)
+	m.out = m.out[:0]
+	return out
+}
+
+// onCpRst serves a table-copy request. Any node can serve one immediately
+// (Theorem 2's proof relies on receivers answering with no waiting).
+func (m *Machine) onCpRst(from table.Ref) {
+	m.send(from, msg.CpRly{Table: m.tbl.Snapshot()})
+}
+
+// onCpRly continues the copying loop of Figure 5. The reply carries the
+// full table of the current guide g, so consecutive levels served by the
+// same node are processed locally without extra requests.
+func (m *Machine) onCpRly(from table.Ref, pm msg.CpRly) {
+	if m.status != StatusCopying || from.ID != m.copyFrom.ID {
+		// Not part of the copying phase: either a stale reply after the
+		// copy phase moved on, or a table requested while chasing
+		// departed carriers during leave repair.
+		m.onRepairCpRly(from, pm.Table)
+		return
+	}
+	snap := pm.Table
+	i := m.copyLevel
+	for {
+		if i >= m.params.D {
+			m.finishCopying(from)
+			return
+		}
+		// Copy level-i neighbors of g into our table.
+		for j := 0; j < m.params.B; j++ {
+			n := snap.Get(i, j)
+			if n.IsZero() || n.ID == m.self.ID {
+				continue
+			}
+			if m.tbl.Get(i, j).IsZero() {
+				m.setNeighbor(i, j, n, false)
+			}
+		}
+		next := snap.Get(i, m.self.ID.Digit(i))
+		i++
+		switch {
+		case next.IsZero() || next.ID == m.self.ID:
+			// No node shares the rightmost i digits: JoinWaitMsg to p.
+			m.finishCopying(from)
+			return
+		case next.State == table.StateT:
+			// g_{k+1} exists but is still a T-node: JoinWaitMsg to it.
+			m.finishCopying(next.Ref())
+			return
+		case next.ID == snap.Owner():
+			// The same node serves the next level; keep going locally.
+			continue
+		default:
+			m.copyLevel = i
+			m.copyFrom = next.Ref()
+			m.send(next.Ref(), msg.CpRst{Level: i})
+			return
+		}
+	}
+}
+
+// finishCopying installs the diagonal self-entries and sends the first
+// JoinWaitMsg (tail of Figure 5).
+func (m *Machine) finishCopying(target table.Ref) {
+	for i := 0; i < m.params.D; i++ {
+		m.tbl.Set(i, m.self.ID.Digit(i), table.Neighbor{ID: m.self.ID, Addr: m.self.Addr, State: table.StateT})
+	}
+	m.status = StatusWaiting
+	m.trace("%v status -> waiting, JoinWait to %v", m.self.ID, target.ID)
+	m.qn[target.ID] = struct{}{}
+	m.qr[target.ID] = struct{}{}
+	m.send(target, msg.JoinWait{})
+}
+
+// onJoinWait implements Figure 6.
+func (m *Machine) onJoinWait(from table.Ref) {
+	if m.status != StatusInSystem {
+		m.qj[from.ID] = from // delay the reply until we are an S-node
+		return
+	}
+	k := m.self.ID.CommonSuffixLen(from.ID)
+	cur := m.tbl.Get(k, from.ID.Digit(k))
+	if !cur.IsZero() && cur.ID != from.ID {
+		m.send(from, msg.JoinWaitRly{R: msg.Negative, U: cur.Ref(), Table: m.tbl.Snapshot()})
+		return
+	}
+	m.setNeighbor(k, from.ID.Digit(k), table.Neighbor{ID: from.ID, Addr: from.Addr, State: table.StateT}, true)
+	m.send(from, msg.JoinWaitRly{R: msg.Positive, U: from, Table: m.tbl.Snapshot()})
+}
+
+// onJoinWaitRly implements Figure 7.
+func (m *Machine) onJoinWaitRly(from table.Ref, pm msg.JoinWaitRly) {
+	delete(m.qr, from.ID)
+	k := m.self.ID.CommonSuffixLen(from.ID)
+	// The replier is an S-node; upgrade our record of it if present.
+	m.tbl.SetState(k, from.ID.Digit(k), from.ID, table.StateS)
+	if pm.R == msg.Positive {
+		if m.status == StatusWaiting {
+			m.status = StatusNotifying
+			m.notiLevel = k
+			m.trace("%v status -> notifying at level %d (stored by %v)", m.self.ID, k, from.ID)
+		}
+		m.reverse[from.ID] = from
+	} else {
+		u := pm.U
+		m.qn[u.ID] = struct{}{}
+		m.qr[u.ID] = struct{}{}
+		m.send(u, msg.JoinWait{})
+	}
+	m.checkNghTable(pm.Table)
+	m.maybeSwitch()
+}
+
+// checkNghTable implements the Check_Ngh_Table subroutine (Figure 8):
+// harvest unknown nodes from a received table, and notify those sharing at
+// least noti_level digits when in status notifying.
+func (m *Machine) checkNghTable(snap table.Snapshot) {
+	if snap.IsZero() {
+		return
+	}
+	snap.ForEach(func(_, _ int, n table.Neighbor) {
+		u := n
+		if u.ID == m.self.ID {
+			return
+		}
+		k := m.self.ID.CommonSuffixLen(u.ID)
+		if m.tbl.Get(k, u.ID.Digit(k)).IsZero() {
+			m.setNeighbor(k, u.ID.Digit(k), table.Neighbor{ID: u.ID, Addr: u.Addr, State: u.State}, false)
+		}
+		if m.status == StatusNotifying && k >= m.notiLevel {
+			if _, seen := m.qn[u.ID]; !seen {
+				m.qn[u.ID] = struct{}{}
+				m.qr[u.ID] = struct{}{}
+				m.send(u.Ref(), m.makeJoinNoti(k))
+			}
+		}
+	})
+}
+
+// makeJoinNoti builds the JoinNotiMsg for a receiver sharing k digits,
+// applying the §6.2 reductions when enabled.
+func (m *Machine) makeJoinNoti(k int) msg.JoinNoti {
+	var snap table.Snapshot
+	if m.opts.ReduceLevels {
+		snap = m.tbl.SnapshotLevels(m.notiLevel, k)
+	} else {
+		snap = m.tbl.Snapshot()
+	}
+	out := msg.JoinNoti{Table: snap, NotiLevel: m.notiLevel}
+	if m.opts.BitVector {
+		out.FillVector = m.tbl.FillVector()
+	}
+	return out
+}
+
+// onJoinNoti implements Figure 9.
+func (m *Machine) onJoinNoti(from table.Ref, pm msg.JoinNoti) {
+	k := m.self.ID.CommonSuffixLen(from.ID)
+	f := false
+	if m.tbl.Get(k, from.ID.Digit(k)).IsZero() {
+		m.setNeighbor(k, from.ID.Digit(k), table.Neighbor{ID: from.ID, Addr: from.Addr, State: table.StateT}, true)
+	}
+	if pm.Table.Get(k, m.self.ID.Digit(k)).ID != m.self.ID && m.status == StatusInSystem {
+		f = true
+	}
+	reply := msg.JoinNotiRly{Table: m.replySnapshot(pm), F: f}
+	if m.tbl.Get(k, from.ID.Digit(k)).ID == from.ID {
+		reply.R = msg.Positive
+	} else {
+		reply.R = msg.Negative
+	}
+	m.send(from, reply)
+	m.checkNghTable(pm.Table)
+}
+
+// replySnapshot returns this node's table for a JoinNotiRly, filtered by
+// the §6.2 bit vector when the sender attached one.
+func (m *Machine) replySnapshot(pm msg.JoinNoti) table.Snapshot {
+	snap := m.tbl.Snapshot()
+	if pm.FillVector.Len() == 0 {
+		return snap
+	}
+	return snap.Filtered(pm.FillVector, pm.NotiLevel)
+}
+
+// onJoinNotiRly implements Figure 10.
+func (m *Machine) onJoinNotiRly(from table.Ref, pm msg.JoinNotiRly) {
+	delete(m.qr, from.ID)
+	k := m.self.ID.CommonSuffixLen(from.ID)
+	if pm.R == msg.Positive {
+		m.reverse[from.ID] = from
+	}
+	if pm.F && k > m.notiLevel {
+		if _, seen := m.qsn[from.ID]; !seen {
+			target := m.tbl.Get(k, from.ID.Digit(k))
+			if !target.IsZero() && target.ID != from.ID {
+				m.qsn[from.ID] = struct{}{}
+				m.qsr[from.ID] = struct{}{}
+				m.send(target.Ref(), msg.SpeNoti{X: m.self, Y: from})
+			}
+		}
+	}
+	m.checkNghTable(pm.Table)
+	m.maybeSwitch()
+}
+
+// onSpeNoti implements Figure 11: store y or forward along the neighbor
+// chain; reply to the original sender x when y is stored.
+func (m *Machine) onSpeNoti(pm msg.SpeNoti) {
+	y := pm.Y
+	k := m.self.ID.CommonSuffixLen(y.ID)
+	if m.tbl.Get(k, y.ID.Digit(k)).IsZero() {
+		m.setNeighbor(k, y.ID.Digit(k), table.Neighbor{ID: y.ID, Addr: y.Addr, State: table.StateS}, false)
+	}
+	if cur := m.tbl.Get(k, y.ID.Digit(k)); cur.ID != y.ID {
+		m.send(cur.Ref(), msg.SpeNoti{X: pm.X, Y: pm.Y})
+	} else {
+		m.send(pm.X, msg.SpeNotiRly{X: pm.X, Y: pm.Y})
+	}
+}
+
+// onSpeNotiRly implements Figure 12.
+func (m *Machine) onSpeNotiRly(pm msg.SpeNotiRly) {
+	delete(m.qsr, pm.Y.ID)
+	m.maybeSwitch()
+}
+
+// maybeSwitch performs the Switch_To_S_Node transition (Figure 13) once
+// all outstanding replies have arrived.
+func (m *Machine) maybeSwitch() {
+	if m.status != StatusNotifying || len(m.qr) != 0 || len(m.qsr) != 0 {
+		return
+	}
+	m.status = StatusInSystem
+	m.trace("%v status -> in_system", m.self.ID)
+	for i := 0; i < m.params.D; i++ {
+		m.tbl.SetState(i, m.self.ID.Digit(i), m.self.ID, table.StateS)
+	}
+	// Deterministic iteration (sorted by ID): the order in which deferred
+	// waiters are answered decides which one is stored when two compete
+	// for the same entry, and simulations must replay identically.
+	for _, v := range sortedRefs(m.reverse) {
+		m.send(v, msg.InSysNoti{})
+	}
+	for _, u := range sortedRefs(m.qj) {
+		k := m.self.ID.CommonSuffixLen(u.ID)
+		cur := m.tbl.Get(k, u.ID.Digit(k))
+		switch {
+		case cur.IsZero():
+			m.setNeighbor(k, u.ID.Digit(k), table.Neighbor{ID: u.ID, Addr: u.Addr, State: table.StateT}, true)
+			m.send(u, msg.JoinWaitRly{R: msg.Positive, U: u, Table: m.tbl.Snapshot()})
+		case cur.ID == u.ID:
+			m.send(u, msg.JoinWaitRly{R: msg.Positive, U: u, Table: m.tbl.Snapshot()})
+		default:
+			m.send(u, msg.JoinWaitRly{R: msg.Negative, U: cur.Ref(), Table: m.tbl.Snapshot()})
+		}
+	}
+	m.qj = make(map[id.ID]table.Ref)
+}
+
+// sortedRefs returns the map's refs ordered by ID for deterministic
+// message emission.
+func sortedRefs(m map[id.ID]table.Ref) []table.Ref {
+	out := make([]table.Ref, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// onInSysNoti implements Figure 14.
+func (m *Machine) onInSysNoti(from table.Ref) {
+	k := m.self.ID.CommonSuffixLen(from.ID)
+	m.tbl.SetState(k, from.ID.Digit(k), from.ID, table.StateS)
+}
+
+// onRvNghNoti records a new reverse neighbor and corrects its state view
+// if it disagrees with our actual status (§4's RvNghNotiMsg note). A
+// departing node instead answers with a LeaveMsg: the sender just stored
+// a node that is on its way out (possible when concurrent leaves pick
+// each other as repair replacements) and must repair again.
+func (m *Machine) onRvNghNoti(from table.Ref, pm msg.RvNghNoti) {
+	if m.status == StatusLeaving || m.status == StatusLeft {
+		m.send(from, msg.Leave{Table: m.tbl.Snapshot()})
+		return
+	}
+	if _, gone := m.departed[from.ID]; gone {
+		// A departing node installed us while repairing its own table;
+		// ignore it — its table is being abandoned and registering it
+		// would leave our own future departure waiting for its ack.
+		return
+	}
+	m.reverse[from.ID] = from
+	switch {
+	case pm.State == table.StateT && m.status == StatusInSystem:
+		m.send(from, msg.RvNghNotiRly{Level: pm.Level, Digit: pm.Digit, State: table.StateS})
+	case pm.State == table.StateS && m.status != StatusInSystem:
+		m.send(from, msg.RvNghNotiRly{Level: pm.Level, Digit: pm.Digit, State: table.StateT})
+	}
+}
+
+// onRvNghNotiRly applies a state correction to the referenced entry.
+func (m *Machine) onRvNghNotiRly(from table.Ref, pm msg.RvNghNotiRly) {
+	m.tbl.SetState(pm.Level, pm.Digit, from.ID, pm.State)
+}

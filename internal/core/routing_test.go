@@ -1,0 +1,124 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// mapResolver adapts a map of tables to core.TableResolver.
+type mapResolver map[id.ID]*table.Table
+
+func (r mapResolver) TableOf(x id.ID) (*table.Table, bool) {
+	t, ok := r[x]
+	return t, ok
+}
+
+func TestNextHop(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	owner := id.MustParse(p, "3210")
+	tbl := table.New(p, owner)
+	hop := id.MustParse(p, "1100")
+	tbl.Set(1, 0, table.Neighbor{ID: hop, State: table.StateS})
+
+	// Arrived: the owner is the target.
+	if _, arrived := core.NextHop(tbl, owner); !arrived {
+		t.Error("routing to self did not report arrival")
+	}
+	// One resolving hop: target shares 1 digit (the 0) and wants digit 0
+	// at level 1.
+	target := id.MustParse(p, "1100")
+	got, arrived := core.NextHop(tbl, target)
+	if arrived || got.ID != hop {
+		t.Errorf("NextHop = %v arrived=%v", got.ID, arrived)
+	}
+	// Empty entry: no node with the needed suffix.
+	missing := id.MustParse(p, "1130")
+	got, arrived = core.NextHop(tbl, missing)
+	if arrived || !got.IsZero() {
+		t.Errorf("NextHop for absent target = %v", got.ID)
+	}
+}
+
+func TestRouteFullPath(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	pp, members := buildSmallNetwork(t, p, 15, 8)
+	resolver := mapResolver(pp.tables())
+	for _, src := range members {
+		for _, dst := range members {
+			path, ok := core.Route(resolver, src.ID, dst.ID, p)
+			if !ok {
+				t.Fatalf("route %v -> %v failed", src.ID, dst.ID)
+			}
+			if path[0] != src.ID || path[len(path)-1] != dst.ID {
+				t.Fatalf("path endpoints wrong: %v", path)
+			}
+			if len(path) > p.D+1 {
+				t.Fatalf("path exceeds d hops: %v", path)
+			}
+		}
+	}
+	// Unknown source fails cleanly.
+	ghost := id.MustParse(p, "3333")
+	if _, ok := resolver.TableOf(ghost); !ok {
+		if _, routed := core.Route(resolver, ghost, members[0].ID, p); routed {
+			t.Error("route from unknown node succeeded")
+		}
+	}
+}
+
+// TestGoldenSingleJoinTrace pins the exact message sequence of a single
+// join into a two-node network. Any behavioral change to the protocol
+// (message order, counts, types) shows up here first.
+func TestGoldenSingleJoinTrace(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	pp := newPump(t, p, nil)
+	seed := core.NewSeed(p, ref(p, "3210"), core.Options{})
+	pp.add(seed)
+	joiner := core.NewJoiner(p, ref(p, "0123"), core.Options{}) // csuf(seed, joiner) = 0
+	pp.add(joiner)
+
+	var trace []string
+	record := func(env msg.Envelope) {
+		trace = append(trace, fmt.Sprintf("%v->%v:%v", env.From.ID, env.To.ID, env.Msg.Type()))
+	}
+	// Drive the pump manually to record each delivery.
+	queue := joiner.StartJoin(seed.Self())
+	for _, e := range queue {
+		record(e)
+	}
+	for len(queue) > 0 {
+		env := queue[0]
+		queue = queue[1:]
+		out := pp.machines[env.To.ID].Deliver(env)
+		for _, e := range out {
+			record(e)
+		}
+		queue = append(queue, out...)
+	}
+
+	want := []string{
+		"0123->3210:CpRstMsg",       // copy level 0 (no digits shared)
+		"3210->0123:CpRlyMsg",       // seed's table: only its diagonal
+		"0123->3210:RvNghNotiMsg",   // joiner copied the seed into (0,0), state S: no correction needed
+		"0123->3210:JoinWaitMsg",    // no node shares digit 3: wait at seed
+		"3210->0123:JoinWaitRlyMsg", // positive: seed stored the joiner
+		"0123->3210:InSysNotiMsg",   // joiner switches to in_system
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace length %d, want %d:\n%s", len(trace), len(want), strings.Join(trace, "\n"))
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %s, want %s\nfull trace:\n%s", i, trace[i], want[i], strings.Join(trace, "\n"))
+		}
+	}
+	if !joiner.IsSNode() {
+		t.Fatal("joiner did not finish")
+	}
+}

@@ -1,0 +1,448 @@
+// Package cset implements the conceptual foundation of Liu & Lam
+// (ICDCS 2003, §3): notification sets, the classification of multiple
+// joins (sequential / concurrent, independent / dependent), C-set tree
+// templates C(V,W) (Definition 3.9), realized C-set trees cset(V,W)
+// (Definition 5.1), and checkers for the three consistency conditions of
+// §3.3.
+//
+// C-set trees are conceptual structures used for reasoning about
+// consistency — the paper is explicit that they are not implemented in
+// any node. Accordingly this package is a verification and analysis tool:
+// simulations and tests use it to confirm that a finished join wave
+// realized the tree that the theory predicts.
+package cset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypercube/internal/id"
+	"hypercube/internal/netcheck"
+	"hypercube/internal/table"
+)
+
+// NotifySuffix computes the suffix ω identifying the notification set
+// V_ω of joining node x regarding the member set indexed by reg
+// (Definition 3.4): ω is the longest suffix of x.ID carried by at least
+// one member. The empty suffix means the notification set is all of V.
+func NotifySuffix(p id.Params, reg *netcheck.SuffixRegistry, x id.ID) id.Suffix {
+	k := 0
+	for k < p.D && reg.Has(x.Suffix(k+1)) {
+		k++
+	}
+	return x.Suffix(k)
+}
+
+// Interval is a joining period [Begin, End] (Definition 3.1).
+type Interval struct {
+	Begin, End float64
+}
+
+func (iv Interval) overlaps(other Interval) bool {
+	return iv.Begin <= other.End && other.Begin <= iv.End
+}
+
+// Sequential reports whether the joining periods are pairwise
+// non-overlapping (Definition 3.2).
+func Sequential(periods []Interval) bool {
+	for i := range periods {
+		for j := i + 1; j < len(periods); j++ {
+			if periods[i].overlaps(periods[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether the joins are concurrent per Definition 3.3:
+// every period overlaps some other period, and the union of the periods
+// covers [min Begin, max End] without gaps.
+func Concurrent(periods []Interval) bool {
+	if len(periods) < 2 {
+		return false
+	}
+	for i := range periods {
+		any := false
+		for j := range periods {
+			if i != j && periods[i].overlaps(periods[j]) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return false
+		}
+	}
+	sorted := make([]Interval, len(periods))
+	copy(sorted, periods)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Begin < sorted[j].Begin })
+	reach := sorted[0].End
+	for _, iv := range sorted[1:] {
+		if iv.Begin > reach {
+			return false // a sub-interval overlaps no joining period
+		}
+		if iv.End > reach {
+			reach = iv.End
+		}
+	}
+	return true
+}
+
+// comparable reports whether one suffix is a suffix of the other, which
+// for non-empty notification sets is equivalent to the sets intersecting.
+func comparableSuffixes(a, b id.Suffix) bool {
+	return a.IsSuffixOf(b) || b.IsSuffixOf(a)
+}
+
+// Independent reports whether the joins of W into the network indexed by
+// reg are independent (Definition 3.5): pairwise disjoint notification
+// sets.
+func Independent(p id.Params, reg *netcheck.SuffixRegistry, w []id.ID) bool {
+	suffixes := make([]id.Suffix, len(w))
+	for i, x := range w {
+		suffixes[i] = NotifySuffix(p, reg, x)
+	}
+	for i := range suffixes {
+		for j := i + 1; j < len(suffixes); j++ {
+			if comparableSuffixes(suffixes[i], suffixes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DependencyGroups partitions W into maximal groups of mutually dependent
+// joins, following the grouping procedure in the proof of Lemma 5.5.
+// Joins in the same group are dependent (directly or through a chain);
+// joins in different groups are mutually independent. Groups preserve the
+// input order of their members; groups are ordered by first member.
+func DependencyGroups(p id.Params, reg *netcheck.SuffixRegistry, w []id.ID) [][]id.ID {
+	n := len(w)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	suffixes := make([]id.Suffix, n)
+	for i, x := range w {
+		suffixes[i] = NotifySuffix(p, reg, x)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if comparableSuffixes(suffixes[i], suffixes[j]) {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]id.ID)
+	var order []int
+	for i, x := range w {
+		root := find(i)
+		if _, seen := groups[root]; !seen {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], x)
+	}
+	out := make([][]id.ID, 0, len(order))
+	for _, root := range order {
+		out = append(out, groups[root])
+	}
+	return out
+}
+
+// Node is one C-set in a C-set tree. In a template, Members is nil; in a
+// realized tree it lists the nodes filled into the C-set.
+type Node struct {
+	Suffix   id.Suffix
+	Children []*Node // sorted by leading digit
+	Members  []id.ID // realized members, sorted; nil in templates
+}
+
+// Child returns the child with leading digit j, or nil.
+func (n *Node) Child(j int) *Node {
+	for _, c := range n.Children {
+		if c.Suffix.Leading() == j {
+			return c
+		}
+	}
+	return nil
+}
+
+// Tree is a C-set tree: the root represents the suffix set V_ω (which is
+// not itself a C-set); every descendant is a C-set.
+type Tree struct {
+	// RootSuffix is ω, the suffix of the notification set at the root.
+	RootSuffix id.Suffix
+	// Roots are the children of V_ω, i.e. the first-level C-sets.
+	Roots []*Node
+}
+
+// Walk visits every C-set in depth-first order.
+func (t *Tree) Walk(fn func(n *Node, depth int)) {
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		rec(r, 1)
+	}
+}
+
+// Find returns the C-set with the given suffix, or nil.
+func (t *Tree) Find(s id.Suffix) *Node {
+	var found *Node
+	t.Walk(func(n *Node, _ int) {
+		if n.Suffix == s {
+			found = n
+		}
+	})
+	return found
+}
+
+// Size returns the number of C-sets in the tree.
+func (t *Tree) Size() int {
+	c := 0
+	t.Walk(func(*Node, int) { c++ })
+	return c
+}
+
+// String renders the tree with indentation, Figure-2 style.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "V_%v\n", t.RootSuffix)
+	t.Walk(func(n *Node, depth int) {
+		fmt.Fprintf(&sb, "%sC_%v", strings.Repeat("  ", depth), n.Suffix)
+		if n.Members != nil {
+			ids := make([]string, len(n.Members))
+			for i, m := range n.Members {
+				ids[i] = m.String()
+			}
+			fmt.Fprintf(&sb, " = {%s}", strings.Join(ids, ", "))
+		}
+		sb.WriteByte('\n')
+	})
+	return sb.String()
+}
+
+// Template builds the C-set tree template C(V,W) of Definition 3.9 for
+// the joining nodes w whose notification suffix is omega: the tree
+// contains a C-set for every suffix extending omega that is carried by at
+// least one node in w.
+func Template(p id.Params, w []id.ID, omega id.Suffix) *Tree {
+	t := &Tree{RootSuffix: omega}
+	var build func(parentSuffix id.Suffix) []*Node
+	build = func(parentSuffix id.Suffix) []*Node {
+		if parentSuffix.Len() >= p.D {
+			return nil
+		}
+		var kids []*Node
+		for j := 0; j < p.B; j++ {
+			s := parentSuffix.Extend(j)
+			if !anyHasSuffix(w, s) {
+				continue
+			}
+			n := &Node{Suffix: s}
+			n.Children = build(s)
+			kids = append(kids, n)
+		}
+		return kids
+	}
+	t.Roots = build(omega)
+	return t
+}
+
+func anyHasSuffix(w []id.ID, s id.Suffix) bool {
+	for _, x := range w {
+		if x.HasSuffix(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Realized builds cset(V,W) per Definition 5.1 from the final neighbor
+// tables: C_{l·ω} is the set of nodes of W with suffix l·ω stored as the
+// (|ω|, l)-neighbor of at least one node in V_ω; deeper C-sets chain from
+// their parent's members.
+func Realized(p id.Params, v, w []id.ID, omega id.Suffix, tables map[id.ID]*table.Table) *Tree {
+	t := &Tree{RootSuffix: omega}
+	wSet := make(map[id.ID]struct{}, len(w))
+	for _, x := range w {
+		wSet[x] = struct{}{}
+	}
+	vOmega := make([]id.ID, 0, len(v))
+	for _, u := range v {
+		if u.HasSuffix(omega) {
+			vOmega = append(vOmega, u)
+		}
+	}
+
+	k := omega.Len()
+	var build func(parents []id.ID, parentSuffix id.Suffix, level int) []*Node
+	build = func(parents []id.ID, parentSuffix id.Suffix, level int) []*Node {
+		if level >= p.D {
+			return nil
+		}
+		var kids []*Node
+		for j := 0; j < p.B; j++ {
+			s := parentSuffix.Extend(j)
+			memberSet := make(map[id.ID]struct{})
+			for _, u := range parents {
+				tbl, ok := tables[u]
+				if !ok {
+					continue
+				}
+				e := tbl.Get(level, j)
+				if e.IsZero() {
+					continue
+				}
+				if _, inW := wSet[e.ID]; inW && e.ID.HasSuffix(s) {
+					memberSet[e.ID] = struct{}{}
+				}
+			}
+			if len(memberSet) == 0 {
+				continue
+			}
+			members := make([]id.ID, 0, len(memberSet))
+			for x := range memberSet {
+				members = append(members, x)
+			}
+			sort.Slice(members, func(a, b int) bool { return members[a].Less(members[b]) })
+			n := &Node{Suffix: s, Members: members}
+			n.Children = build(members, s, level+1)
+			kids = append(kids, n)
+		}
+		return kids
+	}
+	t.Roots = build(vOmega, omega, k)
+	return t
+}
+
+// Problem describes a violation of one of the §3.3 conditions.
+type Problem struct {
+	Condition int // 1, 2, or 3
+	Detail    string
+}
+
+// String renders the problem.
+func (p Problem) String() string { return fmt.Sprintf("condition (%d): %s", p.Condition, p.Detail) }
+
+// VerifyConditions checks the three conditions of §3.3 on a realized tree
+// against its template:
+//
+//	(1) cset(V,W) has the template's structure and no C-set is empty;
+//	(2) every node of V_ω stores, for each child C-set of the root, a node
+//	    with that C-set's suffix;
+//	(3) every x in W stores, for each sibling C-set along the path from
+//	    its leaf to the root, a node with the sibling's suffix.
+func VerifyConditions(p id.Params, template, realized *Tree, v, w []id.ID, tables map[id.ID]*table.Table) []Problem {
+	var out []Problem
+
+	// Condition (1): identical structure, all realized C-sets non-empty.
+	var walk func(tn, rn *Node)
+	walk = func(tn, rn *Node) {
+		if rn == nil {
+			out = append(out, Problem{1, fmt.Sprintf("C-set %v in template but not realized", tn.Suffix)})
+			return
+		}
+		if len(rn.Members) == 0 {
+			out = append(out, Problem{1, fmt.Sprintf("realized C-set %v is empty", rn.Suffix)})
+		}
+		for _, tc := range tn.Children {
+			walk(tc, rn.Child(tc.Suffix.Leading()))
+		}
+		for _, rc := range rn.Children {
+			if tn.Child(rc.Suffix.Leading()) == nil {
+				out = append(out, Problem{1, fmt.Sprintf("realized C-set %v not in template", rc.Suffix)})
+			}
+		}
+	}
+	rootByDigit := func(tr *Tree, j int) *Node {
+		for _, r := range tr.Roots {
+			if r.Suffix.Leading() == j {
+				return r
+			}
+		}
+		return nil
+	}
+	for _, tn := range template.Roots {
+		walk(tn, rootByDigit(realized, tn.Suffix.Leading()))
+	}
+	for _, rn := range realized.Roots {
+		if rootByDigit(template, rn.Suffix.Leading()) == nil {
+			out = append(out, Problem{1, fmt.Sprintf("realized root C-set %v not in template", rn.Suffix)})
+		}
+	}
+
+	// Condition (2): V_ω members cover every root child.
+	k := template.RootSuffix.Len()
+	for _, u := range v {
+		if !u.HasSuffix(template.RootSuffix) {
+			continue
+		}
+		tbl, ok := tables[u]
+		if !ok {
+			out = append(out, Problem{2, fmt.Sprintf("no table for V_ω member %v", u)})
+			continue
+		}
+		for _, child := range template.Roots {
+			e := tbl.Get(k, child.Suffix.Leading())
+			if e.IsZero() || !e.ID.HasSuffix(child.Suffix) {
+				out = append(out, Problem{2, fmt.Sprintf("node %v lacks a neighbor with suffix %v", u, child.Suffix)})
+			}
+		}
+	}
+
+	// Condition (3): sibling coverage along each joiner's leaf-to-root path.
+	for _, x := range w {
+		tbl, ok := tables[x]
+		if !ok {
+			out = append(out, Problem{3, fmt.Sprintf("no table for joiner %v", x)})
+			continue
+		}
+		// The path from the root to x's leaf: suffixes of x extending ω.
+		parent := template.RootSuffix
+		parentChildren := template.Roots
+		for depth := k; depth < p.D; depth++ {
+			own := x.Suffix(depth + 1)
+			var ownNode *Node
+			for _, c := range parentChildren {
+				if c.Suffix != own {
+					// Sibling C-set: x must store a node with its suffix
+					// in entry (depth, leading digit).
+					e := tbl.Get(depth, c.Suffix.Leading())
+					if e.IsZero() || !e.ID.HasSuffix(c.Suffix) {
+						out = append(out, Problem{3, fmt.Sprintf("joiner %v lacks a neighbor with sibling suffix %v", x, c.Suffix)})
+					}
+				} else {
+					ownNode = c
+				}
+			}
+			if ownNode == nil {
+				out = append(out, Problem{3, fmt.Sprintf("template has no C-set %v on joiner %v's path", own, x)})
+				break
+			}
+			if own.Len() == p.D {
+				break // reached x's leaf
+			}
+			parent = own
+			parentChildren = ownNode.Children
+		}
+		_ = parent
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+package cset_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/cset"
+	"hypercube/internal/id"
+	"hypercube/internal/netcheck"
+	"hypercube/internal/overlay"
+	"hypercube/internal/table"
+)
+
+var p85 = id.Params{B: 8, D: 5} // the Figure 2 space
+
+func ids(t *testing.T, p id.Params, ss ...string) []id.ID {
+	t.Helper()
+	out := make([]id.ID, len(ss))
+	for i, s := range ss {
+		out[i] = id.MustParse(p, s)
+	}
+	return out
+}
+
+// paperV and paperW are the §3.3 / Figure 2 example sets.
+func paperV(t *testing.T) []id.ID {
+	return ids(t, p85, "72430", "10353", "62332", "13141", "31701")
+}
+
+func paperW(t *testing.T) []id.ID {
+	return ids(t, p85, "10261", "47051", "00261")
+}
+
+func TestNotifySuffixPaperExample(t *testing.T) {
+	reg := netcheck.NewSuffixRegistry(p85, paperV(t))
+	// §3.3: all three joiners notify V_1 (13141 and 31701 end in 1; no
+	// existing node matches two digits of any joiner).
+	for _, w := range paperW(t) {
+		if got := cset.NotifySuffix(p85, reg, w).String(); got != "1" {
+			t.Errorf("NotifySuffix(%v) = %q, want 1", w, got)
+		}
+	}
+}
+
+func TestNotifySuffixVariants(t *testing.T) {
+	reg := netcheck.NewSuffixRegistry(p85, paperV(t))
+	tests := []struct {
+		x    string
+		want string
+	}{
+		{"67320", "0"},    // matches 72430's rightmost digit only
+		{"11445", "ε"},    // no member ends in 5
+		{"55553", "53"},   // 10353 shares suffix 53
+		{"00353", "0353"}, // 10353 shares 4 digits
+		{"72431", "1"},    // ends in 1
+	}
+	for _, tt := range tests {
+		x := id.MustParse(p85, tt.x)
+		if got := cset.NotifySuffix(p85, reg, x).String(); got != tt.want {
+			t.Errorf("NotifySuffix(%s) = %q, want %q", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestSequentialAndConcurrent(t *testing.T) {
+	seq := []cset.Interval{{0, 1}, {2, 3}, {4, 5}}
+	if !cset.Sequential(seq) {
+		t.Error("disjoint periods not sequential")
+	}
+	if cset.Concurrent(seq) {
+		t.Error("disjoint periods reported concurrent")
+	}
+	conc := []cset.Interval{{0, 2}, {1, 4}, {3, 6}}
+	if cset.Sequential(conc) {
+		t.Error("overlapping periods reported sequential")
+	}
+	if !cset.Concurrent(conc) {
+		t.Error("chained overlaps not concurrent")
+	}
+	// A gap in coverage breaks Definition 3.3 even with pairwise overlaps.
+	gap := []cset.Interval{{0, 1}, {0.5, 2}, {5, 6}, {5.5, 7}}
+	if cset.Concurrent(gap) {
+		t.Error("gapped periods reported concurrent")
+	}
+	if cset.Sequential(gap) {
+		t.Error("gapped-but-overlapping periods reported sequential")
+	}
+	if cset.Concurrent([]cset.Interval{{0, 1}}) {
+		t.Error("single join reported concurrent")
+	}
+}
+
+func TestIndependentAndGroups(t *testing.T) {
+	reg := netcheck.NewSuffixRegistry(p85, paperV(t))
+	// 10261 and 00261 share noti-set V_1; 67320 notifies V_0; 11445
+	// notifies V (§3.3's second example).
+	w := ids(t, p85, "10261", "00261", "67320", "11445")
+	if cset.Independent(p85, reg, w) {
+		t.Error("overlapping noti-sets reported independent")
+	}
+	if !cset.Independent(p85, reg, w[1:3]) {
+		t.Error("V_0 vs V_261-rooted joins should be independent")
+	}
+	// ε is a suffix of everything: 11445's noti-set V contains all others.
+	groups := cset.DependencyGroups(p85, reg, w)
+	if len(groups) != 1 {
+		t.Fatalf("groups = %d, want 1 (11445's V_ε links all)", len(groups))
+	}
+	groups = cset.DependencyGroups(p85, reg, w[:3])
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	sizes := map[int]bool{len(groups[0]): true, len(groups[1]): true}
+	if !sizes[2] || !sizes[1] {
+		t.Errorf("group sizes wrong: %v", groups)
+	}
+}
+
+func TestTemplateMatchesFigure2(t *testing.T) {
+	omega := id.MustParseSuffix(p85, "1")
+	tree := cset.Template(p85, paperW(t), omega)
+	if tree.RootSuffix != omega {
+		t.Fatalf("root = %v", tree.RootSuffix)
+	}
+	// Figure 2(b): V_1 -> {C61, C51}; C61 -> C261 -> C0261 -> {C00261,
+	// C10261}; C51 -> C051 -> C7051 -> C47051. Nine C-sets.
+	if got := tree.Size(); got != 9 {
+		t.Fatalf("tree size = %d, want 9:\n%s", got, tree)
+	}
+	wantSuffixes := []string{"61", "261", "0261", "00261", "10261", "51", "051", "7051", "47051"}
+	for _, s := range wantSuffixes[:5] {
+		if tree.Find(id.MustParseSuffix(p85, s)) == nil && s != "61" {
+			t.Errorf("C-set %q missing", s)
+		}
+	}
+	c61 := tree.Find(id.MustParseSuffix(p85, "61"))
+	c51 := tree.Find(id.MustParseSuffix(p85, "51"))
+	if c61 == nil || c51 == nil {
+		t.Fatal("root children missing")
+	}
+	if len(tree.Roots) != 2 {
+		t.Fatalf("root children = %d, want 2", len(tree.Roots))
+	}
+	if len(c61.Children) != 1 || c61.Children[0].Suffix.String() != "261" {
+		t.Errorf("C61 children wrong")
+	}
+	c0261 := tree.Find(id.MustParseSuffix(p85, "0261"))
+	if c0261 == nil || len(c0261.Children) != 2 {
+		t.Fatalf("C0261 should have two children (C00261, C10261)")
+	}
+	leaf := tree.Find(id.MustParseSuffix(p85, "47051"))
+	if leaf == nil || len(leaf.Children) != 0 {
+		t.Error("C47051 should be a leaf")
+	}
+	// Render is Figure-2 style.
+	s := tree.String()
+	if !strings.Contains(s, "V_1") || !strings.Contains(s, "C_47051") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestTemplateSingleJoiner(t *testing.T) {
+	omega := id.MustParseSuffix(p85, "1")
+	tree := cset.Template(p85, ids(t, p85, "10261"), omega)
+	// Chain C61 -> C261 -> C0261 -> C10261: 4 C-sets, no branching.
+	if got := tree.Size(); got != 4 {
+		t.Fatalf("size = %d, want 4", got)
+	}
+	n := tree.Roots[0]
+	depth := 1
+	for len(n.Children) > 0 {
+		if len(n.Children) != 1 {
+			t.Fatalf("branching in single-joiner tree at %v", n.Suffix)
+		}
+		n = n.Children[0]
+		depth++
+	}
+	if depth != 4 {
+		t.Errorf("chain depth = %d", depth)
+	}
+}
+
+// runPaperScenario joins W into the Figure 2 network via the real
+// protocol and returns the network.
+func runPaperScenario(t *testing.T, seed int64) *overlay.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := overlay.New(overlay.Config{
+		Params:  p85,
+		Latency: overlay.HashedUniformLatency(5*time.Millisecond, 80*time.Millisecond, seed),
+	})
+	var vRefs []table.Ref
+	for _, v := range paperV(t) {
+		vRefs = append(vRefs, table.Ref{ID: v, Addr: "sim://" + v.String()})
+	}
+	net.BuildDirect(vRefs, rng)
+	for _, w := range paperW(t) {
+		g0 := vRefs[rng.Intn(len(vRefs))]
+		net.ScheduleJoin(table.Ref{ID: w, Addr: "sim://" + w.String()}, g0, 0)
+	}
+	net.Run()
+	if v := net.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("scenario inconsistent: %v", v[0])
+	}
+	return net
+}
+
+func TestRealizedTreeMatchesTemplate(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		net := runPaperScenario(t, seed)
+		omega := id.MustParseSuffix(p85, "1")
+		template := cset.Template(p85, paperW(t), omega)
+		realized := cset.Realized(p85, paperV(t), paperW(t), omega, net.Tables())
+		problems := cset.VerifyConditions(p85, template, realized, paperV(t), paperW(t), net.Tables())
+		if len(problems) != 0 {
+			t.Fatalf("seed %d: %v\ntemplate:\n%v\nrealized:\n%v", seed, problems[0], template, realized)
+		}
+		// Condition (1) corollary: each leaf C-set contains its node.
+		for _, w := range paperW(t) {
+			leaf := realized.Find(w.Suffix(p85.D))
+			if leaf == nil {
+				t.Fatalf("seed %d: leaf for %v missing", seed, w)
+			}
+			found := false
+			for _, m := range leaf.Members {
+				if m == w {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("seed %d: leaf C-set %v does not contain %v", seed, leaf.Suffix, w)
+			}
+		}
+	}
+}
+
+func TestVerifyConditionsDetectsViolations(t *testing.T) {
+	net := runPaperScenario(t, 3)
+	omega := id.MustParseSuffix(p85, "1")
+	template := cset.Template(p85, paperW(t), omega)
+	tables := net.Tables()
+
+	// Sabotage condition (2): erase a V_1 member's pointer into C61.
+	u := id.MustParse(p85, "13141")
+	saved := tables[u].Get(1, 6)
+	tables[u].Set(1, 6, table.Neighbor{})
+	realized := cset.Realized(p85, paperV(t), paperW(t), omega, tables)
+	problems := cset.VerifyConditions(p85, template, realized, paperV(t), paperW(t), tables)
+	if len(problems) == 0 {
+		t.Fatal("sabotaged condition 2 not detected")
+	}
+	cond2 := false
+	for _, pr := range problems {
+		if pr.Condition == 2 && strings.Contains(pr.String(), "13141") {
+			cond2 = true
+		}
+	}
+	if !cond2 {
+		t.Errorf("no condition-2 problem among %v", problems)
+	}
+	tables[u].Set(1, 6, saved)
+
+	// Sabotage condition (3): erase joiner 00261's pointer to sibling C10261.
+	x := id.MustParse(p85, "00261")
+	if e := tables[x].Get(4, 1); e.IsZero() || !strings.HasSuffix(e.ID.String(), "0261") {
+		t.Fatalf("setup: expected 00261 to hold a 10261-suffix neighbor, have %v", e.ID)
+	}
+	tables[x].Set(4, 1, table.Neighbor{})
+	realized = cset.Realized(p85, paperV(t), paperW(t), omega, tables)
+	problems = cset.VerifyConditions(p85, template, realized, paperV(t), paperW(t), tables)
+	cond3 := false
+	for _, pr := range problems {
+		if pr.Condition == 3 {
+			cond3 = true
+		}
+	}
+	if !cond3 {
+		t.Errorf("sabotaged condition 3 not detected: %v", problems)
+	}
+}
+
+func TestRealizedOnRandomWaves(t *testing.T) {
+	// Beyond the paper example: random concurrent waves; for every
+	// dependency group sharing one noti-set, the realized C-set tree must
+	// satisfy all three conditions.
+	p := id.Params{B: 4, D: 5}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := overlay.New(overlay.Config{Params: p})
+		taken := make(map[id.ID]bool)
+		vRefs := overlay.RandomRefs(p, 30, rng, taken)
+		wRefs := overlay.RandomRefs(p, 15, rng, taken)
+		net.BuildDirect(vRefs, rng)
+		for _, w := range wRefs {
+			net.ScheduleJoin(w, vRefs[rng.Intn(len(vRefs))], 0)
+		}
+		net.Run()
+		if v := net.CheckConsistency(); len(v) != 0 {
+			t.Fatalf("seed %d inconsistent: %v", seed, v[0])
+		}
+
+		vIDs := make([]id.ID, len(vRefs))
+		for i, r := range vRefs {
+			vIDs[i] = r.ID
+		}
+		wIDs := make([]id.ID, len(wRefs))
+		for i, r := range wRefs {
+			wIDs[i] = r.ID
+		}
+		reg := netcheck.NewSuffixRegistry(p, vIDs)
+		// Group joiners by notification suffix; each group with a shared
+		// suffix forms one C-set tree.
+		bySuffix := make(map[id.Suffix][]id.ID)
+		for _, w := range wIDs {
+			s := cset.NotifySuffix(p, reg, w)
+			bySuffix[s] = append(bySuffix[s], w)
+		}
+		for omega, group := range bySuffix {
+			template := cset.Template(p, group, omega)
+			realized := cset.Realized(p, vIDs, group, omega, net.Tables())
+			problems := cset.VerifyConditions(p, template, realized, vIDs, group, net.Tables())
+			if len(problems) != 0 {
+				t.Errorf("seed %d, tree V_%v: %v", seed, omega, problems[0])
+			}
+		}
+	}
+}
+
+func TestJoinPeriodsFromRecordsAreConcurrent(t *testing.T) {
+	// The wave harness starts all joins at t=0 (the paper's setup); the
+	// recorded joining periods must classify as concurrent, not sequential.
+	res, err := overlay.RunWave(overlay.WaveConfig{
+		Params: id.Params{B: 16, D: 4}, N: 50, M: 20, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods := make([]cset.Interval, 0, len(res.Records))
+	for _, r := range res.Records {
+		periods = append(periods, cset.Interval{
+			Begin: r.Started.Seconds(),
+			End:   r.Ended.Seconds(),
+		})
+	}
+	if !cset.Concurrent(periods) {
+		t.Error("t=0 wave not classified concurrent")
+	}
+	if cset.Sequential(periods) {
+		t.Error("t=0 wave classified sequential")
+	}
+}
+
+var _ = core.StatusInSystem // keep import for doc reference symmetry
+
+func TestVerifyConditionsDetectsStructureMismatch(t *testing.T) {
+	// Condition (1): a template C-set missing from the realization, and a
+	// realized C-set missing from the template, are both reported.
+	omega := id.MustParseSuffix(p85, "1")
+	full := cset.Template(p85, paperW(t), omega)
+	partial := cset.Template(p85, paperW(t)[:1], omega) // only 10261's chain
+
+	// Realized "tree" built from empty tables: all C-sets empty/missing.
+	netw := runPaperScenario(t, 5)
+	realizedPartial := cset.Realized(p85, paperV(t), paperW(t)[:1], omega, netw.Tables())
+
+	problems := cset.VerifyConditions(p85, full, realizedPartial, paperV(t), paperW(t), netw.Tables())
+	cond1 := 0
+	for _, pr := range problems {
+		if pr.Condition == 1 {
+			cond1++
+		}
+	}
+	if cond1 == 0 {
+		t.Fatalf("missing C-sets not reported: %v", problems)
+	}
+
+	// Reverse direction: realization has branches the template lacks.
+	realizedFull := cset.Realized(p85, paperV(t), paperW(t), omega, netw.Tables())
+	problems = cset.VerifyConditions(p85, partial, realizedFull, paperV(t), paperW(t)[:1], netw.Tables())
+	extra := false
+	for _, pr := range problems {
+		if pr.Condition == 1 && strings.Contains(pr.Detail, "not in template") {
+			extra = true
+		}
+	}
+	if !extra {
+		t.Fatalf("extra realized C-sets not reported: %v", problems)
+	}
+}
+
+func TestProblemString(t *testing.T) {
+	pr := cset.Problem{Condition: 2, Detail: "something"}
+	if got := pr.String(); !strings.Contains(got, "condition (2)") || !strings.Contains(got, "something") {
+		t.Errorf("Problem.String() = %q", got)
+	}
+}
+
+func TestTreeFindAndChild(t *testing.T) {
+	omega := id.MustParseSuffix(p85, "1")
+	tree := cset.Template(p85, paperW(t), omega)
+	if tree.Find(id.MustParseSuffix(p85, "77")) != nil {
+		t.Error("Find returned a node for an absent suffix")
+	}
+	c61 := tree.Find(id.MustParseSuffix(p85, "61"))
+	if c61 == nil {
+		t.Fatal("C61 missing")
+	}
+	if c61.Child(2) == nil { // C261
+		t.Error("C61.Child(2) missing")
+	}
+	if c61.Child(5) != nil {
+		t.Error("C61.Child(5) should not exist")
+	}
+}

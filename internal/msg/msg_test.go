@@ -1,0 +1,206 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+
+	"hypercube/internal/id"
+	"hypercube/internal/table"
+)
+
+var p168 = id.Params{B: 16, D: 8}
+
+func sampleSnapshot(t *testing.T) table.Snapshot {
+	t.Helper()
+	owner := id.MustParse(p168, "00123456")
+	tbl := table.New(p168, owner)
+	tbl.Set(0, 1, table.Neighbor{ID: id.MustParse(p168, "abcdef01"), State: table.StateS})
+	tbl.Set(3, 2, table.Neighbor{ID: id.MustParse(p168, "00002456"), State: table.StateT})
+	return tbl.Snapshot()
+}
+
+func TestTypeNamesMatchPaper(t *testing.T) {
+	want := map[Type]string{
+		TCpRst:        "CpRstMsg",
+		TCpRly:        "CpRlyMsg",
+		TJoinWait:     "JoinWaitMsg",
+		TJoinWaitRly:  "JoinWaitRlyMsg",
+		TJoinNoti:     "JoinNotiMsg",
+		TJoinNotiRly:  "JoinNotiRlyMsg",
+		TInSysNoti:    "InSysNotiMsg",
+		TSpeNoti:      "SpeNotiMsg",
+		TSpeNotiRly:   "SpeNotiRlyMsg",
+		TRvNghNoti:    "RvNghNotiMsg",
+		TRvNghNotiRly: "RvNghNotiRlyMsg",
+	}
+	for typ, name := range want {
+		if got := typ.String(); got != name {
+			t.Errorf("%d.String() = %q, want %q", typ, got, name)
+		}
+	}
+	if got := Type(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown type renders %q", got)
+	}
+}
+
+func TestTypesEnumeratesAll(t *testing.T) {
+	types := Types()
+	// 11 message types of Figure 4 plus the four §7-extension messages
+	// (Leave, LeaveRly, Find, FindRly).
+	if len(types) != 15 {
+		t.Fatalf("Types() has %d entries, want 15", len(types))
+	}
+	seen := make(map[Type]bool)
+	for _, typ := range types {
+		if seen[typ] {
+			t.Errorf("duplicate type %v", typ)
+		}
+		seen[typ] = true
+	}
+}
+
+func TestBigClassification(t *testing.T) {
+	// §5.2: messages that may carry a table copy are big.
+	snap := sampleSnapshot(t)
+	big := []Message{
+		CpRly{Table: snap},
+		JoinWaitRly{R: Positive, Table: snap},
+		JoinNoti{Table: snap},
+		JoinNotiRly{R: Negative, Table: snap},
+		Leave{Table: snap},
+	}
+	small := []Message{
+		CpRst{}, JoinWait{}, InSysNoti{},
+		SpeNoti{}, SpeNotiRly{}, RvNghNoti{}, RvNghNotiRly{},
+		LeaveRly{}, Find{}, FindRly{},
+	}
+	for _, m := range big {
+		if !m.Big() {
+			t.Errorf("%v should be big", m.Type())
+		}
+	}
+	for _, m := range small {
+		if m.Big() {
+			t.Errorf("%v should be small", m.Type())
+		}
+	}
+}
+
+func TestWireSizeOrdering(t *testing.T) {
+	snap := sampleSnapshot(t)
+	if (JoinNoti{Table: snap}).WireSize() <= (JoinWait{}).WireSize() {
+		t.Error("table-carrying message not larger than small message")
+	}
+	if (CpRst{}).WireSize() <= 0 {
+		t.Error("CpRst has non-positive size")
+	}
+	withRef := SpeNoti{X: table.Ref{ID: snap.Owner(), Addr: "10.0.0.1:1"}}
+	if withRef.WireSize() <= (SpeNoti{}).WireSize() {
+		t.Error("populated refs should grow the message")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" {
+		t.Error("Result strings wrong")
+	}
+	if got := Result(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("unknown result renders %q", got)
+	}
+}
+
+func TestEnvelopeString(t *testing.T) {
+	a := id.MustParse(p168, "00000001")
+	b := id.MustParse(p168, "00000002")
+	e := Envelope{From: table.Ref{ID: a}, To: table.Ref{ID: b}, Msg: JoinWait{}}
+	s := e.String()
+	if !strings.Contains(s, "00000001") || !strings.Contains(s, "JoinWaitMsg") {
+		t.Errorf("envelope renders %q", s)
+	}
+	if e.WireSize() != (JoinWait{}).WireSize() {
+		t.Error("envelope size != message size")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	snap := sampleSnapshot(t)
+	c.CountSent(JoinNoti{Table: snap})
+	c.CountSent(JoinNoti{Table: snap})
+	c.CountSent(JoinWait{})
+	c.CountReceived(CpRly{Table: snap})
+	if got := c.SentOf(TJoinNoti); got != 2 {
+		t.Errorf("SentOf(JoinNoti) = %d", got)
+	}
+	if got := c.SentOf(TJoinWait); got != 1 {
+		t.Errorf("SentOf(JoinWait) = %d", got)
+	}
+	if got := c.ReceivedOf(TCpRly); got != 1 {
+		t.Errorf("ReceivedOf(CpRly) = %d", got)
+	}
+	if got := c.TotalSent(); got != 3 {
+		t.Errorf("TotalSent = %d", got)
+	}
+	if c.BytesSent <= 0 {
+		t.Error("BytesSent not accumulated")
+	}
+
+	var d Counters
+	d.CountSent(JoinNotiRly{Table: snap})
+	d.CountSent(CpRly{Table: snap})
+	c.Add(&d)
+	if got := c.BigSent(); got != 4 { // 2 JoinNoti + 1 JoinNotiRly + 1 CpRly
+		t.Errorf("BigSent = %d, want 4", got)
+	}
+	if got := c.TotalSent(); got != 5 {
+		t.Errorf("after Add TotalSent = %d, want 5", got)
+	}
+}
+
+func TestAllMessagesTypeAndSize(t *testing.T) {
+	snap := sampleSnapshot(t)
+	ref := table.Ref{ID: snap.Owner(), Addr: "10.0.0.1:9000"}
+	nb := table.Neighbor{ID: snap.Owner(), Addr: "10.0.0.1:9000", State: table.StateS}
+	suffix := snap.Owner().Suffix(3)
+	cases := []struct {
+		m    Message
+		want Type
+	}{
+		{CpRst{Level: 2}, TCpRst},
+		{CpRly{Table: snap}, TCpRly},
+		{JoinWait{}, TJoinWait},
+		{JoinWaitRly{R: Positive, U: ref, Table: snap}, TJoinWaitRly},
+		{JoinNoti{Table: snap, NotiLevel: 1}, TJoinNoti},
+		{JoinNotiRly{R: Negative, Table: snap, F: true}, TJoinNotiRly},
+		{InSysNoti{}, TInSysNoti},
+		{SpeNoti{X: ref, Y: ref}, TSpeNoti},
+		{SpeNotiRly{X: ref, Y: ref}, TSpeNotiRly},
+		{RvNghNoti{Level: 1, Digit: 2, State: table.StateT}, TRvNghNoti},
+		{RvNghNotiRly{Level: 1, Digit: 2, State: table.StateS}, TRvNghNotiRly},
+		{Leave{Table: snap}, TLeave},
+		{LeaveRly{}, TLeaveRly},
+		{Find{Want: suffix, Origin: ref, Avoid: snap.Owner()}, TFind},
+		{FindRly{Want: suffix, Found: nb}, TFindRly},
+	}
+	if len(cases) != len(Types()) {
+		t.Fatalf("case list covers %d of %d message types", len(cases), len(Types()))
+	}
+	for _, tc := range cases {
+		if got := tc.m.Type(); got != tc.want {
+			t.Errorf("%T.Type() = %v, want %v", tc.m, got, tc.want)
+		}
+		if size := tc.m.WireSize(); size <= 0 {
+			t.Errorf("%v.WireSize() = %d", tc.want, size)
+		}
+	}
+	// Populated messages are larger than their zero forms.
+	if (Find{Want: suffix, Origin: ref}).WireSize() <= (Find{}).WireSize() {
+		t.Error("populated Find not larger than empty Find")
+	}
+	if (FindRly{Found: nb}).WireSize() <= (FindRly{}).WireSize() {
+		t.Error("populated FindRly not larger than empty FindRly")
+	}
+	if (Leave{Table: snap}).WireSize() <= (LeaveRly{}).WireSize() {
+		t.Error("Leave with table not larger than its ack")
+	}
+}

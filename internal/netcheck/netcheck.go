@@ -1,0 +1,247 @@
+// Package netcheck verifies global properties of a set of neighbor
+// tables: the consistency conditions of Definition 3.8 of Liu & Lam
+// (ICDCS 2003) and pairwise reachability (Definition 3.7).
+//
+// The consistency check needs global knowledge and therefore lives in the
+// verification harness, never in protocol nodes. It runs in O(N·d·b)
+// using a registry of every ID suffix present in the network; by
+// Lemma 3.1, condition (a) is equivalent to all-pairs reachability.
+package netcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"hypercube/internal/id"
+	"hypercube/internal/table"
+)
+
+// ViolationKind classifies a consistency violation.
+type ViolationKind uint8
+
+const (
+	// FalseNegative: some node has the entry's desired suffix but the
+	// entry is empty — condition (a) of Definition 3.8 violated.
+	FalseNegative ViolationKind = iota + 1
+	// FalsePositive: no node has the desired suffix yet the entry is
+	// filled — condition (b) violated.
+	FalsePositive
+	// WrongSuffix: the entry holds a node that does not have the entry's
+	// desired suffix (a corrupted table).
+	WrongSuffix
+	// Ghost: the entry holds an ID that is not a member of the network.
+	Ghost
+	// StaleState: the entry's state bit is still T after quiescence.
+	StaleState
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case FalseNegative:
+		return "false-negative"
+	case FalsePositive:
+		return "false-positive"
+	case WrongSuffix:
+		return "wrong-suffix"
+	case Ghost:
+		return "ghost"
+	case StaleState:
+		return "stale-state"
+	default:
+		return fmt.Sprintf("ViolationKind(%d)", uint8(k))
+	}
+}
+
+// Violation describes one table entry breaking consistency.
+type Violation struct {
+	Node         id.ID
+	Level, Digit int
+	Kind         ViolationKind
+	Detail       string
+}
+
+// String renders the violation for test failure messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("node %v entry (%d,%d): %v: %s", v.Node, v.Level, v.Digit, v.Kind, v.Detail)
+}
+
+// SuffixRegistry answers "does any network member have this suffix?" in
+// O(1) after O(N·d) construction.
+type SuffixRegistry struct {
+	params  id.Params
+	members map[id.ID]struct{}
+	present map[id.Suffix]int // suffix -> member count
+}
+
+// NewSuffixRegistry indexes the given member set.
+func NewSuffixRegistry(p id.Params, members []id.ID) *SuffixRegistry {
+	r := &SuffixRegistry{
+		params:  p,
+		members: make(map[id.ID]struct{}, len(members)),
+		present: make(map[id.Suffix]int, len(members)*p.D),
+	}
+	for _, x := range members {
+		r.Add(x)
+	}
+	return r
+}
+
+// Add indexes one more member.
+func (r *SuffixRegistry) Add(x id.ID) {
+	if _, dup := r.members[x]; dup {
+		return
+	}
+	r.members[x] = struct{}{}
+	for k := 1; k <= r.params.D; k++ {
+		r.present[x.Suffix(k)]++
+	}
+}
+
+// Has reports whether any member has the suffix.
+func (r *SuffixRegistry) Has(s id.Suffix) bool {
+	if s.Len() == 0 {
+		return len(r.members) > 0
+	}
+	return r.present[s] > 0
+}
+
+// Count returns the number of members with the suffix.
+func (r *SuffixRegistry) Count(s id.Suffix) int {
+	if s.Len() == 0 {
+		return len(r.members)
+	}
+	return r.present[s]
+}
+
+// IsMember reports whether x is in the indexed set.
+func (r *SuffixRegistry) IsMember(x id.ID) bool {
+	_, ok := r.members[x]
+	return ok
+}
+
+// Members returns the indexed IDs in sorted order.
+func (r *SuffixRegistry) Members() []id.ID {
+	out := make([]id.ID, 0, len(r.members))
+	for x := range r.members {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// CheckConsistency verifies Definition 3.8 over the given tables: for
+// every node x and entry (i,j), if some network member has the desired
+// suffix j·x[i-1..0] the entry must hold such a member (condition a,
+// false-negative freedom); otherwise the entry must be empty (condition
+// b, false-positive freedom). It returns all violations found (nil when
+// the network is consistent).
+func CheckConsistency(p id.Params, tables map[id.ID]*table.Table) []Violation {
+	members := make([]id.ID, 0, len(tables))
+	for x := range tables {
+		members = append(members, x)
+	}
+	reg := NewSuffixRegistry(p, members)
+
+	var out []Violation
+	// Deterministic iteration order for stable failure messages.
+	sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+	for _, x := range members {
+		tbl := tables[x]
+		for i := 0; i < p.D; i++ {
+			for j := 0; j < p.B; j++ {
+				want := tbl.DesiredSuffix(i, j)
+				got := tbl.Get(i, j)
+				switch {
+				case reg.Has(want) && got.IsZero():
+					out = append(out, Violation{
+						Node: x, Level: i, Digit: j, Kind: FalseNegative,
+						Detail: fmt.Sprintf("suffix %v exists in network (count %d) but entry empty", want, reg.Count(want)),
+					})
+				case !reg.Has(want) && !got.IsZero():
+					out = append(out, Violation{
+						Node: x, Level: i, Digit: j, Kind: FalsePositive,
+						Detail: fmt.Sprintf("no member has suffix %v but entry holds %v", want, got.ID),
+					})
+				case !got.IsZero() && !got.ID.HasSuffix(want):
+					out = append(out, Violation{
+						Node: x, Level: i, Digit: j, Kind: WrongSuffix,
+						Detail: fmt.Sprintf("entry holds %v which lacks suffix %v", got.ID, want),
+					})
+				case !got.IsZero() && !reg.IsMember(got.ID):
+					out = append(out, Violation{
+						Node: x, Level: i, Digit: j, Kind: Ghost,
+						Detail: fmt.Sprintf("entry holds %v which is not a network member", got.ID),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reachable reports whether dst is reachable from src within d hops by
+// following neighbor pointers (Definition 3.7), together with the path
+// walked.
+func Reachable(p id.Params, tables map[id.ID]*table.Table, src, dst id.ID) (path []id.ID, ok bool) {
+	cur := src
+	path = append(path, cur)
+	for hops := 0; hops <= p.D; hops++ {
+		if cur == dst {
+			return path, true
+		}
+		tbl, found := tables[cur]
+		if !found {
+			return path, false
+		}
+		k := cur.CommonSuffixLen(dst)
+		hop := tbl.Get(k, dst.Digit(k))
+		if hop.IsZero() {
+			return path, false
+		}
+		cur = hop.ID
+		path = append(path, cur)
+	}
+	return path, false
+}
+
+// CheckAllPairsReachability routes between every ordered pair of nodes and
+// returns the pairs that failed. Quadratic; intended for small networks in
+// tests (Lemma 3.1 makes it redundant with CheckConsistency, so it serves
+// as an independent cross-check of the checker itself).
+func CheckAllPairsReachability(p id.Params, tables map[id.ID]*table.Table) [][2]id.ID {
+	var bad [][2]id.ID
+	for src := range tables {
+		for dst := range tables {
+			if src == dst {
+				continue
+			}
+			if _, ok := Reachable(p, tables, src, dst); !ok {
+				bad = append(bad, [2]id.ID{src, dst})
+			}
+		}
+	}
+	return bad
+}
+
+// AllStatesS verifies that every *canonical* filled entry carries state S
+// once the network is quiescent. An entry (i,j) of node x is canonical for
+// occupant u when i == |csuf(x,u)|; a node may additionally appear at
+// levels below its csuf (placed there while copying), and the protocol's
+// InSysNotiMsg handler (Figure 14) only refreshes the canonical entry, so
+// lower-level duplicates may legitimately retain a stale T bit.
+func AllStatesS(p id.Params, tables map[id.ID]*table.Table) []Violation {
+	var out []Violation
+	for x, tbl := range tables {
+		tbl.ForEach(func(level, digit int, n table.Neighbor) {
+			canonical := x.CommonSuffixLen(n.ID) == level || n.ID == x
+			if canonical && n.State != table.StateS {
+				out = append(out, Violation{
+					Node: x, Level: level, Digit: digit, Kind: StaleState,
+					Detail: fmt.Sprintf("entry %v still has state %v", n.ID, n.State),
+				})
+			}
+		})
+	}
+	return out
+}

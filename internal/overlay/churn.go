@@ -1,0 +1,250 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/table"
+)
+
+// ScheduleLeave schedules node x's graceful departure (the §7 leave
+// extension) at virtual time at. After Run, call FinalizeLeaves to
+// unregister nodes that completed their departure.
+func (n *Network) ScheduleLeave(x id.ID, at time.Duration) error {
+	m, ok := n.machines[x]
+	if !ok {
+		return fmt.Errorf("overlay: leave of unknown node %v", x)
+	}
+	n.engine.ScheduleAt(at, func() {
+		n.transmit(m.StartLeave())
+	})
+	return nil
+}
+
+// FinalizeLeaves unregisters every machine that reached StatusLeft and
+// returns their IDs. Late in-flight messages to them are dropped.
+func (n *Network) FinalizeLeaves() []id.ID {
+	var gone []id.ID
+	for x, m := range n.machines {
+		if m.Status() == core.StatusLeft {
+			gone = append(gone, x)
+		}
+	}
+	for _, x := range gone {
+		delete(n.machines, x)
+		n.removed[x] = true
+	}
+	return gone
+}
+
+// InjectFailure removes node x abruptly: no goodbye, its in-flight and
+// future messages are dropped. Use RecoverFailure afterwards to repair
+// the survivors' tables.
+func (n *Network) InjectFailure(x id.ID) error {
+	if _, ok := n.machines[x]; !ok {
+		return fmt.Errorf("overlay: failure of unknown node %v", x)
+	}
+	delete(n.machines, x)
+	n.removed[x] = true
+	return nil
+}
+
+// RecoveryStats summarizes a RecoverFailure run.
+type RecoveryStats struct {
+	// Holders is the number of surviving nodes that stored the dead node.
+	Holders int
+	// LocalRepairs counts entries refilled from the holder's own table.
+	LocalRepairs int
+	// RoutedRepairs counts entries refilled through Find queries.
+	RoutedRepairs int
+	// Rejoined counts orphaned holders that re-ran the join protocol.
+	Rejoined int
+	// Emptied counts entries whose suffix provably died with the node.
+	Emptied int
+	// Rounds is the number of query rounds run.
+	Rounds int
+	// Unrepaired counts entries still broken at the end (0 on success).
+	Unrepaired int
+}
+
+// RecoverFailure repairs all surviving tables after the crash of dead:
+// every holder first repairs locally (DropFailed), then unresolved
+// entries are refilled through routed Find queries, retried over rounds
+// because early queries may route through the dead node's stale entries
+// elsewhere. Runs the network to quiescence each round.
+func (n *Network) RecoverFailure(dead id.ID, rng *rand.Rand, maxRounds int) RecoveryStats {
+	if maxRounds <= 0 {
+		maxRounds = 2*n.cfg.Params.D + 6
+	}
+	var st RecoveryStats
+
+	// Round 0: local repair everywhere; remember which holders lost their
+	// deepest-known neighbor.
+	pending := make(map[id.ID][][2]int)
+	var orphans []*core.Machine
+	// Deterministic iteration: simulation runs must replay identically.
+	ids := make([]id.ID, 0, len(n.machines))
+	for x := range n.machines {
+		ids = append(ids, x)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, x := range ids {
+		m := n.machines[x]
+		before := countEntriesOf(m, dead)
+		if before > 0 {
+			st.Holders++
+			if m.DeepestNeighborIs(dead) {
+				orphans = append(orphans, m)
+			}
+		}
+		// DropFailed runs on every machine, holder or not: non-holders may
+		// still reference the dead node in their reverse-neighbor sets, and
+		// a stale reverse entry would make a later graceful leave wait
+		// forever for an acknowledgment that can never come.
+		unrepaired := m.DropFailed(dead)
+		st.LocalRepairs += before - len(unrepaired)
+		if len(unrepaired) > 0 {
+			pending[x] = unrepaired
+		}
+	}
+
+	// Orphan re-join: a node whose deepest neighbor crashed may have been
+	// stored nowhere else (its join notified only nodes sharing its
+	// deepest suffix, possibly just the dead node), making it unfindable
+	// by search. It re-announces itself by re-running the join protocol;
+	// Theorem 1 then refills every entry its notification set lost.
+	//
+	// Re-joins run one at a time: Theorem 2's termination argument for
+	// concurrent joins relies on a joining node not yet being stored
+	// anywhere (so JoinWait dependencies are acyclic), but re-joining
+	// nodes already appear in each other's tables and could park each
+	// other in Qj forever.
+	for _, m := range orphans {
+		helper := pickHelper(m, dead, rng)
+		if helper.IsZero() {
+			continue
+		}
+		st.Rejoined++
+		n.transmit(m.StartRejoin(helper))
+		n.Run()
+	}
+	n.Run()
+
+	// Convergence rule: when the dead node was the sole carrier of a
+	// suffix, every node that could certify the suffix's status is itself
+	// waiting for a repair, and all queries block on each other. A live
+	// carrier, in contrast, answers any query that reaches it, so rounds
+	// with fresh random helpers make progress with high probability while
+	// any live carrier exists. After zeroProgressLimit consecutive rounds
+	// without a single resolution, the remaining suffixes are concluded
+	// dead and their entries stay (correctly) empty.
+	const zeroProgressLimit = 3
+	zeroProgress := 0
+	for round := 0; len(pending) > 0 && round < maxRounds; round++ {
+		st.Rounds++
+		for _, x := range sortedKeys(pending) {
+			entries := pending[x]
+			m := n.machines[x]
+			for _, e := range entries {
+				if !m.Table().Get(e[0], e[1]).IsZero() {
+					continue // already refilled (e.g. by a rejoin notification)
+				}
+				helper := pickHelper(m, dead, rng)
+				if helper.IsZero() {
+					continue // isolated; retry next round after others repair
+				}
+				n.transmit(m.RepairEntry(e[0], e[1], helper, dead))
+			}
+		}
+		n.Run()
+		next := make(map[id.ID][][2]int)
+		progress := 0
+		for _, x := range sortedKeys(pending) {
+			entries := pending[x]
+			m := n.machines[x]
+			var still [][2]int
+			for _, e := range entries {
+				if !m.Table().Get(e[0], e[1]).IsZero() {
+					m.AbandonRepair(e[0], e[1]) // clear bookkeeping; entry is filled
+					st.RoutedRepairs++
+					progress++
+					continue
+				}
+				switch m.ResolveRepair(e[0], e[1]) {
+				case core.RepairFilled:
+					st.RoutedRepairs++
+					progress++
+				case core.RepairEmpty:
+					st.Emptied++
+					progress++
+				default: // blocked or pending: try again
+					still = append(still, e)
+				}
+			}
+			if len(still) > 0 {
+				next[x] = still
+			}
+		}
+		pending = next
+		if progress > 0 {
+			zeroProgress = 0
+			continue
+		}
+		zeroProgress++
+		if zeroProgress >= zeroProgressLimit {
+			for _, x := range sortedKeys(pending) {
+				entries := pending[x]
+				m := n.machines[x]
+				for _, e := range entries {
+					m.AbandonRepair(e[0], e[1])
+					st.Emptied++
+				}
+			}
+			pending = nil
+		}
+	}
+	for _, entries := range pending {
+		st.Unrepaired += len(entries)
+	}
+	return st
+}
+
+func sortedKeys(m map[id.ID][][2]int) []id.ID {
+	out := make([]id.ID, 0, len(m))
+	for x := range m {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func countEntriesOf(m *core.Machine, who id.ID) int {
+	c := 0
+	m.Table().ForEach(func(_, _ int, nb table.Neighbor) {
+		if nb.ID == who {
+			c++
+		}
+	})
+	return c
+}
+
+// pickHelper chooses a random live neighbor to start a Find query from.
+func pickHelper(m *core.Machine, dead id.ID, rng *rand.Rand) table.Ref {
+	var candidates []table.Ref
+	seen := make(map[id.ID]bool)
+	m.Table().ForEach(func(_, _ int, nb table.Neighbor) {
+		if nb.ID == dead || nb.ID == m.Self().ID || seen[nb.ID] {
+			return
+		}
+		seen[nb.ID] = true
+		candidates = append(candidates, nb.Ref())
+	})
+	if len(candidates) == 0 {
+		return table.Ref{}
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

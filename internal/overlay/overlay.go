@@ -1,0 +1,388 @@
+// Package overlay is the simulation harness: it wires protocol machines
+// (internal/core) to the discrete-event engine (internal/sim) through a
+// pluggable latency model, builds initial consistent networks, schedules
+// join waves, and verifies the results.
+//
+// This is the layer that reproduces the paper's simulation methodology:
+// an initial consistent network of n nodes, m nodes joining concurrently
+// at t=0, end-host latencies drawn from a transit-stub topology, and
+// per-join message statistics.
+package overlay
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/netcheck"
+	"hypercube/internal/sim"
+	"hypercube/internal/table"
+	"hypercube/internal/topology"
+)
+
+// LatencyFunc returns the one-way delivery latency between two nodes.
+type LatencyFunc func(from, to table.Ref) time.Duration
+
+// ConstantLatency returns a LatencyFunc with a fixed delay.
+func ConstantLatency(d time.Duration) LatencyFunc {
+	return func(_, _ table.Ref) time.Duration { return d }
+}
+
+// HashedUniformLatency returns a deterministic, symmetric LatencyFunc
+// drawing each pair's latency uniformly from [min,max) by hashing the
+// pair (plus seed). Useful when no router topology is wanted.
+func HashedUniformLatency(min, max time.Duration, seed int64) LatencyFunc {
+	if max < min {
+		panic(fmt.Sprintf("overlay: latency range [%v,%v) inverted", min, max))
+	}
+	span := int64(max - min)
+	return func(from, to table.Ref) time.Duration {
+		a, b := from.ID.String(), to.ID.String()
+		if b < a {
+			a, b = b, a
+		}
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s|%s", seed, a, b)
+		if span == 0 {
+			return min
+		}
+		return min + time.Duration(int64(h.Sum64()%uint64(span)))
+	}
+}
+
+// TopologyLatency maps node IDs to attached hosts of a transit-stub
+// topology. Nodes must be registered with HostOf before use.
+type TopologyLatency struct {
+	Topo  *topology.Topology
+	hosts map[id.ID]int
+}
+
+// NewTopologyLatency creates an empty mapping over topo.
+func NewTopologyLatency(topo *topology.Topology) *TopologyLatency {
+	return &TopologyLatency{Topo: topo, hosts: make(map[id.ID]int)}
+}
+
+// Bind assigns node x to host h.
+func (tl *TopologyLatency) Bind(x id.ID, host int) { tl.hosts[x] = host }
+
+// Func returns the LatencyFunc backed by the topology.
+func (tl *TopologyLatency) Func() LatencyFunc {
+	return func(from, to table.Ref) time.Duration {
+		ha, okA := tl.hosts[from.ID]
+		hb, okB := tl.hosts[to.ID]
+		if !okA || !okB {
+			panic(fmt.Sprintf("overlay: unbound node in latency query (%v->%v)", from.ID, to.ID))
+		}
+		return tl.Topo.Latency(ha, hb)
+	}
+}
+
+// Config parameterizes a simulated network.
+type Config struct {
+	Params id.Params
+	Opts   core.Options
+	// Latency models message delivery delay; nil means 10ms constant.
+	Latency LatencyFunc
+	// MaxEvents bounds the event count per Run (0 = default 500M).
+	MaxEvents uint64
+}
+
+// JoinRecord captures one node's completed join.
+type JoinRecord struct {
+	Ref     table.Ref
+	Started time.Duration
+	Ended   time.Duration
+	// JoinNotiSent et al. snapshot the §5.2 cost metrics at completion.
+	JoinNotiSent int
+	CpRstSent    int
+	JoinWaitSent int
+	SpeNotiSent  int
+	BytesSent    int
+}
+
+// Network is a simulated overlay network.
+type Network struct {
+	cfg      Config
+	engine   *sim.Engine
+	machines map[id.ID]*core.Machine
+	// joinersInFlight tracks joining machines not yet in system.
+	joinersInFlight map[id.ID]time.Duration // start time
+	joins           []JoinRecord
+	delivered       uint64
+	// removed marks nodes that left or failed; messages to them drop.
+	removed map[id.ID]bool
+	dropped uint64
+}
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	if err := cfg.Params.Validate(); err != nil {
+		panic(fmt.Sprintf("overlay: invalid params: %v", err))
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = ConstantLatency(10 * time.Millisecond)
+	}
+	if cfg.MaxEvents == 0 {
+		cfg.MaxEvents = 500_000_000
+	}
+	return &Network{
+		cfg:             cfg,
+		engine:          sim.NewEngine(),
+		machines:        make(map[id.ID]*core.Machine),
+		joinersInFlight: make(map[id.ID]time.Duration),
+		removed:         make(map[id.ID]bool),
+	}
+}
+
+// Engine exposes the underlying event engine (e.g. for custom schedules).
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Params returns the ID-space parameters.
+func (n *Network) Params() id.Params { return n.cfg.Params }
+
+// Size returns the number of nodes (machines) in the network.
+func (n *Network) Size() int { return len(n.machines) }
+
+// AddSeed installs the first node of a network (§6.1).
+func (n *Network) AddSeed(ref table.Ref) *core.Machine {
+	m := core.NewSeed(n.cfg.Params, ref, n.cfg.Opts)
+	n.addMachine(m)
+	return m
+}
+
+func (n *Network) addMachine(m *core.Machine) {
+	if _, dup := n.machines[m.Self().ID]; dup {
+		panic(fmt.Sprintf("overlay: duplicate node %v", m.Self().ID))
+	}
+	n.machines[m.Self().ID] = m
+}
+
+// BuildDirect installs a consistent network over the given members using
+// global knowledge (each entry gets a random qualifying member). This
+// realizes the paper's premise of an existing consistent network without
+// paying for n sequential joins; BuildByJoins is the protocol-driven
+// alternative.
+func (n *Network) BuildDirect(members []table.Ref, rng *rand.Rand) {
+	bySuffix := make(map[id.Suffix][]table.Ref)
+	for _, ref := range members {
+		for k := 1; k <= n.cfg.Params.D; k++ {
+			s := ref.ID.Suffix(k)
+			bySuffix[s] = append(bySuffix[s], ref)
+		}
+	}
+	for _, ref := range members {
+		tbl := table.New(n.cfg.Params, ref.ID)
+		for i := 0; i < n.cfg.Params.D; i++ {
+			for j := 0; j < n.cfg.Params.B; j++ {
+				want := tbl.DesiredSuffix(i, j)
+				if ref.ID.HasSuffix(want) {
+					tbl.Set(i, j, table.Neighbor{ID: ref.ID, Addr: ref.Addr, State: table.StateS})
+					continue
+				}
+				cands := bySuffix[want]
+				if len(cands) == 0 {
+					continue
+				}
+				pick := cands[rng.Intn(len(cands))]
+				tbl.Set(i, j, table.Neighbor{ID: pick.ID, Addr: pick.Addr, State: table.StateS})
+			}
+		}
+		n.addMachine(core.NewEstablished(n.cfg.Params, ref, tbl, n.cfg.Opts))
+	}
+	// Register reverse neighbors with global knowledge: these tables never
+	// exchanged RvNghNotiMsg, but the leave protocol requires every node
+	// to know its holders.
+	for holder, m := range n.machines {
+		holderRef := m.Self()
+		m.Table().ForEach(func(_, _ int, nb table.Neighbor) {
+			if nb.ID == holder {
+				return
+			}
+			if stored, ok := n.machines[nb.ID]; ok {
+				stored.AddReverseNeighbor(holderRef)
+			}
+		})
+	}
+}
+
+// BuildByJoins constructs the network via the join protocol itself
+// (§6.1): the first member seeds the network and the rest join
+// sequentially, each bootstrapping from a random established member.
+func (n *Network) BuildByJoins(members []table.Ref, rng *rand.Rand) error {
+	if len(members) == 0 {
+		return fmt.Errorf("overlay: no members")
+	}
+	n.AddSeed(members[0])
+	established := []table.Ref{members[0]}
+	for _, ref := range members[1:] {
+		g0 := established[rng.Intn(len(established))]
+		m := n.ScheduleJoin(ref, g0, n.engine.Now())
+		n.Run()
+		if !m.IsSNode() {
+			return fmt.Errorf("overlay: node %v failed to join (status %v)", ref.ID, m.Status())
+		}
+		established = append(established, ref)
+	}
+	return nil
+}
+
+// ScheduleJoin creates a joiner machine and schedules its StartJoin at
+// the given virtual time.
+func (n *Network) ScheduleJoin(ref table.Ref, g0 table.Ref, at time.Duration) *core.Machine {
+	m := core.NewJoiner(n.cfg.Params, ref, n.cfg.Opts)
+	n.addMachine(m)
+	n.engine.ScheduleAt(at, func() {
+		n.joinersInFlight[ref.ID] = n.engine.Now()
+		n.transmit(m.StartJoin(g0))
+	})
+	return m
+}
+
+// transmit schedules delivery of each envelope after its pair latency.
+func (n *Network) transmit(envs []msg.Envelope) {
+	for _, env := range envs {
+		env := env
+		n.engine.Schedule(n.cfg.Latency(env.From, env.To), func() {
+			n.deliver(env)
+		})
+	}
+}
+
+func (n *Network) deliver(env msg.Envelope) {
+	m, ok := n.machines[env.To.ID]
+	if !ok {
+		if n.removed[env.To.ID] {
+			n.dropped++ // late message to a departed node
+			return
+		}
+		panic(fmt.Sprintf("overlay: envelope for unknown node %v: %v", env.To.ID, env))
+	}
+	n.delivered++
+	out := m.Deliver(env)
+	if started, joining := n.joinersInFlight[env.To.ID]; joining && m.IsSNode() {
+		c := m.Counters()
+		n.joins = append(n.joins, JoinRecord{
+			Ref:          m.Self(),
+			Started:      started,
+			Ended:        n.engine.Now(),
+			JoinNotiSent: c.SentOf(msg.TJoinNoti),
+			CpRstSent:    c.SentOf(msg.TCpRst),
+			JoinWaitSent: c.SentOf(msg.TJoinWait),
+			SpeNotiSent:  c.SentOf(msg.TSpeNoti),
+			BytesSent:    c.BytesSent,
+		})
+		delete(n.joinersInFlight, env.To.ID)
+	}
+	n.transmit(out)
+}
+
+// Run drains the event queue and returns the number of events processed.
+func (n *Network) Run() uint64 {
+	return n.engine.Run(n.cfg.MaxEvents)
+}
+
+// Delivered returns the total number of messages delivered so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped returns the number of messages dropped because their recipient
+// had left or failed.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Joins returns the completed join records. Records for joins completed
+// during BuildByJoins are included; callers measuring a specific wave
+// should slice by Started time or reset via JoinsSince.
+func (n *Network) Joins() []JoinRecord {
+	out := make([]JoinRecord, len(n.joins))
+	copy(out, n.joins)
+	return out
+}
+
+// JoinsSince returns join records whose join began at or after t.
+func (n *Network) JoinsSince(t time.Duration) []JoinRecord {
+	var out []JoinRecord
+	for _, r := range n.joins {
+		if r.Started >= t {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PendingJoins returns how many scheduled joins have not completed.
+func (n *Network) PendingJoins() int { return len(n.joinersInFlight) }
+
+// Machine returns the machine for node x.
+func (n *Network) Machine(x id.ID) (*core.Machine, bool) {
+	m, ok := n.machines[x]
+	return m, ok
+}
+
+// TableOf implements core.TableResolver.
+func (n *Network) TableOf(x id.ID) (*table.Table, bool) {
+	m, ok := n.machines[x]
+	if !ok {
+		return nil, false
+	}
+	return m.Table(), true
+}
+
+// Tables returns all nodes' tables keyed by ID (live references, not
+// copies; do not mutate).
+func (n *Network) Tables() map[id.ID]*table.Table {
+	out := make(map[id.ID]*table.Table, len(n.machines))
+	for x, m := range n.machines {
+		out[x] = m.Table()
+	}
+	return out
+}
+
+// Members returns all node refs sorted by ID.
+func (n *Network) Members() []table.Ref {
+	out := make([]table.Ref, 0, len(n.machines))
+	for _, m := range n.machines {
+		out = append(out, m.Self())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// CheckConsistency verifies Definition 3.8 over the whole network.
+func (n *Network) CheckConsistency() []netcheck.Violation {
+	return netcheck.CheckConsistency(n.cfg.Params, n.Tables())
+}
+
+// AggregateTraffic sums message counters over all nodes.
+func (n *Network) AggregateTraffic() msg.Counters {
+	var total msg.Counters
+	for _, m := range n.machines {
+		total.Add(m.Counters())
+	}
+	return total
+}
+
+// RandomRefs draws n distinct random IDs and wraps them as refs with
+// synthetic addresses. Existing IDs in taken are avoided and the new IDs
+// are added to it (pass nil for a fresh namespace).
+func RandomRefs(p id.Params, count int, rng *rand.Rand, taken map[id.ID]bool) []table.Ref {
+	if taken == nil {
+		taken = make(map[id.ID]bool, count)
+	}
+	if float64(count+len(taken)) > p.Size() {
+		panic(fmt.Sprintf("overlay: cannot draw %d distinct IDs from space of %.0f", count, p.Size()))
+	}
+	out := make([]table.Ref, 0, count)
+	for len(out) < count {
+		x := id.Random(p, rng)
+		if taken[x] {
+			continue
+		}
+		taken[x] = true
+		out = append(out, table.Ref{ID: x, Addr: "sim://" + x.String()})
+	}
+	return out
+}

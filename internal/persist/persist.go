@@ -1,0 +1,156 @@
+// Package persist serializes neighbor-table snapshots to a stable JSON
+// format, so a node can dump its routing state for diagnostics or reload
+// it after a restart (restart + StartRejoin re-announces the node without
+// rebuilding the table from scratch).
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hypercube/internal/id"
+	"hypercube/internal/table"
+)
+
+// formatVersion guards against silently reading an incompatible dump.
+const formatVersion = 1
+
+// fileEntry is one non-empty table entry on disk.
+type fileEntry struct {
+	Level int    `json:"level"`
+	Digit int    `json:"digit"`
+	ID    string `json:"id"`
+	Addr  string `json:"addr,omitempty"`
+	State string `json:"state"`
+}
+
+// fileSnapshot is the on-disk form of a snapshot.
+type fileSnapshot struct {
+	Version int         `json:"version"`
+	B       int         `json:"b"`
+	D       int         `json:"d"`
+	Owner   string      `json:"owner"`
+	Lo      int         `json:"lo"`
+	Hi      int         `json:"hi"`
+	Entries []fileEntry `json:"entries"`
+}
+
+// Save writes the snapshot to w as JSON.
+func Save(w io.Writer, snap table.Snapshot) error {
+	if snap.IsZero() {
+		return fmt.Errorf("persist: cannot save a zero snapshot")
+	}
+	p := snap.Params()
+	lo, hi := snap.LevelRange()
+	out := fileSnapshot{
+		Version: formatVersion,
+		B:       p.B,
+		D:       p.D,
+		Owner:   snap.Owner().String(),
+		Lo:      lo,
+		Hi:      hi,
+	}
+	snap.ForEach(func(level, digit int, n table.Neighbor) {
+		out.Entries = append(out.Entries, fileEntry{
+			Level: level, Digit: digit,
+			ID: n.ID.String(), Addr: n.Addr, State: n.State.String(),
+		})
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot from r, verifying it matches the expected ID
+// space.
+func Load(r io.Reader, p id.Params) (table.Snapshot, error) {
+	var in fileSnapshot
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return table.Snapshot{}, fmt.Errorf("persist: decode: %w", err)
+	}
+	if in.Version != formatVersion {
+		return table.Snapshot{}, fmt.Errorf("persist: format version %d, want %d", in.Version, formatVersion)
+	}
+	if in.B != p.B || in.D != p.D {
+		return table.Snapshot{}, fmt.Errorf("persist: dump is for b=%d d=%d, want b=%d d=%d", in.B, in.D, p.B, p.D)
+	}
+	owner, err := id.Parse(p, in.Owner)
+	if err != nil {
+		return table.Snapshot{}, fmt.Errorf("persist: owner: %w", err)
+	}
+	entries := make(map[[2]int]table.Neighbor, len(in.Entries))
+	for _, e := range in.Entries {
+		x, err := id.Parse(p, e.ID)
+		if err != nil {
+			return table.Snapshot{}, fmt.Errorf("persist: entry (%d,%d): %w", e.Level, e.Digit, err)
+		}
+		var st table.State
+		switch e.State {
+		case "T":
+			st = table.StateT
+		case "S":
+			st = table.StateS
+		default:
+			return table.Snapshot{}, fmt.Errorf("persist: entry (%d,%d): unknown state %q", e.Level, e.Digit, e.State)
+		}
+		entries[[2]int{e.Level, e.Digit}] = table.Neighbor{ID: x, Addr: e.Addr, State: st}
+	}
+	snap, err := table.NewSnapshot(p, owner, in.Lo, in.Hi, entries)
+	if err != nil {
+		return table.Snapshot{}, fmt.Errorf("persist: %w", err)
+	}
+	return snap, nil
+}
+
+// SaveFile writes the snapshot atomically (temp file + rename).
+func SaveFile(path string, snap table.Snapshot) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".table-*.json")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, snap); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot previously written by SaveFile.
+func LoadFile(path string, p id.Params) (table.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return table.Snapshot{}, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Load(f, p)
+}
+
+// Restore materializes a mutable table from a snapshot.
+func Restore(snap table.Snapshot) *table.Table {
+	tbl := table.New(snap.Params(), snap.Owner())
+	snap.ForEach(func(level, digit int, n table.Neighbor) {
+		tbl.Set(level, digit, n)
+	})
+	return tbl
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

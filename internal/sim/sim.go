@@ -1,0 +1,131 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock and an event queue ordered by (time, sequence number).
+// Given the same seed and schedule, a simulation replays identically,
+// which the protocol experiments rely on for reproducibility.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable;
+// construct with NewEngine. Engines are not safe for concurrent use: the
+// whole point is a single deterministic timeline.
+type Engine struct {
+	now       time.Duration
+	seq       uint64
+	queue     eventQueue
+	processed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after the given delay of virtual time. A negative
+// delay is an error in the caller; it panics to surface the bug.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at the given absolute virtual time, which must not
+// be in the past.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %v is before now %v", at, e.now))
+	}
+	e.Schedule(at-e.now, fn)
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty and returns the number of
+// events processed. maxEvents bounds runaway simulations; Run panics when
+// the bound is hit because a non-quiescing protocol run is a bug the
+// caller must see, never silently truncate. maxEvents <= 0 means no bound.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n > maxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events without quiescing", maxEvents))
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps <= deadline and returns the
+// number processed. Events beyond the deadline stay queued; the clock
+// does not advance past the deadline.
+func (e *Engine) RunUntil(deadline time.Duration) uint64 {
+	var n uint64
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+		n++
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return n
+}

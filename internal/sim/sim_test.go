@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Errorf("Now = %v", e.Now())
+	}
+	if e.Pending() != 0 || e.Processed() != 0 {
+		t.Error("fresh engine not empty")
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if n := e.Run(0); n != 3 {
+		t.Fatalf("Run = %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("clock = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run(0)
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recur func()
+	recur = func() {
+		depth++
+		if depth < 50 {
+			e.Schedule(time.Millisecond, recur)
+		}
+	}
+	e.Schedule(0, recur)
+	e.Run(0)
+	if depth != 50 {
+		t.Errorf("depth = %d", depth)
+	}
+	if e.Now() != 49*time.Millisecond {
+		t.Errorf("clock = %v", e.Now())
+	}
+	if e.Processed() != 50 {
+		t.Errorf("Processed = %d", e.Processed())
+	}
+}
+
+func TestZeroDelaySameTime(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*time.Millisecond, func() {
+		e.Schedule(0, func() {
+			if e.Now() != 10*time.Millisecond {
+				t.Errorf("zero-delay event at %v", e.Now())
+			}
+		})
+	})
+	e.Run(0)
+}
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleAt(42*time.Millisecond, func() { fired = true })
+	e.Run(0)
+	if !fired || e.Now() != 42*time.Millisecond {
+		t.Errorf("fired=%v now=%v", fired, e.Now())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(time.Millisecond, func() {})
+	}()
+}
+
+func TestSchedulePanics(t *testing.T) {
+	e := NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative delay did not panic")
+			}
+		}()
+		e.Schedule(-time.Second, func() {})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil fn did not panic")
+			}
+		}()
+		e.Schedule(time.Second, nil)
+	}()
+}
+
+func TestRunMaxEventsPanics(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { e.Schedule(time.Millisecond, loop) }
+	e.Schedule(0, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway Run did not panic")
+		}
+	}()
+	e.Run(100)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{5, 15, 25, 35} {
+		d := d * time.Millisecond
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	n := e.RunUntil(20 * time.Millisecond)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("RunUntil processed %d, fired %v", n, fired)
+	}
+	if e.Now() != 20*time.Millisecond {
+		t.Errorf("clock = %v, want deadline", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run(0)
+	if len(fired) != 4 {
+		t.Errorf("remaining events lost: %v", fired)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var trace []int
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			trace = append(trace, depth)
+			if depth < 6 {
+				for i := 0; i < 2; i++ {
+					e.Schedule(time.Duration(rng.Intn(100))*time.Millisecond, func() { spawn(depth + 1) })
+				}
+			}
+		}
+		e.Schedule(0, func() { spawn(0) })
+		e.Run(0)
+		return trace
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%97)*time.Millisecond, func() {})
+		}
+		e.Run(0)
+	}
+}

@@ -1,0 +1,277 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"default", func(*Config) {}, false},
+		{"noTransit", func(c *Config) { c.TransitDomains = 0 }, true},
+		{"noRouters", func(c *Config) { c.RoutersPerTransit = 0 }, true},
+		{"emptyStubs", func(c *Config) { c.RoutersPerStub = 0 }, true},
+		{"noStubsAtAll", func(c *Config) { c.StubsPerTransitRouter = 0; c.RoutersPerStub = 0 }, false},
+		{"badChord", func(c *Config) { c.TransitChordProb = 1.5 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Small(1)
+			tt.mutate(&c)
+			if err := c.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDefault8320MatchesPaperScale(t *testing.T) {
+	c := Default8320(1)
+	if got := c.RouterCount(); got != 8320 {
+		t.Fatalf("RouterCount = %d, want 8320 (paper §5.2)", got)
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	topo, err := Generate(Small(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Small(3)
+	if got := topo.RouterCount(); got != c.RouterCount() {
+		t.Errorf("RouterCount = %d, want %d", got, c.RouterCount())
+	}
+	if topo.TransitRouterCount() != c.TransitDomains*c.RoutersPerTransit {
+		t.Errorf("TransitRouterCount = %d", topo.TransitRouterCount())
+	}
+	if topo.StubCount() != c.TransitDomains*c.RoutersPerTransit*c.StubsPerTransitRouter {
+		t.Errorf("StubCount = %d", topo.StubCount())
+	}
+	if topo.EdgeCount() <= topo.RouterCount()-1 {
+		t.Errorf("EdgeCount = %d: graph cannot be connected", topo.EdgeCount())
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	c := Small(1)
+	c.TransitDomains = 0
+	if _, err := Generate(c); err == nil {
+		t.Fatal("Generate accepted invalid config")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Small(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rngA, rngB := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	a.AttachHosts(50, rngA)
+	b.AttachHosts(50, rngB)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if a.Latency(i, j) != b.Latency(i, j) {
+				t.Fatalf("latency(%d,%d) differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestRouterDistanceMetricProperties(t *testing.T) {
+	topo, err := Generate(Small(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	n := topo.RouterCount()
+	for trial := 0; trial < 300; trial++ {
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		dab := topo.RouterDistance(a, b)
+		dba := topo.RouterDistance(b, a)
+		if dab != dba {
+			t.Fatalf("asymmetric distance %d<->%d: %v vs %v", a, b, dab, dba)
+		}
+		if a == b && dab != 0 {
+			t.Fatalf("self distance %v", dab)
+		}
+		if a != b && dab <= 0 {
+			t.Fatalf("non-positive distance %v between %d and %d", dab, a, b)
+		}
+		if dab >= unreachable {
+			t.Fatalf("graph disconnected: %d cannot reach %d", a, b)
+		}
+		// Triangle inequality (exact shortest paths must satisfy it).
+		if dac, dcb := topo.RouterDistance(a, c), topo.RouterDistance(c, b); dab > dac+dcb {
+			t.Fatalf("triangle violated: d(%d,%d)=%v > %v+%v", a, b, dab, dac, dcb)
+		}
+	}
+}
+
+// TestRouterDistanceAgainstFullDijkstra cross-checks the two-tier exact
+// scheme (transit pivots + per-stub all-pairs) against a plain Dijkstra
+// from scratch.
+func TestRouterDistanceAgainstFullDijkstra(t *testing.T) {
+	topo, err := Generate(Small(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		src := rng.Intn(topo.RouterCount())
+		want := topo.dijkstra(src, nil)
+		for probe := 0; probe < 40; probe++ {
+			dst := rng.Intn(topo.RouterCount())
+			if got := topo.RouterDistance(src, dst); got != want[dst] {
+				t.Fatalf("RouterDistance(%d,%d) = %v, Dijkstra says %v (stubOf %d,%d)",
+					src, dst, got, want[dst], topo.stubOf[src], topo.stubOf[dst])
+			}
+		}
+	}
+}
+
+func TestHostLatency(t *testing.T) {
+	topo, err := Generate(Small(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	hosts := topo.AttachHosts(100, rng)
+	if len(hosts) != 100 || topo.HostCount() != 100 {
+		t.Fatalf("AttachHosts returned %d hosts", len(hosts))
+	}
+	for i, h := range hosts {
+		if h != i {
+			t.Fatalf("host indices not sequential: %v", hosts[:5])
+		}
+		if r := topo.HostRouter(h); topo.stubOf[r] < 0 {
+			t.Errorf("host %d attached to transit router %d", h, r)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(100), rng.Intn(100)
+		l := topo.Latency(a, b)
+		switch {
+		case a == b && l != 0:
+			t.Fatalf("self latency %v", l)
+		case a != b && l <= 0:
+			t.Fatalf("non-positive latency %v between distinct hosts %d,%d", l, a, b)
+		case topo.Latency(a, b) != topo.Latency(b, a):
+			t.Fatalf("asymmetric host latency")
+		}
+	}
+	// Second attach call extends the host set.
+	more := topo.AttachHosts(10, rng)
+	if more[0] != 100 || topo.HostCount() != 110 {
+		t.Errorf("second AttachHosts: %v, count %d", more[:1], topo.HostCount())
+	}
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	// Average intra-stub latency should be far below inter-domain latency
+	// — the hierarchy the interleaving-sensitive experiments rely on.
+	topo, err := Generate(Small(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intraSum, interSum time.Duration
+	var intraN, interN int
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 4000; trial++ {
+		a, b := rng.Intn(topo.RouterCount()), rng.Intn(topo.RouterCount())
+		if a == b {
+			continue
+		}
+		d := topo.RouterDistance(a, b)
+		switch {
+		case topo.stubOf[a] >= 0 && topo.stubOf[a] == topo.stubOf[b]:
+			intraSum += d
+			intraN++
+		case topo.domainOf[a] != topo.domainOf[b]:
+			interSum += d
+			interN++
+		}
+	}
+	if intraN == 0 || interN == 0 {
+		t.Skip("sampling found no pairs in a class")
+	}
+	intraMean := intraSum / time.Duration(intraN)
+	interMean := interSum / time.Duration(interN)
+	if intraMean*2 >= interMean {
+		t.Errorf("latency hierarchy collapsed: intra-stub %v vs inter-domain %v", intraMean, interMean)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	topo, err := Generate(Small(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	topo.AttachHosts(40, rng)
+	st := topo.SampleStats(500, rng)
+	if st.Hosts != 40 || st.Routers != topo.RouterCount() {
+		t.Errorf("stats header wrong: %+v", st)
+	}
+	if st.SampledPairs == 0 || st.MeanHostLatency <= 0 || st.MaxHostLatency < st.MeanHostLatency {
+		t.Errorf("latency stats implausible: %+v", st)
+	}
+	// No hosts: stats still well-formed.
+	empty, err := Generate(Small(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := empty.SampleStats(10, rng)
+	if st2.SampledPairs != 0 || st2.MeanHostLatency != 0 {
+		t.Errorf("empty-host stats: %+v", st2)
+	}
+}
+
+func TestPaperScaleGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8320-router generation in short mode")
+	}
+	start := time.Now()
+	topo, err := Generate(Default8320(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.RouterCount() != 8320 {
+		t.Fatalf("RouterCount = %d", topo.RouterCount())
+	}
+	rng := rand.New(rand.NewSource(8))
+	topo.AttachHosts(8192, rng)
+	// Spot-check distances remain sane at full scale.
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Intn(8192), rng.Intn(8192)
+		if a != b {
+			l := topo.Latency(a, b)
+			if l <= 0 || l > 2*time.Second {
+				t.Fatalf("implausible latency %v", l)
+			}
+		}
+	}
+	t.Logf("generated 8320-router topology with %d hosts in %v", topo.HostCount(), time.Since(start))
+}
+
+func BenchmarkLatencyQuery(b *testing.B) {
+	topo, err := Generate(Small(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	topo.AttachHosts(500, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = topo.Latency(i%500, (i*7)%500)
+	}
+}

@@ -1,0 +1,285 @@
+package tcptransport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// Node hosts one protocol machine behind a TCP listener.
+type Node struct {
+	params id.Params
+
+	mu      sync.Mutex // guards machine
+	machine *core.Machine
+
+	ln net.Listener
+
+	peersMu  sync.Mutex
+	peers    map[string]*peerConn
+	accepted map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	done   chan struct{}
+	closed bool
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// StartSeed launches the first node of a network (§6.1) listening on
+// listenAddr ("127.0.0.1:0" picks a free port).
+func StartSeed(p id.Params, opts core.Options, nodeID id.ID, listenAddr string) (*Node, error) {
+	return start(p, listenAddr, func(ref table.Ref) *core.Machine {
+		return core.NewSeed(p, ref, opts)
+	}, nodeID)
+}
+
+// StartJoiner launches a node that is not yet part of any network; call
+// Join to integrate it.
+func StartJoiner(p id.Params, opts core.Options, nodeID id.ID, listenAddr string) (*Node, error) {
+	return start(p, listenAddr, func(ref table.Ref) *core.Machine {
+		return core.NewJoiner(p, ref, opts)
+	}, nodeID)
+}
+
+func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nodeID id.ID) (*Node, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("tcptransport: %w", err)
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen: %w", err)
+	}
+	n := &Node{
+		params:   p,
+		ln:       ln,
+		peers:    make(map[string]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	ref := table.Ref{ID: nodeID, Addr: ln.Addr().String()}
+	n.machine = mk(ref)
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Ref returns the node's identity: its ID plus actual listen address.
+func (n *Node) Ref() table.Ref { return n.machine.Self() }
+
+// Status returns the node's protocol status.
+func (n *Node) Status() core.Status {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.machine.Status()
+}
+
+// Snapshot returns an immutable copy of the node's table.
+func (n *Node) Snapshot() table.Snapshot {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.machine.Snapshot()
+}
+
+// Counters returns a copy of the node's message counters.
+func (n *Node) Counters() msg.Counters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return *n.machine.Counters()
+}
+
+// Join starts the join protocol through the given bootstrap node.
+func (n *Node) Join(bootstrap table.Ref) error {
+	n.mu.Lock()
+	out := n.machine.StartJoin(bootstrap)
+	n.mu.Unlock()
+	return n.sendAll(out)
+}
+
+// Leave starts a graceful departure (§7 extension); await StatusLeft
+// before shutting the node down so holders can repair their tables.
+func (n *Node) Leave() error {
+	n.mu.Lock()
+	out := n.machine.StartLeave()
+	n.mu.Unlock()
+	return n.sendAll(out)
+}
+
+// AwaitStatus polls until the node reaches the wanted status or the
+// context expires.
+func (n *Node) AwaitStatus(ctx context.Context, want core.Status) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if n.Status() == want {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("tcptransport: node %v stuck in %v: %w", n.Ref().ID, n.Status(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		n.peersMu.Lock()
+		if n.closed {
+			n.peersMu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.peersMu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.peersMu.Lock()
+		delete(n.accepted, conn)
+		n.peersMu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var w wireEnvelope
+		if err := dec.Decode(&w); err != nil {
+			return // connection closed or corrupted; peer will redial
+		}
+		env, err := decodeEnvelope(n.params, w)
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		out := n.machine.Deliver(env)
+		n.mu.Unlock()
+		if err := n.sendAll(out); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) sendAll(envs []msg.Envelope) error {
+	for _, env := range envs {
+		if err := n.send(env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// send transmits one envelope over the (cached) connection to its
+// destination, redialing once on a stale connection.
+func (n *Node) send(env msg.Envelope) error {
+	w, err := encodeEnvelope(env)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := n.peer(env.To.Addr, attempt > 0)
+		if err != nil {
+			return fmt.Errorf("tcptransport: dial %s: %w", env.To.Addr, err)
+		}
+		pc.mu.Lock()
+		err = pc.enc.Encode(&w)
+		pc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		n.dropPeer(env.To.Addr, pc)
+	}
+	return fmt.Errorf("tcptransport: send to %s failed after redial", env.To.Addr)
+}
+
+func (n *Node) peer(addr string, fresh bool) (*peerConn, error) {
+	n.peersMu.Lock()
+	if !fresh {
+		if pc, ok := n.peers[addr]; ok {
+			n.peersMu.Unlock()
+			return pc, nil
+		}
+	}
+	n.peersMu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	n.peersMu.Lock()
+	if old, ok := n.peers[addr]; ok && !fresh {
+		// Lost a dial race; reuse the existing connection.
+		n.peersMu.Unlock()
+		conn.Close()
+		return old, nil
+	}
+	n.peers[addr] = pc
+	n.peersMu.Unlock()
+	return pc, nil
+}
+
+func (n *Node) dropPeer(addr string, pc *peerConn) {
+	n.peersMu.Lock()
+	if n.peers[addr] == pc {
+		delete(n.peers, addr)
+	}
+	n.peersMu.Unlock()
+	pc.conn.Close()
+}
+
+// Close shuts the node down: listener, peer connections, goroutines.
+func (n *Node) Close() error {
+	n.peersMu.Lock()
+	if n.closed {
+		n.peersMu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := make([]net.Conn, 0, len(n.peers)+len(n.accepted))
+	for _, pc := range n.peers {
+		conns = append(conns, pc.conn)
+	}
+	for c := range n.accepted {
+		conns = append(conns, c)
+	}
+	n.peersMu.Unlock()
+
+	close(n.done)
+	err := n.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	n.wg.Wait()
+	return err
+}

@@ -1,0 +1,355 @@
+package tcptransport
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/netcheck"
+	"hypercube/internal/table"
+)
+
+var p163 = id.Params{B: 16, D: 3}
+
+func TestWireRoundTrip(t *testing.T) {
+	p := id.Params{B: 8, D: 5}
+	owner := id.MustParse(p, "21233")
+	tbl := table.New(p, owner)
+	tbl.Set(0, 1, table.Neighbor{ID: id.MustParse(p, "33121"), Addr: "127.0.0.1:9", State: table.StateS})
+	tbl.Set(3, 0, table.Neighbor{ID: id.MustParse(p, "40233"), Addr: "127.0.0.1:8", State: table.StateT})
+	snap := tbl.Snapshot()
+	refA := table.Ref{ID: owner, Addr: "127.0.0.1:1"}
+	refB := table.Ref{ID: id.MustParse(p, "33121"), Addr: "127.0.0.1:2"}
+
+	fill := tbl.FillVector()
+	messages := []msg.Message{
+		msg.CpRst{Level: 3},
+		msg.CpRly{Table: snap},
+		msg.JoinWait{},
+		msg.JoinWaitRly{R: msg.Negative, U: refB, Table: snap},
+		msg.JoinNoti{Table: snap, NotiLevel: 2, FillVector: fill},
+		msg.JoinNoti{Table: snap},
+		msg.JoinNotiRly{R: msg.Positive, F: true, Table: snap},
+		msg.InSysNoti{},
+		msg.SpeNoti{X: refA, Y: refB},
+		msg.SpeNotiRly{X: refA, Y: refB},
+		msg.RvNghNoti{Level: 2, Digit: 5, State: table.StateT},
+		msg.RvNghNotiRly{Level: 2, Digit: 5, State: table.StateS},
+		msg.Leave{Table: snap},
+		msg.LeaveRly{},
+		msg.Find{Want: id.MustParseSuffix(p, "233"), Origin: refA, Avoid: id.MustParse(p, "40233")},
+		msg.Find{Want: id.EmptySuffix, Origin: refA},
+		msg.FindRly{Want: id.MustParseSuffix(p, "233"), Found: table.Neighbor{ID: id.MustParse(p, "40233"), Addr: "a:1", State: table.StateS}},
+		msg.FindRly{Want: id.MustParseSuffix(p, "233"), Blocked: true},
+	}
+	for _, m := range messages {
+		env := msg.Envelope{From: refA, To: refB, Msg: m}
+		w, err := encodeEnvelope(env)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", m.Type(), err)
+		}
+		back, err := decodeEnvelope(p, w)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Type(), err)
+		}
+		if back.From != env.From || back.To != env.To {
+			t.Fatalf("%v: refs changed", m.Type())
+		}
+		if back.Msg.Type() != m.Type() {
+			t.Fatalf("type changed: %v -> %v", m.Type(), back.Msg.Type())
+		}
+		// Structural spot checks on table-carrying messages.
+		switch bm := back.Msg.(type) {
+		case msg.Find:
+			orig := m.(msg.Find)
+			if bm.Want != orig.Want || bm.Avoid != orig.Avoid || bm.Origin != orig.Origin {
+				t.Fatalf("Find fields corrupted: %+v vs %+v", bm, orig)
+			}
+		case msg.FindRly:
+			orig := m.(msg.FindRly)
+			if bm.Want != orig.Want || bm.Blocked != orig.Blocked || bm.Found != orig.Found {
+				t.Fatalf("FindRly fields corrupted: %+v vs %+v", bm, orig)
+			}
+		case msg.Leave:
+			if bm.Table.FilledCount() != snap.FilledCount() {
+				t.Fatal("Leave table lost entries")
+			}
+		case msg.CpRly:
+			if bm.Table.FilledCount() != snap.FilledCount() {
+				t.Fatalf("CpRly table lost entries")
+			}
+			if bm.Table.Get(0, 1) != snap.Get(0, 1) {
+				t.Fatalf("CpRly entry mismatch: %+v", bm.Table.Get(0, 1))
+			}
+		case msg.JoinNoti:
+			if orig := m.(msg.JoinNoti); orig.FillVector.Len() > 0 {
+				if bm.FillVector.Len() != orig.FillVector.Len() || bm.FillVector.Count() != orig.FillVector.Count() {
+					t.Fatal("JoinNoti fill vector corrupted")
+				}
+				if bm.NotiLevel != 2 {
+					t.Fatal("NotiLevel lost")
+				}
+			}
+		case msg.JoinNotiRly:
+			if !bm.F || bm.R != msg.Positive {
+				t.Fatal("JoinNotiRly flags lost")
+			}
+		}
+	}
+}
+
+func TestWireDecodeErrors(t *testing.T) {
+	p := id.Params{B: 8, D: 5}
+	if _, err := decodeEnvelope(p, wireEnvelope{Kind: 200}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := decodeEnvelope(p, wireEnvelope{Kind: uint8(msg.TJoinWait), From: wireRef{ID: "zzz"}}); err == nil {
+		t.Error("bad from-ID accepted")
+	}
+	bad := wireEnvelope{Kind: uint8(msg.TCpRly), HasTable: true, Table: wireTable{Owner: "99999"}}
+	if _, err := decodeEnvelope(p, bad); err == nil {
+		t.Error("bad table owner accepted")
+	}
+}
+
+func TestTCPSingleJoin(t *testing.T) {
+	seed, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "abc"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	joiner, err := StartJoiner(p163, core.Options{}, id.MustParse(p163, "123"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	if err := joiner.Join(seed.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := joiner.AwaitStatus(ctx, core.StatusInSystem); err != nil {
+		t.Fatal(err)
+	}
+	// The joiner must know the seed and vice versa.
+	k := seed.Ref().ID.CommonSuffixLen(joiner.Ref().ID)
+	if got := joiner.Snapshot().Get(k, seed.Ref().ID.Digit(k)); got.ID != seed.Ref().ID {
+		t.Errorf("joiner's table lacks seed: %+v", got)
+	}
+	waitForEntry(t, seed, k, joiner.Ref().ID.Digit(k), joiner.Ref().ID)
+}
+
+func waitForEntry(t *testing.T, n *Node, level, digit int, want id.ID) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if n.Snapshot().Get(level, digit).ID == want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("node %v entry (%d,%d) never became %v", n.Ref().ID, level, digit, want)
+}
+
+func TestTCPConcurrentJoins(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	seen := make(map[id.ID]bool)
+	draw := func() id.ID {
+		for {
+			x := id.Random(p163, rng)
+			if !seen[x] {
+				seen[x] = true
+				return x
+			}
+		}
+	}
+	seed, err := StartSeed(p163, core.Options{}, draw(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	const joiners = 12
+	nodes := make([]*Node, 0, joiners)
+	for i := 0; i < joiners; i++ {
+		n, err := StartJoiner(p163, core.Options{}, draw(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	var wg sync.WaitGroup
+	for _, n := range nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := n.Join(seed.Ref()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, n := range nodes {
+		if err := n.AwaitStatus(ctx, core.StatusInSystem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for trailing InSysNoti/RvNghNotiRly traffic to settle, then
+	// check global consistency of the collected snapshots.
+	all := append([]*Node{seed}, nodes...)
+	awaitStableTables(t, all)
+	tables := make(map[id.ID]*table.Table, len(all))
+	for _, n := range all {
+		tbl := table.New(p163, n.Ref().ID)
+		n.Snapshot().ForEach(func(level, digit int, nb table.Neighbor) {
+			tbl.Set(level, digit, nb)
+		})
+		tables[n.Ref().ID] = tbl
+	}
+	if v := netcheck.CheckConsistency(p163, tables); len(v) != 0 {
+		t.Fatalf("TCP network inconsistent: %v (of %d)", v[0], len(v))
+	}
+}
+
+// awaitStableTables polls until no node's counters change across two
+// consecutive samples 50ms apart — an empirical quiescence check.
+func awaitStableTables(t *testing.T, nodes []*Node) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var prev int
+	stable := 0
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, n := range nodes {
+			c := n.Counters()
+			total += c.TotalSent()
+		}
+		if total == prev {
+			stable++
+			if stable >= 3 {
+				return
+			}
+		} else {
+			stable = 0
+		}
+		prev = total
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("network never quiesced")
+}
+
+func TestTCPGracefulLeave(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	seen := make(map[id.ID]bool)
+	draw := func() id.ID {
+		for {
+			x := id.Random(p163, rng)
+			if !seen[x] {
+				seen[x] = true
+				return x
+			}
+		}
+	}
+	seed, err := StartSeed(p163, core.Options{}, draw(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	nodes := []*Node{seed}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 6; i++ {
+		n, err := StartJoiner(p163, core.Options{}, draw(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		if err := n.Join(seed.Ref()); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AwaitStatus(ctx, core.StatusInSystem); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	awaitStableTables(t, nodes)
+
+	leaver := nodes[3]
+	if err := leaver.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaver.AwaitStatus(ctx, core.StatusLeft); err != nil {
+		t.Fatal(err)
+	}
+	awaitStableTables(t, nodes)
+	for _, n := range nodes {
+		if n == leaver {
+			continue
+		}
+		n.Snapshot().ForEach(func(level, digit int, nb table.Neighbor) {
+			if nb.ID == leaver.Ref().ID {
+				t.Errorf("node %v still stores leaver at (%d,%d)", n.Ref().ID, level, digit)
+			}
+		})
+	}
+	// Remaining nodes stay consistent.
+	tables := make(map[id.ID]*table.Table)
+	for _, n := range nodes {
+		if n == leaver {
+			continue
+		}
+		tbl := table.New(p163, n.Ref().ID)
+		n.Snapshot().ForEach(func(level, digit int, nb table.Neighbor) {
+			tbl.Set(level, digit, nb)
+		})
+		tables[n.Ref().ID] = tbl
+	}
+	if v := netcheck.CheckConsistency(p163, tables); len(v) != 0 {
+		t.Fatalf("TCP network inconsistent after leave: %v", v[0])
+	}
+}
+
+func TestAwaitStatusTimeout(t *testing.T) {
+	joiner, err := StartJoiner(p163, core.Options{}, id.MustParse(p163, "777"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := joiner.AwaitStatus(ctx, core.StatusInSystem); err == nil {
+		t.Error("AwaitStatus on idle joiner returned nil")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "fff"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	if _, err := StartSeed(id.Params{B: 1, D: 1}, core.Options{}, id.ID{}, "127.0.0.1:0"); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "abc"), "256.0.0.1:bad"); err == nil {
+		t.Error("invalid listen address accepted")
+	}
+}

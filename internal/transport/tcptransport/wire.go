@@ -1,0 +1,271 @@
+// Package tcptransport runs protocol nodes over real TCP sockets with a
+// gob-encoded wire format: each node listens on an address, dials peers
+// on demand, and drives the same core.Machine as the simulator and the
+// in-process runtime. It exists to demonstrate (and test) that the
+// protocol implementation is transport-agnostic end to end.
+package tcptransport
+
+import (
+	"fmt"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// wireRef is the encoded form of a table.Ref.
+type wireRef struct {
+	ID   string
+	Addr string
+}
+
+func encodeRef(r table.Ref) wireRef {
+	if r.IsZero() {
+		return wireRef{}
+	}
+	return wireRef{ID: r.ID.String(), Addr: r.Addr}
+}
+
+func decodeRef(p id.Params, w wireRef) (table.Ref, error) {
+	if w.ID == "" {
+		return table.Ref{}, nil
+	}
+	x, err := id.Parse(p, w.ID)
+	if err != nil {
+		return table.Ref{}, fmt.Errorf("tcptransport: bad ref: %w", err)
+	}
+	return table.Ref{ID: x, Addr: w.Addr}, nil
+}
+
+// wireEntry is one non-empty table entry on the wire.
+type wireEntry struct {
+	Level, Digit int
+	ID, Addr     string
+	State        uint8
+}
+
+// wireTable is the encoded form of a table.Snapshot.
+type wireTable struct {
+	Owner  string
+	Lo, Hi int
+	Filled []wireEntry
+}
+
+func encodeTable(s table.Snapshot) (wireTable, bool) {
+	if s.IsZero() {
+		return wireTable{}, false
+	}
+	lo, hi := s.LevelRange()
+	w := wireTable{Owner: s.Owner().String(), Lo: lo, Hi: hi}
+	s.ForEach(func(level, digit int, n table.Neighbor) {
+		w.Filled = append(w.Filled, wireEntry{
+			Level: level, Digit: digit,
+			ID: n.ID.String(), Addr: n.Addr, State: uint8(n.State),
+		})
+	})
+	return w, true
+}
+
+func decodeTable(p id.Params, w wireTable) (table.Snapshot, error) {
+	owner, err := id.Parse(p, w.Owner)
+	if err != nil {
+		return table.Snapshot{}, fmt.Errorf("tcptransport: bad table owner: %w", err)
+	}
+	entries := make(map[[2]int]table.Neighbor, len(w.Filled))
+	for _, e := range w.Filled {
+		x, err := id.Parse(p, e.ID)
+		if err != nil {
+			return table.Snapshot{}, fmt.Errorf("tcptransport: bad table entry: %w", err)
+		}
+		entries[[2]int{e.Level, e.Digit}] = table.Neighbor{ID: x, Addr: e.Addr, State: table.State(e.State)}
+	}
+	return table.NewSnapshot(p, owner, w.Lo, w.Hi, entries)
+}
+
+// wireEnvelope is the single frame type exchanged on connections.
+type wireEnvelope struct {
+	From, To wireRef
+	Kind     uint8
+
+	// Scalar payload fields, used per message kind.
+	R         uint8
+	F         bool
+	State     uint8
+	Level     int
+	Digit     int
+	NotiLevel int
+	U, X, Y   wireRef
+
+	HasTable bool
+	Table    wireTable
+	Fill     []uint64
+	FillLen  int
+
+	// §7-extension fields.
+	Want    string
+	Found   wireEntry
+	Blocked bool
+	Avoid   string
+}
+
+// encodeEnvelope flattens a protocol envelope into its wire form.
+func encodeEnvelope(env msg.Envelope) (wireEnvelope, error) {
+	w := wireEnvelope{
+		From: encodeRef(env.From),
+		To:   encodeRef(env.To),
+		Kind: uint8(env.Msg.Type()),
+	}
+	switch m := env.Msg.(type) {
+	case msg.CpRst:
+		w.Level = m.Level
+	case msg.CpRly:
+		w.Table, w.HasTable = encodeTable(m.Table)
+	case msg.JoinWait:
+	case msg.JoinWaitRly:
+		w.R = uint8(m.R)
+		w.U = encodeRef(m.U)
+		w.Table, w.HasTable = encodeTable(m.Table)
+	case msg.JoinNoti:
+		w.Table, w.HasTable = encodeTable(m.Table)
+		w.NotiLevel = m.NotiLevel
+		if m.FillVector.Len() > 0 {
+			w.Fill = m.FillVector.Words()
+			w.FillLen = m.FillVector.Len()
+		}
+	case msg.JoinNotiRly:
+		w.R = uint8(m.R)
+		w.F = m.F
+		w.Table, w.HasTable = encodeTable(m.Table)
+	case msg.InSysNoti:
+	case msg.SpeNoti:
+		w.X = encodeRef(m.X)
+		w.Y = encodeRef(m.Y)
+	case msg.SpeNotiRly:
+		w.X = encodeRef(m.X)
+		w.Y = encodeRef(m.Y)
+	case msg.RvNghNoti:
+		w.Level, w.Digit, w.State = m.Level, m.Digit, uint8(m.State)
+	case msg.RvNghNotiRly:
+		w.Level, w.Digit, w.State = m.Level, m.Digit, uint8(m.State)
+	case msg.Leave:
+		w.Table, w.HasTable = encodeTable(m.Table)
+	case msg.LeaveRly:
+	case msg.Find:
+		w.Want = m.Want.String()
+		w.X = encodeRef(m.Origin)
+		if !m.Avoid.IsNull() {
+			w.Avoid = m.Avoid.String()
+		}
+	case msg.FindRly:
+		w.Want = m.Want.String()
+		w.Blocked = m.Blocked
+		if !m.Found.IsZero() {
+			w.Found = wireEntry{ID: m.Found.ID.String(), Addr: m.Found.Addr, State: uint8(m.Found.State)}
+		}
+	default:
+		return wireEnvelope{}, fmt.Errorf("tcptransport: unknown message %T", env.Msg)
+	}
+	return w, nil
+}
+
+// decodeEnvelope reverses encodeEnvelope.
+func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
+	from, err := decodeRef(p, w.From)
+	if err != nil {
+		return msg.Envelope{}, err
+	}
+	to, err := decodeRef(p, w.To)
+	if err != nil {
+		return msg.Envelope{}, err
+	}
+	env := msg.Envelope{From: from, To: to}
+
+	var snap table.Snapshot
+	if w.HasTable {
+		snap, err = decodeTable(p, w.Table)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+	}
+	switch msg.Type(w.Kind) {
+	case msg.TCpRst:
+		env.Msg = msg.CpRst{Level: w.Level}
+	case msg.TCpRly:
+		env.Msg = msg.CpRly{Table: snap}
+	case msg.TJoinWait:
+		env.Msg = msg.JoinWait{}
+	case msg.TJoinWaitRly:
+		u, err := decodeRef(p, w.U)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = msg.JoinWaitRly{R: msg.Result(w.R), U: u, Table: snap}
+	case msg.TJoinNoti:
+		m := msg.JoinNoti{Table: snap, NotiLevel: w.NotiLevel}
+		if w.FillLen > 0 {
+			m.FillVector = table.BitVectorFromWords(w.Fill, w.FillLen)
+		}
+		env.Msg = m
+	case msg.TJoinNotiRly:
+		env.Msg = msg.JoinNotiRly{R: msg.Result(w.R), F: w.F, Table: snap}
+	case msg.TInSysNoti:
+		env.Msg = msg.InSysNoti{}
+	case msg.TSpeNoti, msg.TSpeNotiRly:
+		x, err := decodeRef(p, w.X)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		y, err := decodeRef(p, w.Y)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		if msg.Type(w.Kind) == msg.TSpeNoti {
+			env.Msg = msg.SpeNoti{X: x, Y: y}
+		} else {
+			env.Msg = msg.SpeNotiRly{X: x, Y: y}
+		}
+	case msg.TRvNghNoti:
+		env.Msg = msg.RvNghNoti{Level: w.Level, Digit: w.Digit, State: table.State(w.State)}
+	case msg.TRvNghNotiRly:
+		env.Msg = msg.RvNghNotiRly{Level: w.Level, Digit: w.Digit, State: table.State(w.State)}
+	case msg.TLeave:
+		env.Msg = msg.Leave{Table: snap}
+	case msg.TLeaveRly:
+		env.Msg = msg.LeaveRly{}
+	case msg.TFind:
+		want, err := id.ParseSuffix(p, w.Want)
+		if err != nil {
+			return msg.Envelope{}, fmt.Errorf("tcptransport: bad find suffix: %w", err)
+		}
+		origin, err := decodeRef(p, w.X)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		m := msg.Find{Want: want, Origin: origin}
+		if w.Avoid != "" {
+			avoid, err := id.Parse(p, w.Avoid)
+			if err != nil {
+				return msg.Envelope{}, fmt.Errorf("tcptransport: bad avoid id: %w", err)
+			}
+			m.Avoid = avoid
+		}
+		env.Msg = m
+	case msg.TFindRly:
+		want, err := id.ParseSuffix(p, w.Want)
+		if err != nil {
+			return msg.Envelope{}, fmt.Errorf("tcptransport: bad findrly suffix: %w", err)
+		}
+		m := msg.FindRly{Want: want, Blocked: w.Blocked}
+		if w.Found.ID != "" {
+			fid, err := id.Parse(p, w.Found.ID)
+			if err != nil {
+				return msg.Envelope{}, fmt.Errorf("tcptransport: bad found id: %w", err)
+			}
+			m.Found = table.Neighbor{ID: fid, Addr: w.Found.Addr, State: table.State(w.Found.State)}
+		}
+		env.Msg = m
+	default:
+		return msg.Envelope{}, fmt.Errorf("tcptransport: unknown wire kind %d", w.Kind)
+	}
+	return env, nil
+}

@@ -1,0 +1,380 @@
+// Package transport executes the join protocol concurrently: one
+// goroutine per node draining an unbounded mailbox, a shared in-process
+// router, and quiescence detection. Unlike internal/overlay's
+// discrete-event simulation, message interleavings here come from the Go
+// scheduler — a genuinely concurrent execution of the same core.Machine
+// logic, which makes it both a deployment runtime skeleton and a stress
+// harness for the paper's claim that consistency survives arbitrary
+// concurrency.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/netcheck"
+	"hypercube/internal/table"
+)
+
+// mailbox is an unbounded FIFO queue. Unbounded is deliberate: with
+// bounded channels two nodes sending to each other can deadlock; the
+// protocol's own termination proof (Theorem 2) bounds the real queue
+// growth.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []msg.Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues an envelope; it reports false if the mailbox is closed.
+func (m *mailbox) put(env msg.Envelope) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, env)
+	m.cond.Signal()
+	return true
+}
+
+// get blocks until an envelope is available or the mailbox closes.
+func (m *mailbox) get() (msg.Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return msg.Envelope{}, false
+	}
+	env := m.queue[0]
+	m.queue = m.queue[1:]
+	return env, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// quiescer counts in-flight work (messages enqueued whose processing,
+// including enqueueing of all messages it spawns, has not finished) and
+// wakes waiters when the count returns to zero.
+type quiescer struct {
+	mu      sync.Mutex
+	count   int
+	waiters []chan struct{}
+}
+
+func (q *quiescer) inc(n int) {
+	q.mu.Lock()
+	q.count += n
+	q.mu.Unlock()
+}
+
+func (q *quiescer) dec() {
+	q.mu.Lock()
+	q.count--
+	if q.count < 0 {
+		q.mu.Unlock()
+		panic("transport: in-flight count went negative")
+	}
+	if q.count == 0 {
+		for _, w := range q.waiters {
+			close(w)
+		}
+		q.waiters = nil
+	}
+	q.mu.Unlock()
+}
+
+// waitCh returns a channel closed at the next zero crossing (immediately
+// if already idle).
+func (q *quiescer) waitCh() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ch := make(chan struct{})
+	if q.count == 0 {
+		close(ch)
+		return ch
+	}
+	q.waiters = append(q.waiters, ch)
+	return ch
+}
+
+type nodeProc struct {
+	mu      sync.Mutex // guards machine
+	machine *core.Machine
+	box     *mailbox
+}
+
+// Runtime hosts a set of concurrently executing protocol nodes.
+type Runtime struct {
+	params id.Params
+	opts   core.Options
+
+	mu      sync.Mutex // guards nodes and removed maps
+	nodes   map[id.ID]*nodeProc
+	removed map[id.ID]bool
+
+	quiet  quiescer
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewRuntime creates an empty runtime.
+func NewRuntime(p id.Params, opts core.Options) *Runtime {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("transport: invalid params: %v", err))
+	}
+	return &Runtime{params: p, opts: opts, nodes: make(map[id.ID]*nodeProc), removed: make(map[id.ID]bool)}
+}
+
+// AddSeed starts the network's first node (§6.1).
+func (rt *Runtime) AddSeed(ref table.Ref) error {
+	return rt.spawn(core.NewSeed(rt.params, ref, rt.opts))
+}
+
+// AddEstablished starts a node with a pre-built table in status in_system.
+func (rt *Runtime) AddEstablished(ref table.Ref, tbl *table.Table) error {
+	return rt.spawn(core.NewEstablished(rt.params, ref, tbl, rt.opts))
+}
+
+// Join starts a new node and begins its join through bootstrap g0.
+func (rt *Runtime) Join(ref table.Ref, g0 table.Ref) error {
+	m := core.NewJoiner(rt.params, ref, rt.opts)
+	proc, err := rt.register(m)
+	if err != nil {
+		return err
+	}
+	// StartJoin runs under the node lock like any delivery.
+	proc.mu.Lock()
+	out := m.StartJoin(g0)
+	proc.mu.Unlock()
+	rt.route(out)
+	rt.startLoop(proc)
+	return nil
+}
+
+func (rt *Runtime) spawn(m *core.Machine) error {
+	proc, err := rt.register(m)
+	if err != nil {
+		return err
+	}
+	rt.startLoop(proc)
+	return nil
+}
+
+func (rt *Runtime) register(m *core.Machine) (*nodeProc, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil, fmt.Errorf("transport: runtime closed")
+	}
+	x := m.Self().ID
+	if _, dup := rt.nodes[x]; dup {
+		return nil, fmt.Errorf("transport: duplicate node %v", x)
+	}
+	proc := &nodeProc{machine: m, box: newMailbox()}
+	rt.nodes[x] = proc
+	return proc, nil
+}
+
+func (rt *Runtime) startLoop(proc *nodeProc) {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		for {
+			env, ok := proc.box.get()
+			if !ok {
+				return
+			}
+			proc.mu.Lock()
+			out := proc.machine.Deliver(env)
+			proc.mu.Unlock()
+			rt.route(out)
+			rt.quiet.dec()
+		}
+	}()
+}
+
+// route enqueues envelopes to their destinations. Messages to unknown
+// nodes are a protocol-level bug and panic loudly.
+func (rt *Runtime) route(envs []msg.Envelope) {
+	if len(envs) == 0 {
+		return
+	}
+	rt.quiet.inc(len(envs))
+	for _, env := range envs {
+		rt.mu.Lock()
+		proc, ok := rt.nodes[env.To.ID]
+		gone := rt.removed[env.To.ID]
+		rt.mu.Unlock()
+		if !ok {
+			if gone {
+				rt.quiet.dec() // stray message to a departed node
+				continue
+			}
+			panic(fmt.Sprintf("transport: envelope for unknown node %v: %v", env.To.ID, env))
+		}
+		if !proc.box.put(env) {
+			rt.quiet.dec() // destination shut down; drop
+		}
+	}
+}
+
+// Leave starts node x's graceful departure (§7 extension). Await
+// quiescence, verify Status(x) == StatusLeft, then Remove it.
+func (rt *Runtime) Leave(x id.ID) error {
+	rt.mu.Lock()
+	proc, ok := rt.nodes[x]
+	rt.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: leave of unknown node %v", x)
+	}
+	proc.mu.Lock()
+	out := proc.machine.StartLeave()
+	proc.mu.Unlock()
+	rt.route(out)
+	return nil
+}
+
+// Remove unregisters a departed node and stops its goroutine. Only call
+// once the runtime is quiescent and the node reports StatusLeft; messages
+// addressed to it afterwards are dropped.
+func (rt *Runtime) Remove(x id.ID) error {
+	rt.mu.Lock()
+	proc, ok := rt.nodes[x]
+	if ok {
+		delete(rt.nodes, x)
+		rt.removed[x] = true
+	}
+	rt.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: remove of unknown node %v", x)
+	}
+	proc.box.close()
+	return nil
+}
+
+// AwaitQuiescence blocks until no messages are in flight anywhere (or ctx
+// expires). Because nodes only act on message receipt, a quiescent
+// runtime stays quiescent until the next Join call.
+func (rt *Runtime) AwaitQuiescence(ctx context.Context) error {
+	select {
+	case <-rt.quiet.waitCh():
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("transport: quiescence wait: %w", ctx.Err())
+	}
+}
+
+// Status returns the node's protocol status.
+func (rt *Runtime) Status(x id.ID) (core.Status, bool) {
+	rt.mu.Lock()
+	proc, ok := rt.nodes[x]
+	rt.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	proc.mu.Lock()
+	defer proc.mu.Unlock()
+	return proc.machine.Status(), true
+}
+
+// Snapshot returns an immutable copy of the node's table.
+func (rt *Runtime) Snapshot(x id.ID) (table.Snapshot, bool) {
+	rt.mu.Lock()
+	proc, ok := rt.nodes[x]
+	rt.mu.Unlock()
+	if !ok {
+		return table.Snapshot{}, false
+	}
+	proc.mu.Lock()
+	defer proc.mu.Unlock()
+	return proc.machine.Snapshot(), true
+}
+
+// Counters returns a copy of the node's message counters.
+func (rt *Runtime) Counters(x id.ID) (msg.Counters, bool) {
+	rt.mu.Lock()
+	proc, ok := rt.nodes[x]
+	rt.mu.Unlock()
+	if !ok {
+		return msg.Counters{}, false
+	}
+	proc.mu.Lock()
+	defer proc.mu.Unlock()
+	return *proc.machine.Counters(), true
+}
+
+// Members returns the IDs of all hosted nodes.
+func (rt *Runtime) Members() []id.ID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]id.ID, 0, len(rt.nodes))
+	for x := range rt.nodes {
+		out = append(out, x)
+	}
+	return out
+}
+
+// CheckConsistency verifies Definition 3.8 over a coherent copy of all
+// tables. Call only when quiescent: it locks nodes one at a time, so a
+// concurrent join could yield a torn global view.
+func (rt *Runtime) CheckConsistency() []netcheck.Violation {
+	rt.mu.Lock()
+	procs := make([]*nodeProc, 0, len(rt.nodes))
+	for _, proc := range rt.nodes {
+		procs = append(procs, proc)
+	}
+	rt.mu.Unlock()
+
+	tables := make(map[id.ID]*table.Table, len(procs))
+	for _, proc := range procs {
+		proc.mu.Lock()
+		snap := proc.machine.Snapshot()
+		owner := proc.machine.Self().ID
+		proc.mu.Unlock()
+		tbl := table.New(rt.params, owner)
+		snap.ForEach(func(level, digit int, n table.Neighbor) {
+			tbl.Set(level, digit, n)
+		})
+		tables[owner] = tbl
+	}
+	return netcheck.CheckConsistency(rt.params, tables)
+}
+
+// Close shuts down all node goroutines and waits for them to exit. The
+// runtime cannot be reused.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	procs := make([]*nodeProc, 0, len(rt.nodes))
+	for _, proc := range rt.nodes {
+		procs = append(procs, proc)
+	}
+	rt.mu.Unlock()
+	for _, proc := range procs {
+		proc.box.close()
+	}
+	rt.wg.Wait()
+}

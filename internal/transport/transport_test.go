@@ -1,0 +1,335 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/overlay"
+	"hypercube/internal/table"
+)
+
+var p164 = id.Params{B: 16, D: 4}
+
+func await(t *testing.T, rt *Runtime) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := rt.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailbox(t *testing.T) {
+	m := newMailbox()
+	env := msg.Envelope{Msg: msg.JoinWait{}}
+	if !m.put(env) {
+		t.Fatal("put on open mailbox failed")
+	}
+	got, ok := m.get()
+	if !ok || got.Msg.Type() != msg.TJoinWait {
+		t.Fatal("get returned wrong envelope")
+	}
+	// Blocking get wakes on put.
+	done := make(chan msg.Envelope, 1)
+	go func() {
+		e, _ := m.get()
+		done <- e
+	}()
+	time.Sleep(10 * time.Millisecond)
+	m.put(env)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked get never woke")
+	}
+	m.close()
+	if m.put(env) {
+		t.Error("put on closed mailbox succeeded")
+	}
+	if _, ok := m.get(); ok {
+		t.Error("get on closed empty mailbox returned ok")
+	}
+}
+
+func TestSingleJoinConcurrentRuntime(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	seed := table.Ref{ID: id.MustParse(p164, "abcd"), Addr: "mem://seed"}
+	if err := rt.AddSeed(seed); err != nil {
+		t.Fatal(err)
+	}
+	joiner := table.Ref{ID: id.MustParse(p164, "1234"), Addr: "mem://j"}
+	if err := rt.Join(joiner, seed); err != nil {
+		t.Fatal(err)
+	}
+	await(t, rt)
+	st, ok := rt.Status(joiner.ID)
+	if !ok || st != core.StatusInSystem {
+		t.Fatalf("joiner status %v ok=%v", st, ok)
+	}
+	if v := rt.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("inconsistent: %v", v[0])
+	}
+}
+
+func TestManyConcurrentJoins(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(42))
+	taken := make(map[id.ID]bool)
+	refs := overlay.RandomRefs(p164, 60, rng, taken)
+	if err := rt.AddSeed(refs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Fire all joins from separate goroutines simultaneously: scheduler-
+	// driven interleaving, the harshest version of "concurrent joins".
+	var wg sync.WaitGroup
+	errs := make(chan error, len(refs))
+	for _, ref := range refs[1:] {
+		ref := ref
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- rt.Join(ref, refs[0])
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	await(t, rt)
+	for _, ref := range refs {
+		st, ok := rt.Status(ref.ID)
+		if !ok || st != core.StatusInSystem {
+			t.Errorf("node %v status %v (Theorem 2)", ref.ID, st)
+		}
+	}
+	if v := rt.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("inconsistent after concurrent joins (Theorem 1): %v (of %d)", v[0], len(v))
+	}
+	// Theorem 3 under real concurrency.
+	for _, ref := range refs[1:] {
+		c, ok := rt.Counters(ref.ID)
+		if !ok {
+			t.Fatalf("no counters for %v", ref.ID)
+		}
+		if got := c.SentOf(msg.TCpRst) + c.SentOf(msg.TJoinWait); got > p164.D+1 {
+			t.Errorf("node %v sent %d CpRst+JoinWait > d+1", ref.ID, got)
+		}
+	}
+}
+
+func TestJoinWavesInBatches(t *testing.T) {
+	// Multiple waves against the same runtime: quiescence between waves,
+	// consistency after each (sequential groups of concurrent joins —
+	// the general case of Theorem 1).
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(7))
+	taken := make(map[id.ID]bool)
+	refs := overlay.RandomRefs(p164, 46, rng, taken)
+	if err := rt.AddSeed(refs[0]); err != nil {
+		t.Fatal(err)
+	}
+	established := refs[:1]
+	rest := refs[1:]
+	for wave := 0; wave < 3; wave++ {
+		batch := rest[:15]
+		rest = rest[15:]
+		for _, ref := range batch {
+			if err := rt.Join(ref, established[rng.Intn(len(established))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		await(t, rt)
+		if v := rt.CheckConsistency(); len(v) != 0 {
+			t.Fatalf("wave %d inconsistent: %v", wave, v[0])
+		}
+		established = append(established, batch...)
+	}
+}
+
+func TestSnapshotAndMembers(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	seed := table.Ref{ID: id.MustParse(p164, "0000"), Addr: "mem://seed"}
+	if err := rt.AddSeed(seed); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := rt.Snapshot(seed.ID)
+	if !ok || snap.Owner() != seed.ID {
+		t.Fatal("snapshot of seed missing")
+	}
+	if got := len(rt.Members()); got != 1 {
+		t.Errorf("Members = %d", got)
+	}
+	if _, ok := rt.Snapshot(id.MustParse(p164, "ffff")); ok {
+		t.Error("snapshot of unknown node returned ok")
+	}
+	if _, ok := rt.Status(id.MustParse(p164, "ffff")); ok {
+		t.Error("status of unknown node returned ok")
+	}
+	if _, ok := rt.Counters(id.MustParse(p164, "ffff")); ok {
+		t.Error("counters of unknown node returned ok")
+	}
+}
+
+func TestAddEstablishedNetwork(t *testing.T) {
+	// Build a consistent network offline, host it in the runtime, then
+	// join through it.
+	rng := rand.New(rand.NewSource(11))
+	net := overlay.New(overlay.Config{Params: p164})
+	taken := make(map[id.ID]bool)
+	members := overlay.RandomRefs(p164, 30, rng, taken)
+	net.BuildDirect(members, rng)
+
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	for _, ref := range members {
+		tbl, _ := net.TableOf(ref.ID)
+		// Clone: the runtime takes ownership.
+		clone := table.New(p164, ref.ID)
+		tbl.ForEach(func(level, digit int, n table.Neighbor) {
+			clone.Set(level, digit, n)
+		})
+		if err := rt.AddEstablished(ref, clone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	joiners := overlay.RandomRefs(p164, 20, rng, taken)
+	for _, ref := range joiners {
+		if err := rt.Join(ref, members[rng.Intn(len(members))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	await(t, rt)
+	if v := rt.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("inconsistent: %v", v[0])
+	}
+}
+
+func TestDuplicateAndClosedErrors(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	seed := table.Ref{ID: id.MustParse(p164, "0001"), Addr: "mem://s"}
+	if err := rt.AddSeed(seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddSeed(seed); err == nil {
+		t.Error("duplicate AddSeed accepted")
+	}
+	rt.Close()
+	rt.Close() // idempotent
+	if err := rt.AddSeed(table.Ref{ID: id.MustParse(p164, "0002"), Addr: "mem://t"}); err == nil {
+		t.Error("AddSeed after Close accepted")
+	}
+}
+
+func TestAwaitQuiescenceContextCancel(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	// Force a nonzero in-flight count with a message to a node that will
+	// never drain: we cheat by inc'ing the quiescer directly.
+	rt.quiet.inc(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := rt.AwaitQuiescence(ctx); err == nil {
+		t.Error("AwaitQuiescence returned despite in-flight message")
+	}
+	rt.quiet.dec()
+	if err := rt.AwaitQuiescence(context.Background()); err != nil {
+		t.Errorf("quiescent await failed: %v", err)
+	}
+}
+
+func TestStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for trial := 0; trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rt := NewRuntime(id.Params{B: 4, D: 4}, core.Options{})
+			defer rt.Close()
+			rng := rand.New(rand.NewSource(int64(trial)))
+			refs := overlay.RandomRefs(id.Params{B: 4, D: 4}, 100, rng, nil)
+			if err := rt.AddSeed(refs[0]); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for _, ref := range refs[1:] {
+				ref := ref
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := rt.Join(ref, refs[0]); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+			await(t, rt)
+			if v := rt.CheckConsistency(); len(v) != 0 {
+				t.Fatalf("inconsistent: %v", v[0])
+			}
+		})
+	}
+}
+
+func TestGracefulLeaveOnRuntime(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	rng := rand.New(rand.NewSource(51))
+	refs := overlay.RandomRefs(p164, 30, rng, nil)
+	if err := rt.AddSeed(refs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range refs[1:] {
+		if err := rt.Join(ref, refs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	await(t, rt)
+	if v := rt.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("pre-leave inconsistent: %v", v[0])
+	}
+
+	leaver := refs[7].ID
+	if err := rt.Leave(leaver); err != nil {
+		t.Fatal(err)
+	}
+	await(t, rt)
+	if st, _ := rt.Status(leaver); st != core.StatusLeft {
+		t.Fatalf("leaver status %v", st)
+	}
+	if err := rt.Remove(leaver); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Remove(leaver); err == nil {
+		t.Error("double Remove accepted")
+	}
+	if v := rt.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("post-leave inconsistent: %v", v[0])
+	}
+	for _, x := range rt.Members() {
+		snap, _ := rt.Snapshot(x)
+		snap.ForEach(func(level, digit int, nb table.Neighbor) {
+			if nb.ID == leaver {
+				t.Errorf("node %v still stores leaver", x)
+			}
+		})
+	}
+	if err := rt.Leave(leaver); err == nil {
+		t.Error("leave of removed node accepted")
+	}
+}
