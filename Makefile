@@ -7,8 +7,13 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# The default test path includes vet and a race-detector pass over the
+# transport (the only packages with real goroutine concurrency under
+# test) so delivery-layer races cannot land silently.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/transport/...
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/transport/...

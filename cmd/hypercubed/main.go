@@ -49,6 +49,12 @@ func run() error {
 		join    = flag.String("join", "", "bootstrap as id@host:port; empty starts a new network (seed)")
 		dump    = flag.String("dump", "", "write the neighbor table to this file on exit")
 		timeout = flag.Duration("timeout", time.Minute, "join/leave completion timeout")
+
+		// Reliable-delivery knobs (0 keeps the transport default).
+		attempts = flag.Int("max-attempts", 0, "delivery attempts per message before dead-lettering")
+		backoff  = flag.Duration("backoff", 0, "base retry backoff (doubles per retry)")
+		maxBack  = flag.Duration("max-backoff", 0, "retry backoff cap")
+		queue    = flag.Int("queue-limit", 0, "per-peer outbound queue bound")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -61,11 +67,17 @@ func run() error {
 		return err
 	}
 
+	delivery := tcptransport.WithConfig(tcptransport.Config{
+		MaxAttempts: *attempts,
+		BaseBackoff: *backoff,
+		MaxBackoff:  *maxBack,
+		QueueLimit:  *queue,
+	})
 	var node *tcptransport.Node
 	if *join == "" {
-		node, err = tcptransport.StartSeed(p, core.Options{}, nodeID, *listen)
+		node, err = tcptransport.StartSeed(p, core.Options{}, nodeID, *listen, delivery)
 	} else {
-		node, err = tcptransport.StartJoiner(p, core.Options{}, nodeID, *listen)
+		node, err = tcptransport.StartJoiner(p, core.Options{}, nodeID, *listen, delivery)
 	}
 	if err != nil {
 		return err

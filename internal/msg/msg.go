@@ -338,10 +338,16 @@ func (e Envelope) String() string {
 }
 
 // Counters tallies messages by type, split into sent/received and
-// big/small classes, plus byte volume. The zero value is ready to use.
+// big/small classes, plus byte volume. Retried and Dropped account for
+// the transport's reliable-delivery layer: a message is Retried each
+// time a delivery attempt fails and is re-tried, and Dropped
+// (dead-lettered) when the transport gives up on it entirely. The zero
+// value is ready to use.
 type Counters struct {
 	Sent     [numTypes + 1]int
 	Received [numTypes + 1]int
+	Retried  [numTypes + 1]int
+	Dropped  [numTypes + 1]int
 	// BytesSent accumulates WireSize over sent messages.
 	BytesSent int
 }
@@ -357,11 +363,50 @@ func (c *Counters) CountReceived(m Message) {
 	c.Received[m.Type()]++
 }
 
+// CountRetried records one failed-and-retried delivery attempt of a
+// message of type t.
+func (c *Counters) CountRetried(t Type) {
+	c.Retried[t]++
+}
+
+// CountDropped records a message of type t the transport dead-lettered
+// after exhausting its delivery attempts (or because its outbound queue
+// overflowed).
+func (c *Counters) CountDropped(t Type) {
+	c.Dropped[t]++
+}
+
 // SentOf returns the number of sent messages of type t.
 func (c *Counters) SentOf(t Type) int { return c.Sent[t] }
 
 // ReceivedOf returns the number of received messages of type t.
 func (c *Counters) ReceivedOf(t Type) int { return c.Received[t] }
+
+// RetriedOf returns the number of retried delivery attempts for type t.
+func (c *Counters) RetriedOf(t Type) int { return c.Retried[t] }
+
+// DroppedOf returns the number of dead-lettered messages of type t.
+func (c *Counters) DroppedOf(t Type) int { return c.Dropped[t] }
+
+// TotalRetried returns the number of retried delivery attempts across
+// all types.
+func (c *Counters) TotalRetried() int {
+	total := 0
+	for _, n := range c.Retried {
+		total += n
+	}
+	return total
+}
+
+// TotalDropped returns the number of dead-lettered messages across all
+// types.
+func (c *Counters) TotalDropped() int {
+	total := 0
+	for _, n := range c.Dropped {
+		total += n
+	}
+	return total
+}
 
 // TotalSent returns the number of messages sent across all types.
 func (c *Counters) TotalSent() int {
@@ -382,6 +427,8 @@ func (c *Counters) Add(other *Counters) {
 	for i := range c.Sent {
 		c.Sent[i] += other.Sent[i]
 		c.Received[i] += other.Received[i]
+		c.Retried[i] += other.Retried[i]
+		c.Dropped[i] += other.Dropped[i]
 	}
 	c.BytesSent += other.BytesSent
 }

@@ -157,6 +157,37 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+func TestCountersDelivery(t *testing.T) {
+	var c Counters
+	c.CountRetried(TJoinNoti)
+	c.CountRetried(TJoinNoti)
+	c.CountRetried(TCpRst)
+	c.CountDropped(TJoinWait)
+	if got := c.RetriedOf(TJoinNoti); got != 2 {
+		t.Errorf("RetriedOf(JoinNoti) = %d", got)
+	}
+	if got := c.TotalRetried(); got != 3 {
+		t.Errorf("TotalRetried = %d", got)
+	}
+	if got := c.DroppedOf(TJoinWait); got != 1 {
+		t.Errorf("DroppedOf(JoinWait) = %d", got)
+	}
+	if got := c.TotalDropped(); got != 1 {
+		t.Errorf("TotalDropped = %d", got)
+	}
+
+	var d Counters
+	d.CountRetried(TCpRst)
+	d.CountDropped(TCpRst)
+	c.Add(&d)
+	if got := c.RetriedOf(TCpRst); got != 2 {
+		t.Errorf("after Add RetriedOf(CpRst) = %d", got)
+	}
+	if got := c.TotalDropped(); got != 2 {
+		t.Errorf("after Add TotalDropped = %d", got)
+	}
+}
+
 func TestAllMessagesTypeAndSize(t *testing.T) {
 	snap := sampleSnapshot(t)
 	ref := table.Ref{ID: snap.Owner(), Addr: "10.0.0.1:9000"}

@@ -339,3 +339,36 @@ func churnMix(t *testing.T, seed int64) {
 		}
 	}
 }
+
+func TestGracefulLeaveUnderLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := New(Config{
+		Params: p164,
+		Loss:   &Loss{Rate: 0.10, RetryDelay: 20 * time.Millisecond, MaxAttempts: 8, Seed: 29},
+	})
+	refs := RandomRefs(p164, 50, rng, nil)
+	net.BuildDirect(refs, rng)
+
+	leaver := refs[7].ID
+	if err := net.ScheduleLeave(leaver, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Run()
+	if gone := net.FinalizeLeaves(); len(gone) != 1 {
+		t.Fatalf("leave did not complete under loss: FinalizeLeaves = %v", gone)
+	}
+	requireConsistent(t, net)
+	for x, tbl := range net.Tables() {
+		tbl.ForEach(func(level, digit int, n table.Neighbor) {
+			if n.ID == leaver {
+				t.Errorf("node %v still stores leaver at (%d,%d)", x, level, digit)
+			}
+		})
+	}
+	if net.Retransmits() == 0 {
+		t.Error("loss model inert during leave")
+	}
+	if net.LostMessages() != 0 {
+		t.Errorf("%d leave-protocol messages dead-lettered", net.LostMessages())
+	}
+}

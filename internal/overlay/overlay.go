@@ -82,6 +82,40 @@ func (tl *TopologyLatency) Func() LatencyFunc {
 	}
 }
 
+// Loss injects message loss with sender retransmission into the
+// simulated delivery path — the discrete-event analogue of
+// tcptransport's reliable-delivery layer. Each transmission is lost
+// with probability Rate; a lost transmission is retried after an
+// exponentially growing timeout until MaxAttempts is exhausted, at
+// which point the message is dead-lettered. It lets join waves and the
+// §7 churn scenarios run over an unreliable network while preserving
+// seeded determinism.
+type Loss struct {
+	// Rate is the per-transmission loss probability in [0,1].
+	Rate float64
+	// RetryDelay is the first retransmission timeout; it doubles per
+	// further attempt. Default 50ms.
+	RetryDelay time.Duration
+	// MaxAttempts is the total transmissions per message. Default 5.
+	MaxAttempts int
+	// Seed feeds the deterministic loss stream.
+	Seed int64
+}
+
+func (l *Loss) retryDelay() time.Duration {
+	if l.RetryDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return l.RetryDelay
+}
+
+func (l *Loss) maxAttempts() int {
+	if l.MaxAttempts <= 0 {
+		return 5
+	}
+	return l.MaxAttempts
+}
+
 // Config parameterizes a simulated network.
 type Config struct {
 	Params id.Params
@@ -90,6 +124,9 @@ type Config struct {
 	Latency LatencyFunc
 	// MaxEvents bounds the event count per Run (0 = default 500M).
 	MaxEvents uint64
+	// Loss optionally subjects deliveries to message loss with
+	// retransmission; nil means the reliable network of the paper.
+	Loss *Loss
 }
 
 // JoinRecord captures one node's completed join.
@@ -117,6 +154,10 @@ type Network struct {
 	// removed marks nodes that left or failed; messages to them drop.
 	removed map[id.ID]bool
 	dropped uint64
+	// lossRng drives Config.Loss; retransmits/lost tally its effects.
+	lossRng     *rand.Rand
+	retransmits uint64
+	lost        uint64
 }
 
 // New creates an empty network.
@@ -130,13 +171,17 @@ func New(cfg Config) *Network {
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = 500_000_000
 	}
-	return &Network{
+	n := &Network{
 		cfg:             cfg,
 		engine:          sim.NewEngine(),
 		machines:        make(map[id.ID]*core.Machine),
 		joinersInFlight: make(map[id.ID]time.Duration),
 		removed:         make(map[id.ID]bool),
 	}
+	if cfg.Loss != nil {
+		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
+	}
+	return n
 }
 
 // Engine exposes the underlying event engine (e.g. for custom schedules).
@@ -246,11 +291,31 @@ func (n *Network) ScheduleJoin(ref table.Ref, g0 table.Ref, at time.Duration) *c
 // transmit schedules delivery of each envelope after its pair latency.
 func (n *Network) transmit(envs []msg.Envelope) {
 	for _, env := range envs {
-		env := env
-		n.engine.Schedule(n.cfg.Latency(env.From, env.To), func() {
-			n.deliver(env)
-		})
+		n.post(env, 1)
 	}
+}
+
+// post schedules one transmission attempt of env. Under Config.Loss a
+// transmission may be lost in flight; the sender then retransmits
+// after an exponential timeout, and gives up (dead-letter) after
+// MaxAttempts transmissions.
+func (n *Network) post(env msg.Envelope, attempt int) {
+	delay := n.cfg.Latency(env.From, env.To)
+	if attempt > 1 {
+		delay += n.cfg.Loss.retryDelay() << (attempt - 2)
+	}
+	n.engine.Schedule(delay, func() {
+		if l := n.cfg.Loss; l != nil && n.lossRng.Float64() < l.Rate {
+			if attempt >= l.maxAttempts() {
+				n.lost++
+				return
+			}
+			n.retransmits++
+			n.post(env, attempt+1)
+			return
+		}
+		n.deliver(env)
+	})
 }
 
 func (n *Network) deliver(env msg.Envelope) {
@@ -292,6 +357,14 @@ func (n *Network) Delivered() uint64 { return n.delivered }
 // Dropped returns the number of messages dropped because their recipient
 // had left or failed.
 func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Retransmits returns how many lost transmissions were retried under
+// Config.Loss.
+func (n *Network) Retransmits() uint64 { return n.retransmits }
+
+// LostMessages returns how many messages were dead-lettered after
+// exhausting their transmissions under Config.Loss.
+func (n *Network) LostMessages() uint64 { return n.lost }
 
 // Joins returns the completed join records. Records for joins completed
 // during BuildByJoins are included; callers measuring a specific wave

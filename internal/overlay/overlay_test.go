@@ -344,3 +344,53 @@ func TestMediumScaleWaves(t *testing.T) {
 		})
 	}
 }
+
+func TestJoinWaveUnderLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := New(Config{
+		Params: p164,
+		Loss:   &Loss{Rate: 0.10, RetryDelay: 20 * time.Millisecond, MaxAttempts: 8, Seed: 33},
+	})
+	refs := RandomRefs(p164, 40, rng, nil)
+	net.BuildDirect(refs[:20], rng)
+	joiners := make([]*core.Machine, 0, 20)
+	for _, r := range refs[20:] {
+		g0 := refs[rng.Intn(20)]
+		joiners = append(joiners, net.ScheduleJoin(r, g0, 0))
+	}
+	net.Run()
+	for i, m := range joiners {
+		if !m.IsSNode() {
+			t.Fatalf("joiner %v (%d) stuck in %v under loss", m.Self().ID, i, m.Status())
+		}
+	}
+	if v := net.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("network inconsistent under loss: %v (of %d)", v[0], len(v))
+	}
+	if net.Retransmits() == 0 {
+		t.Error("10% loss produced no retransmissions; loss model inert")
+	}
+	if net.LostMessages() != 0 {
+		t.Errorf("%d messages dead-lettered at 10%% loss with 8 attempts", net.LostMessages())
+	}
+	t.Logf("delivered=%d retransmits=%d lost=%d", net.Delivered(), net.Retransmits(), net.LostMessages())
+}
+
+func TestLossDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		rng := rand.New(rand.NewSource(5))
+		net := New(Config{Params: p164, Loss: &Loss{Rate: 0.2, Seed: 9}})
+		refs := RandomRefs(p164, 12, rng, nil)
+		net.BuildDirect(refs[:6], rng)
+		for _, r := range refs[6:] {
+			net.ScheduleJoin(r, refs[0], 0)
+		}
+		net.Run()
+		return net.Delivered(), net.Retransmits()
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Fatalf("lossy run not deterministic: (%d,%d) vs (%d,%d)", d1, r1, d2, r2)
+	}
+}

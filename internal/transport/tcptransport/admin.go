@@ -39,6 +39,8 @@ type statusResponse struct {
 	Filled   int            `json:"filledEntries"`
 	Sent     map[string]int `json:"sent"`
 	Received map[string]int `json:"received"`
+	Retried  map[string]int `json:"retried,omitempty"`
+	Dropped  map[string]int `json:"dropped,omitempty"`
 	Bytes    int            `json:"bytesSent"`
 }
 
@@ -53,6 +55,8 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Filled:   n.Snapshot().FilledCount(),
 		Sent:     make(map[string]int),
 		Received: make(map[string]int),
+		Retried:  make(map[string]int),
+		Dropped:  make(map[string]int),
 		Bytes:    c.BytesSent,
 	}
 	for _, typ := range msg.Types() {
@@ -61,6 +65,12 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		if v := c.ReceivedOf(typ); v > 0 {
 			resp.Received[typ.String()] = v
+		}
+		if v := c.RetriedOf(typ); v > 0 {
+			resp.Retried[typ.String()] = v
+		}
+		if v := c.DroppedOf(typ); v > 0 {
+			resp.Dropped[typ.String()] = v
 		}
 	}
 	writeJSON(w, resp)

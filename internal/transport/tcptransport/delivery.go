@@ -1,0 +1,432 @@
+package tcptransport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"hypercube/internal/msg"
+)
+
+// Config tunes the reliable-delivery layer. The zero value is usable:
+// every field falls back to the default documented on it.
+//
+// The paper's correctness argument (Theorems 1–2) assumes reliable
+// message passing; over real networks that assumption must be earned.
+// Each node therefore keeps one bounded outbound queue per peer,
+// drained by a dedicated writer goroutine that dials on demand,
+// redials on stale connections, and retries failed deliveries with
+// exponential backoff plus jitter. Messages that exhaust their
+// attempts are dead-lettered and surface in msg.Counters as Dropped.
+type Config struct {
+	// MaxAttempts is the number of delivery attempts per envelope
+	// (dial + write counts as one attempt). Default 5.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// subsequent retry. Default 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff. Default 1s.
+	MaxBackoff time.Duration
+	// DialTimeout bounds each TCP dial. Default 5s.
+	DialTimeout time.Duration
+	// QueueLimit bounds each per-peer outbound queue; envelopes that
+	// would overflow it are dead-lettered. Default 4096.
+	QueueLimit int
+	// PollInterval is AwaitStatus's polling period. Default 20ms.
+	PollInterval time.Duration
+	// Faults optionally injects transport failures (tests and
+	// experiments). Nil disables injection.
+	Faults *Faults
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 4096
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Option adjusts a node's delivery Config at start time.
+type Option func(*Config)
+
+// WithConfig replaces the whole delivery configuration.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithMaxAttempts sets the delivery attempts per envelope.
+func WithMaxAttempts(n int) Option {
+	return func(c *Config) { c.MaxAttempts = n }
+}
+
+// WithBackoff sets the base and maximum retry backoff.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Config) { c.BaseBackoff, c.MaxBackoff = base, max }
+}
+
+// WithDialTimeout sets the per-dial timeout.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Config) { c.DialTimeout = d }
+}
+
+// WithQueueLimit sets the per-peer outbound queue bound.
+func WithQueueLimit(n int) Option {
+	return func(c *Config) { c.QueueLimit = n }
+}
+
+// WithPollInterval sets AwaitStatus's polling period.
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Config) { c.PollInterval = d }
+}
+
+// WithFaults installs a fault injector.
+func WithFaults(f *Faults) Option {
+	return func(c *Config) { c.Faults = f }
+}
+
+// Faults injects failures into the outbound delivery path so the
+// transport (and protocol scenarios above it) can be exercised under
+// loss. Set the knobs before starting the node; they are read per
+// write under an internal lock.
+//
+// Injected drops model a lossy network below a reliable transport: the
+// write is suppressed and reported as a failed attempt, so the
+// delivery layer retries it with backoff exactly as it would a real
+// timeout. Injected kills close the sender's connection after a
+// successful write, forcing the redial path. Latency delays every
+// write.
+type Faults struct {
+	// DropRate is the probability in [0,1] that a write attempt is
+	// suppressed and reported as failed.
+	DropRate float64
+	// Latency is added before every write attempt.
+	Latency time.Duration
+	// KillEvery forcibly closes the outbound connection after every
+	// Nth successful write (0 = never).
+	KillEvery int
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+	drops  int
+	kills  int
+}
+
+// NewFaults creates an injector whose drop decisions are drawn from a
+// deterministic seeded stream.
+func NewFaults(seed int64) *Faults {
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Drops returns how many write attempts were suppressed so far.
+func (f *Faults) Drops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops
+}
+
+// Kills returns how many connections were killed so far.
+func (f *Faults) Kills() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.kills
+}
+
+// nextWrite decides the fate of one write attempt.
+func (f *Faults) nextWrite() (drop, kill bool, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delay = f.Latency
+	if f.DropRate > 0 && f.rng.Float64() < f.DropRate {
+		f.drops++
+		return true, false, delay
+	}
+	f.writes++
+	if f.KillEvery > 0 && f.writes%f.KillEvery == 0 {
+		f.kills++
+		return false, true, delay
+	}
+	return false, false, delay
+}
+
+// peerQueue is one peer's outbound mailbox plus the connection its
+// writer goroutine currently holds. The writer owns conn/enc; other
+// goroutines may only nil-and-close them under mu (connection kill),
+// which the writer observes as a failed write and repairs by
+// redialing.
+type peerQueue struct {
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []msg.Envelope
+	closed bool
+	conn   net.Conn
+	enc    *gob.Encoder
+}
+
+func newPeerQueue(addr string) *peerQueue {
+	pq := &peerQueue{addr: addr}
+	pq.cond = sync.NewCond(&pq.mu)
+	return pq
+}
+
+// push enqueues env; it reports false if the queue is closed or full.
+func (pq *peerQueue) push(env msg.Envelope, limit int) bool {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	if pq.closed || len(pq.queue) >= limit {
+		return false
+	}
+	pq.queue = append(pq.queue, env)
+	pq.cond.Signal()
+	return true
+}
+
+// pop blocks until an envelope is available or the queue closes.
+func (pq *peerQueue) pop() (msg.Envelope, bool) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	for len(pq.queue) == 0 && !pq.closed {
+		pq.cond.Wait()
+	}
+	if len(pq.queue) == 0 {
+		return msg.Envelope{}, false
+	}
+	env := pq.queue[0]
+	pq.queue = pq.queue[1:]
+	return env, true
+}
+
+// close shuts the queue and its connection; pending envelopes are
+// returned so the caller can dead-letter them.
+func (pq *peerQueue) close() []msg.Envelope {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	pq.closed = true
+	if pq.conn != nil {
+		pq.conn.Close()
+		pq.conn, pq.enc = nil, nil
+	}
+	pending := pq.queue
+	pq.queue = nil
+	pq.cond.Broadcast()
+	return pending
+}
+
+// killConn closes the current connection (if any) without closing the
+// queue; the writer redials on the next attempt. Outbound connections
+// carry no inbound data, so closing them cannot discard received
+// bytes: envelopes already written are flushed to the peer with the
+// FIN.
+func (pq *peerQueue) killConn() bool {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	if pq.conn == nil {
+		return false
+	}
+	pq.conn.Close()
+	pq.conn, pq.enc = nil, nil
+	return true
+}
+
+// current returns the connection/encoder pair the writer should use,
+// or nil if it must dial first.
+func (pq *peerQueue) current() (net.Conn, *gob.Encoder) {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	return pq.conn, pq.enc
+}
+
+// install stores a freshly dialed connection, closing any connection it
+// displaces (so a redial can never leak the old socket). It reports
+// false — and closes conn — if the queue already closed.
+func (pq *peerQueue) install(conn net.Conn) (*gob.Encoder, bool) {
+	pq.mu.Lock()
+	if pq.closed {
+		pq.mu.Unlock()
+		conn.Close()
+		return nil, false
+	}
+	if pq.conn != nil && pq.conn != conn {
+		pq.conn.Close()
+	}
+	pq.conn = conn
+	pq.enc = gob.NewEncoder(conn)
+	enc := pq.enc
+	pq.mu.Unlock()
+	return enc, true
+}
+
+// writeLoop drains one peer's queue for the life of the node.
+func (n *Node) writeLoop(pq *peerQueue) {
+	defer n.wg.Done()
+	for {
+		env, ok := pq.pop()
+		if !ok {
+			return
+		}
+		n.deliver(pq, env)
+	}
+}
+
+// deliver makes up to MaxAttempts tries at writing env to its peer,
+// redialing as needed, backing off exponentially (with jitter) between
+// tries. Exhausted envelopes are dead-lettered into the node's
+// counters.
+func (n *Node) deliver(pq *peerQueue, env msg.Envelope) {
+	w, err := encodeEnvelope(env)
+	if err != nil {
+		// Unencodable message: retrying cannot help.
+		n.countDropped(env.Msg.Type())
+		return
+	}
+	for attempt := 1; attempt <= n.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			n.countRetried(env.Msg.Type())
+			if !n.sleep(n.backoff(attempt - 1)) {
+				break // node shutting down
+			}
+		}
+		if n.writeOnce(pq, &w) {
+			return
+		}
+	}
+	n.countDropped(env.Msg.Type())
+}
+
+// backoff returns the delay before the retry-th retry: exponential from
+// BaseBackoff, capped at MaxBackoff, plus up to 50% random jitter so
+// synchronized retry storms decorrelate.
+func (n *Node) backoff(retry int) time.Duration {
+	d := n.cfg.BaseBackoff << (retry - 1)
+	if d > n.cfg.MaxBackoff || d <= 0 {
+		d = n.cfg.MaxBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleep waits for d, returning false if the node shut down first.
+func (n *Node) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-n.done:
+		return false
+	}
+}
+
+// writeOnce performs one delivery attempt: ensure a connection, apply
+// fault injection, encode. It reports success; on failure the
+// connection is torn down so the next attempt redials.
+func (n *Node) writeOnce(pq *peerQueue, w *wireEnvelope) bool {
+	conn, enc := pq.current()
+	if conn == nil {
+		c, err := net.DialTimeout("tcp", pq.addr, n.cfg.DialTimeout)
+		if err != nil {
+			return false
+		}
+		var ok bool
+		if enc, ok = pq.install(c); !ok {
+			return false
+		}
+	}
+	if f := n.cfg.Faults; f != nil {
+		drop, kill, delay := f.nextWrite()
+		if delay > 0 && !n.sleep(delay) {
+			return false
+		}
+		if drop {
+			// Simulated network loss: report a failed attempt so the
+			// retry path (not TCP) earns the reliability.
+			return false
+		}
+		if kill {
+			defer pq.killConn()
+		}
+	}
+	if err := enc.Encode(w); err != nil {
+		pq.killConn()
+		return false
+	}
+	return true
+}
+
+// enqueue hands env to its peer's writer, spawning the writer on first
+// use. Queue overflow dead-letters the envelope and returns an error.
+func (n *Node) enqueue(env msg.Envelope) error {
+	n.peersMu.Lock()
+	if n.closed {
+		n.peersMu.Unlock()
+		return fmt.Errorf("tcptransport: node closed")
+	}
+	pq, ok := n.peers[env.To.Addr]
+	if !ok {
+		pq = newPeerQueue(env.To.Addr)
+		n.peers[env.To.Addr] = pq
+		n.wg.Add(1)
+		go n.writeLoop(pq)
+	}
+	n.peersMu.Unlock()
+	if !pq.push(env, n.cfg.QueueLimit) {
+		n.countDropped(env.Msg.Type())
+		return fmt.Errorf("tcptransport: outbound queue to %s full (limit %d)", env.To.Addr, n.cfg.QueueLimit)
+	}
+	return nil
+}
+
+// KillConnections force-closes every live outbound connection,
+// returning how many it closed. Writers redial on their next delivery
+// attempt; queued envelopes are unaffected. Inbound connections are
+// left alone — they are owned by the remote writer, which repairs them
+// the same way. Useful for crash/partition experiments.
+func (n *Node) KillConnections() int {
+	n.peersMu.Lock()
+	queues := make([]*peerQueue, 0, len(n.peers))
+	for _, pq := range n.peers {
+		queues = append(queues, pq)
+	}
+	n.peersMu.Unlock()
+	killed := 0
+	for _, pq := range queues {
+		if pq.killConn() {
+			killed++
+		}
+	}
+	return killed
+}
+
+func (n *Node) countRetried(t msg.Type) {
+	n.mu.Lock()
+	n.machine.Counters().CountRetried(t)
+	n.mu.Unlock()
+}
+
+func (n *Node) countDropped(t msg.Type) {
+	n.mu.Lock()
+	n.machine.Counters().CountDropped(t)
+	n.mu.Unlock()
+}

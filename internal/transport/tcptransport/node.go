@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypercube/internal/core"
@@ -15,9 +16,13 @@ import (
 	"hypercube/internal/table"
 )
 
-// Node hosts one protocol machine behind a TCP listener.
+// Node hosts one protocol machine behind a TCP listener. Outbound
+// messages go through the reliable-delivery layer (see delivery.go):
+// per-peer bounded queues drained by writer goroutines with retry,
+// exponential backoff, and automatic redial.
 type Node struct {
 	params id.Params
+	cfg    Config
 
 	mu      sync.Mutex // guards machine
 	machine *core.Machine
@@ -25,39 +30,39 @@ type Node struct {
 	ln net.Listener
 
 	peersMu  sync.Mutex
-	peers    map[string]*peerConn
+	peers    map[string]*peerQueue
 	accepted map[net.Conn]struct{}
+
+	statusPolls atomic.Int64 // diagnostic: Status() call count
 
 	wg     sync.WaitGroup
 	done   chan struct{}
 	closed bool
 }
 
-type peerConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-}
-
 // StartSeed launches the first node of a network (§6.1) listening on
 // listenAddr ("127.0.0.1:0" picks a free port).
-func StartSeed(p id.Params, opts core.Options, nodeID id.ID, listenAddr string) (*Node, error) {
+func StartSeed(p id.Params, opts core.Options, nodeID id.ID, listenAddr string, options ...Option) (*Node, error) {
 	return start(p, listenAddr, func(ref table.Ref) *core.Machine {
 		return core.NewSeed(p, ref, opts)
-	}, nodeID)
+	}, nodeID, options)
 }
 
 // StartJoiner launches a node that is not yet part of any network; call
 // Join to integrate it.
-func StartJoiner(p id.Params, opts core.Options, nodeID id.ID, listenAddr string) (*Node, error) {
+func StartJoiner(p id.Params, opts core.Options, nodeID id.ID, listenAddr string, options ...Option) (*Node, error) {
 	return start(p, listenAddr, func(ref table.Ref) *core.Machine {
 		return core.NewJoiner(p, ref, opts)
-	}, nodeID)
+	}, nodeID, options)
 }
 
-func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nodeID id.ID) (*Node, error) {
+func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nodeID id.ID, options []Option) (*Node, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("tcptransport: %w", err)
+	}
+	var cfg Config
+	for _, o := range options {
+		o(&cfg)
 	}
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
@@ -65,8 +70,9 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	}
 	n := &Node{
 		params:   p,
+		cfg:      cfg.withDefaults(),
 		ln:       ln,
-		peers:    make(map[string]*peerConn),
+		peers:    make(map[string]*peerQueue),
 		accepted: make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
@@ -82,6 +88,7 @@ func (n *Node) Ref() table.Ref { return n.machine.Self() }
 
 // Status returns the node's protocol status.
 func (n *Node) Status() core.Status {
+	n.statusPolls.Add(1)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.machine.Status()
@@ -94,14 +101,17 @@ func (n *Node) Snapshot() table.Snapshot {
 	return n.machine.Snapshot()
 }
 
-// Counters returns a copy of the node's message counters.
+// Counters returns a copy of the node's message counters, including the
+// delivery layer's retried/dropped tallies.
 func (n *Node) Counters() msg.Counters {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return *n.machine.Counters()
 }
 
-// Join starts the join protocol through the given bootstrap node.
+// Join starts the join protocol through the given bootstrap node. The
+// returned error covers enqueueing only; delivery failures are retried
+// asynchronously and surface through Counters and AwaitStatus.
 func (n *Node) Join(bootstrap table.Ref) error {
 	n.mu.Lock()
 	out := n.machine.StartJoin(bootstrap)
@@ -119,17 +129,18 @@ func (n *Node) Leave() error {
 }
 
 // AwaitStatus polls until the node reaches the wanted status or the
-// context expires.
+// context expires. The poll interval is Config.PollInterval.
 func (n *Node) AwaitStatus(ctx context.Context, want core.Status) error {
-	tick := time.NewTicker(2 * time.Millisecond)
+	tick := time.NewTicker(n.cfg.PollInterval)
 	defer tick.Stop()
 	for {
-		if n.Status() == want {
+		got := n.Status()
+		if got == want {
 			return nil
 		}
 		select {
 		case <-ctx.Done():
-			return fmt.Errorf("tcptransport: node %v stuck in %v: %w", n.Ref().ID, n.Status(), ctx.Err())
+			return fmt.Errorf("tcptransport: node %v stuck in %v: %w", n.Ref().ID, got, ctx.Err())
 		case <-tick.C:
 		}
 	}
@@ -184,81 +195,28 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.mu.Lock()
 		out := n.machine.Deliver(env)
 		n.mu.Unlock()
-		if err := n.sendAll(out); err != nil {
-			return
-		}
+		// Outbound trouble belongs to the delivery layer (retries, then
+		// dead-letter counters); an unrelated peer's failure must not
+		// tear down this inbound connection.
+		_ = n.sendAll(out)
 	}
 }
 
+// sendAll hands every envelope to the delivery layer. Unlike a
+// fail-fast loop, one undeliverable destination cannot starve
+// envelopes addressed to other peers; all enqueue errors are joined.
 func (n *Node) sendAll(envs []msg.Envelope) error {
+	var errs []error
 	for _, env := range envs {
-		if err := n.send(env); err != nil {
-			return err
+		if err := n.enqueue(env); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return nil
-}
-
-// send transmits one envelope over the (cached) connection to its
-// destination, redialing once on a stale connection.
-func (n *Node) send(env msg.Envelope) error {
-	w, err := encodeEnvelope(env)
-	if err != nil {
-		return err
-	}
-	for attempt := 0; attempt < 2; attempt++ {
-		pc, err := n.peer(env.To.Addr, attempt > 0)
-		if err != nil {
-			return fmt.Errorf("tcptransport: dial %s: %w", env.To.Addr, err)
-		}
-		pc.mu.Lock()
-		err = pc.enc.Encode(&w)
-		pc.mu.Unlock()
-		if err == nil {
-			return nil
-		}
-		n.dropPeer(env.To.Addr, pc)
-	}
-	return fmt.Errorf("tcptransport: send to %s failed after redial", env.To.Addr)
-}
-
-func (n *Node) peer(addr string, fresh bool) (*peerConn, error) {
-	n.peersMu.Lock()
-	if !fresh {
-		if pc, ok := n.peers[addr]; ok {
-			n.peersMu.Unlock()
-			return pc, nil
-		}
-	}
-	n.peersMu.Unlock()
-
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-	n.peersMu.Lock()
-	if old, ok := n.peers[addr]; ok && !fresh {
-		// Lost a dial race; reuse the existing connection.
-		n.peersMu.Unlock()
-		conn.Close()
-		return old, nil
-	}
-	n.peers[addr] = pc
-	n.peersMu.Unlock()
-	return pc, nil
-}
-
-func (n *Node) dropPeer(addr string, pc *peerConn) {
-	n.peersMu.Lock()
-	if n.peers[addr] == pc {
-		delete(n.peers, addr)
-	}
-	n.peersMu.Unlock()
-	pc.conn.Close()
+	return errors.Join(errs...)
 }
 
 // Close shuts the node down: listener, peer connections, goroutines.
+// Envelopes still queued for delivery are dead-lettered.
 func (n *Node) Close() error {
 	n.peersMu.Lock()
 	if n.closed {
@@ -266,10 +224,11 @@ func (n *Node) Close() error {
 		return nil
 	}
 	n.closed = true
-	conns := make([]net.Conn, 0, len(n.peers)+len(n.accepted))
-	for _, pc := range n.peers {
-		conns = append(conns, pc.conn)
+	queues := make([]*peerQueue, 0, len(n.peers))
+	for _, pq := range n.peers {
+		queues = append(queues, pq)
 	}
+	conns := make([]net.Conn, 0, len(n.accepted))
 	for c := range n.accepted {
 		conns = append(conns, c)
 	}
@@ -277,6 +236,11 @@ func (n *Node) Close() error {
 
 	close(n.done)
 	err := n.ln.Close()
+	for _, pq := range queues {
+		for _, env := range pq.close() {
+			n.countDropped(env.Msg.Type())
+		}
+	}
 	for _, c := range conns {
 		c.Close()
 	}

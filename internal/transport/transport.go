@@ -131,6 +131,12 @@ type Runtime struct {
 	nodes   map[id.ID]*nodeProc
 	removed map[id.ID]bool
 
+	// dropUnroutable switches route's unknown-destination handling from
+	// panic (protocol-bug detector) to drop-and-count (crash-failure
+	// experiments, where messages to vanished nodes are expected).
+	dropUnroutable bool
+	unroutable     uint64
+
 	quiet  quiescer
 	wg     sync.WaitGroup
 	closed bool
@@ -212,8 +218,28 @@ func (rt *Runtime) startLoop(proc *nodeProc) {
 	}()
 }
 
+// DropUnroutable configures how route treats envelopes for nodes the
+// runtime has never hosted. By default they panic — under the paper's
+// reliable-network assumption such a message is a protocol bug. With
+// drop enabled they are silently dropped and counted instead, which is
+// the correct model for crash-failure experiments where a destination
+// may have vanished without a graceful leave.
+func (rt *Runtime) DropUnroutable(drop bool) {
+	rt.mu.Lock()
+	rt.dropUnroutable = drop
+	rt.mu.Unlock()
+}
+
+// UnroutableDropped returns how many envelopes were dropped because
+// their destination was unknown (only nonzero with DropUnroutable).
+func (rt *Runtime) UnroutableDropped() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.unroutable
+}
+
 // route enqueues envelopes to their destinations. Messages to unknown
-// nodes are a protocol-level bug and panic loudly.
+// nodes panic (protocol-bug detector) unless DropUnroutable is set.
 func (rt *Runtime) route(envs []msg.Envelope) {
 	if len(envs) == 0 {
 		return
@@ -223,10 +249,18 @@ func (rt *Runtime) route(envs []msg.Envelope) {
 		rt.mu.Lock()
 		proc, ok := rt.nodes[env.To.ID]
 		gone := rt.removed[env.To.ID]
+		drop := rt.dropUnroutable
+		if !ok && !gone && drop {
+			rt.unroutable++
+		}
 		rt.mu.Unlock()
 		if !ok {
 			if gone {
 				rt.quiet.dec() // stray message to a departed node
+				continue
+			}
+			if drop {
+				rt.quiet.dec()
 				continue
 			}
 			panic(fmt.Sprintf("transport: envelope for unknown node %v: %v", env.To.ID, env))

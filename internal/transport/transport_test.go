@@ -333,3 +333,48 @@ func TestGracefulLeaveOnRuntime(t *testing.T) {
 		t.Error("leave of removed node accepted")
 	}
 }
+
+func TestRouteUnknownNodePanicsByDefault(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	if err := rt.AddSeed(table.Ref{ID: id.MustParse(p164, "aaaa"), Addr: "m://a"}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("route to unknown node did not panic")
+		}
+	}()
+	// Bootstrap through a node the runtime has never hosted: StartJoin's
+	// CpRst is unroutable.
+	ghost := table.Ref{ID: id.MustParse(p164, "ffff"), Addr: "m://ghost"}
+	rt.Join(table.Ref{ID: id.MustParse(p164, "1234"), Addr: "m://j"}, ghost)
+}
+
+func TestRouteDropUnroutable(t *testing.T) {
+	rt := NewRuntime(p164, core.Options{})
+	defer rt.Close()
+	rt.DropUnroutable(true)
+	if err := rt.AddSeed(table.Ref{ID: id.MustParse(p164, "aaaa"), Addr: "m://a"}); err != nil {
+		t.Fatal(err)
+	}
+	ghost := table.Ref{ID: id.MustParse(p164, "ffff"), Addr: "m://ghost"}
+	if err := rt.Join(table.Ref{ID: id.MustParse(p164, "1234"), Addr: "m://j"}, ghost); err != nil {
+		t.Fatal(err)
+	}
+	// The unroutable CpRst must be dropped and counted, and the runtime
+	// must still reach quiescence (in-flight accounting stays balanced).
+	await(t, rt)
+	if got := rt.UnroutableDropped(); got == 0 {
+		t.Error("unroutable envelope not counted")
+	}
+	// The rest of the runtime still works: a real join completes.
+	seedRef := table.Ref{ID: id.MustParse(p164, "aaaa"), Addr: "m://a"}
+	if err := rt.Join(table.Ref{ID: id.MustParse(p164, "4321"), Addr: "m://k"}, seedRef); err != nil {
+		t.Fatal(err)
+	}
+	await(t, rt)
+	if st, ok := rt.Status(id.MustParse(p164, "4321")); !ok || st != core.StatusInSystem {
+		t.Fatalf("join under drop mode stuck: %v", st)
+	}
+}
