@@ -8,15 +8,15 @@ build:
 	$(GO) build ./...
 
 # The default test path includes vet and a race-detector pass over the
-# transport (the only packages with real goroutine concurrency under
-# test) so delivery-layer races cannot land silently.
-test:
-	$(GO) vet ./...
+# packages with goroutine concurrency or clock-driven state (transport
+# writers, the liveness prober, the machines' Tick path) so races cannot
+# land silently.
+test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/transport/...
+	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/liveness/ ./internal/transport/...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/transport/...
+	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/liveness/ ./internal/transport/...
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -12,7 +12,11 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"time"
+
+	"hypercube/internal/core"
 	"hypercube/internal/id"
+	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/overlay"
 	"hypercube/internal/topology"
@@ -26,6 +30,8 @@ func main() {
 		leaves = flag.Int("leaves", 100, "graceful leaves (concurrent wave)")
 		crash  = flag.Int("crashes", 20, "crash/recovery cycles")
 		seed   = flag.Int64("seed", 1, "seed")
+		auto   = flag.Bool("crash", false, "self-healing crash mode: nodes detect and repair crashes themselves (no recovery oracle)")
+		heal   = flag.Duration("heal", 20*time.Second, "virtual healing window per crash in -crash mode")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -41,7 +47,16 @@ func main() {
 		os.Exit(1)
 	}
 	tl := overlay.NewTopologyLatency(topo)
-	net := overlay.New(overlay.Config{Params: p, Latency: tl.Func()})
+	cfg := overlay.Config{Params: p, Latency: tl.Func()}
+	if *auto {
+		// Self-healing mode: every node runs a failure detector and the
+		// clock-driven repair machinery; crashes below are announced to
+		// no one.
+		cfg.Liveness = &liveness.Config{}
+		cfg.Opts.Timeouts = core.Timeouts{RetryAfter: 500 * time.Millisecond}
+		cfg.TickInterval = 100 * time.Millisecond
+	}
+	net := overlay.New(cfg)
 	refs := overlay.RandomRefs(p, *n, rng, nil)
 	hosts := topo.AttachHosts(len(refs), rng)
 	for i, ref := range refs {
@@ -68,7 +83,10 @@ func main() {
 	fmt.Fprintf(w, "graceful leaves\tcompleted %d/%d\tmessages %d (%.1f/leave)\tviolations %d\n",
 		len(gone), *leaves, leaveMsgs, float64(leaveMsgs)/float64(*leaves), violations)
 
-	// Crash / recovery cycles.
+	// Crash / recovery cycles: with -crash the survivors' own probe and
+	// timeout machinery detects and repairs each crash during a healing
+	// window of virtual time; the default path names the dead node to the
+	// batch recovery oracle.
 	var totalLocal, totalRouted, totalRejoin, totalEmptied, unrepaired int
 	survivors := make([]id.ID, 0, net.Size())
 	for _, ref := range net.Members() {
@@ -82,6 +100,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
 			os.Exit(1)
 		}
+		if *auto {
+			net.RunFor(*heal)
+			continue
+		}
 		st := net.RecoverFailure(dead, rng, 0)
 		totalLocal += st.LocalRepairs
 		totalRouted += st.RoutedRepairs
@@ -93,8 +115,14 @@ func main() {
 	violations = len(net.CheckConsistency())
 	fmt.Fprintf(w, "crash recovery\t%d crashes\tmessages %d (%.1f/crash)\tviolations %d\n",
 		*crash, crashMsgs, float64(crashMsgs)/float64(*crash), violations)
-	fmt.Fprintf(w, "\trepairs: %d local, %d routed, %d rejoins, %d emptied, %d unrepaired\t\t\n",
-		totalLocal, totalRouted, totalRejoin, totalEmptied, unrepaired)
+	if *auto {
+		ls := net.LivenessStats()
+		fmt.Fprintf(w, "\tself-healing: %d probes, %d indirect, %d suspects, %d recovered, %d declared\t\t\n",
+			ls.ProbesSent, ls.IndirectSent, ls.Suspects, ls.Recovered, ls.Declared)
+	} else {
+		fmt.Fprintf(w, "\trepairs: %d local, %d routed, %d rejoins, %d emptied, %d unrepaired\t\t\n",
+			totalLocal, totalRouted, totalRejoin, totalEmptied, unrepaired)
+	}
 
 	// Table optimization.
 	srng := rand.New(rand.NewSource(*seed + 1))

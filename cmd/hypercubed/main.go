@@ -26,6 +26,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/id"
+	"hypercube/internal/liveness"
 	"hypercube/internal/persist"
 	"hypercube/internal/table"
 	"hypercube/internal/transport/tcptransport"
@@ -55,6 +56,14 @@ func run() error {
 		backoff  = flag.Duration("backoff", 0, "base retry backoff (doubles per retry)")
 		maxBack  = flag.Duration("max-backoff", 0, "retry backoff cap")
 		queue    = flag.Int("queue-limit", 0, "per-peer outbound queue bound")
+
+		// Failure-detection knobs (0 keeps the liveness default).
+		noLive       = flag.Bool("no-liveness", false, "disable failure detection and self-healing")
+		probeEvery   = flag.Duration("probe-interval", 0, "gap between routine liveness probes")
+		probeTimeout = flag.Duration("probe-timeout", 0, "unanswered-probe deadline")
+		suspectAfter = flag.Int("suspect-after", 0, "consecutive misses before a peer is suspected")
+		indirect     = flag.Int("indirect-probes", 0, "relayed probes per confirmation round")
+		retryAfter   = flag.Duration("retry-after", 2*time.Second, "join-protocol request timeout (0 disables)")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -67,17 +76,27 @@ func run() error {
 		return err
 	}
 
-	delivery := tcptransport.WithConfig(tcptransport.Config{
+	options := []tcptransport.Option{tcptransport.WithConfig(tcptransport.Config{
 		MaxAttempts: *attempts,
 		BaseBackoff: *backoff,
 		MaxBackoff:  *maxBack,
 		QueueLimit:  *queue,
-	})
+	})}
+	opts := core.Options{}
+	if !*noLive {
+		options = append(options, tcptransport.WithLiveness(liveness.Config{
+			ProbeInterval:  *probeEvery,
+			ProbeTimeout:   *probeTimeout,
+			SuspectAfter:   *suspectAfter,
+			IndirectProbes: *indirect,
+		}))
+		opts.Timeouts = core.Timeouts{RetryAfter: *retryAfter}
+	}
 	var node *tcptransport.Node
 	if *join == "" {
-		node, err = tcptransport.StartSeed(p, core.Options{}, nodeID, *listen, delivery)
+		node, err = tcptransport.StartSeed(p, opts, nodeID, *listen, options...)
 	} else {
-		node, err = tcptransport.StartJoiner(p, core.Options{}, nodeID, *listen, delivery)
+		node, err = tcptransport.StartJoiner(p, opts, nodeID, *listen, options...)
 	}
 	if err != nil {
 		return err

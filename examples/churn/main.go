@@ -8,8 +8,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
+	"hypercube/internal/core"
 	"hypercube/internal/id"
+	"hypercube/internal/liveness"
 	"hypercube/internal/overlay"
 	"hypercube/internal/topology"
 )
@@ -32,7 +35,15 @@ func main() {
 		os.Exit(1)
 	}
 	tl := overlay.NewTopologyLatency(topo)
-	net := overlay.New(overlay.Config{Params: p, Latency: tl.Func()})
+	net := overlay.New(overlay.Config{
+		Params:  p,
+		Latency: tl.Func(),
+		// Failure detection and join-protocol timeouts for step 5: inert
+		// until RunFor drives the virtual clock.
+		Liveness:     &liveness.Config{},
+		Opts:         core.Options{Timeouts: core.Timeouts{RetryAfter: 500 * time.Millisecond}},
+		TickInterval: 100 * time.Millisecond,
+	})
 
 	taken := make(map[id.ID]bool)
 	refs := overlay.RandomRefs(p, 300, rng, taken)
@@ -78,7 +89,21 @@ func main() {
 	}
 	check(net, "after 5 crashes + recovery")
 
-	// 4. Proximity optimization: swap entries for nearer qualifying nodes.
+	// 5. A self-healing crash: nobody is told who died. The survivors'
+	// probes notice the silence, confirm it through other neighbors,
+	// declare the failure, and repair their own tables.
+	dead := refs[20].ID
+	if err := net.InjectFailure(dead); err != nil {
+		fmt.Fprintln(os.Stderr, "churn example:", err)
+		os.Exit(1)
+	}
+	net.RunFor(30 * time.Second)
+	ls := net.LivenessStats()
+	fmt.Printf("  self-healed crash %v: %d probes, %d suspects, %d declared\n",
+		dead, ls.ProbesSent, ls.Suspects, ls.Declared)
+	check(net, "after 1 unannounced crash (self-healed)")
+
+	// 6. Proximity optimization: swap entries for nearer qualifying nodes.
 	before := net.MeasureStretch(500, rand.New(rand.NewSource(1)))
 	opt := net.OptimizeTables(2)
 	after := net.MeasureStretch(500, rand.New(rand.NewSource(1)))

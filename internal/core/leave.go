@@ -47,10 +47,11 @@ const (
 
 // StartLeave begins a graceful departure (only valid for S-nodes) and
 // returns the LeaveMsg announcements. The node leaves once every holder
-// acknowledged; Status() then reports StatusLeft.
-func (m *Machine) StartLeave() []msg.Envelope {
+// acknowledged; Status() then reports StatusLeft. It fails if the node
+// is not an S-node (a stray admin call must not crash a live process).
+func (m *Machine) StartLeave() ([]msg.Envelope, error) {
 	if m.status != StatusInSystem {
-		panic(fmt.Sprintf("core: StartLeave on node %v in status %v", m.self.ID, m.status))
+		return nil, fmt.Errorf("core: StartLeave on node %v in status %v", m.self.ID, m.status)
 	}
 	m.out = m.out[:0]
 	m.status = StatusLeaving
@@ -76,7 +77,7 @@ func (m *Machine) StartLeave() []msg.Envelope {
 	if len(m.leaveAcks) == 0 {
 		m.status = StatusLeft
 	}
-	return m.take()
+	return m.take(), nil
 }
 
 // LeaveAcksPending returns the nodes whose LeaveRlyMsg a leaving node is
@@ -131,6 +132,9 @@ func (m *Machine) scanCandidates(want id.Suffix, gone id.ID, donor table.Snapsho
 	scan := func(n table.Neighbor) {
 		if n.ID == gone || n.ID == m.self.ID || !n.ID.HasSuffix(want) {
 			return
+		}
+		if _, crashed := m.failed[n.ID]; crashed {
+			return // a known-crashed node is no replacement and has no table
 		}
 		if _, left := m.departed[n.ID]; left {
 			if !seenDeparted[n.ID] {
@@ -260,9 +264,12 @@ func (m *Machine) onRepairCpRly(from table.Ref, donor table.Snapshot) {
 // DropFailed removes a crashed node from every entry and from the reverse
 // set, attempting local-only repair, and returns the entries that remain
 // unrepaired (their desired suffix may still be inhabited — RepairEntry
-// resolves them via routed queries).
+// resolves them via routed queries). Unrepaired entries are also
+// registered as repair jobs, driven either autonomously by Tick or in
+// forced rounds by KickRepairs (the RecoverFailures batch path).
 func (m *Machine) DropFailed(gone id.ID) (unrepaired [][2]int) {
 	delete(m.reverse, gone)
+	delete(m.gateways, gone)
 	var held [][2]int
 	m.tbl.ForEach(func(level, digit int, n table.Neighbor) {
 		if n.ID == gone {
@@ -275,6 +282,7 @@ func (m *Machine) DropFailed(gone id.ID) (unrepaired [][2]int) {
 				m.inRepair = make(map[[2]int]bool)
 			}
 			m.inRepair[e] = true
+			m.addRepairJob(e, gone)
 			unrepaired = append(unrepaired, e)
 		}
 	}
@@ -287,6 +295,13 @@ func (m *Machine) DropFailed(gone id.ID) (unrepaired [][2]int) {
 // reports the outcome.
 func (m *Machine) RepairEntry(level, digit int, helper table.Ref, avoid id.ID) []msg.Envelope {
 	m.out = m.out[:0]
+	m.repairEntry(level, digit, helper, avoid)
+	return m.take()
+}
+
+// repairEntry launches the Find without resetting m.out, for use inside
+// Tick/KickRepairs.
+func (m *Machine) repairEntry(level, digit int, helper table.Ref, avoid id.ID) {
 	want := m.tbl.DesiredSuffix(level, digit)
 	if m.pendingFinds == nil {
 		m.pendingFinds = make(map[id.Suffix]findState)
@@ -296,7 +311,6 @@ func (m *Machine) RepairEntry(level, digit int, helper table.Ref, avoid id.ID) [
 	st.outstanding++
 	m.pendingFinds[want] = st
 	m.send(helper, msg.Find{Want: want, Origin: m.self, Avoid: avoid})
-	return m.take()
 }
 
 func appendEntryOnce(entries [][2]int, e [2]int) [][2]int {
@@ -351,23 +365,16 @@ func (m *Machine) ResolveRepair(level, digit int) RepairOutcome {
 // search, so it must re-announce itself. Re-joining reuses the notifying
 // machinery, whose Theorem-1 guarantee is exactly that every node in the
 // notification set ends up storing the (re-)joiner.
-func (m *Machine) StartRejoin(g0 table.Ref) []msg.Envelope {
+func (m *Machine) StartRejoin(g0 table.Ref) ([]msg.Envelope, error) {
 	if m.status != StatusInSystem {
-		panic(fmt.Sprintf("core: StartRejoin on node %v in status %v", m.self.ID, m.status))
+		return nil, fmt.Errorf("core: StartRejoin on node %v in status %v", m.self.ID, m.status)
 	}
 	if g0.IsZero() || g0.ID == m.self.ID {
-		panic(fmt.Sprintf("core: StartRejoin with invalid bootstrap %v", g0.ID))
+		return nil, fmt.Errorf("core: StartRejoin with invalid bootstrap %v", g0.ID)
 	}
 	m.out = m.out[:0]
-	m.status = StatusCopying
-	m.qn = make(map[id.ID]struct{})
-	m.qr = make(map[id.ID]struct{})
-	m.qsn = make(map[id.ID]struct{})
-	m.qsr = make(map[id.ID]struct{})
-	m.copyLevel = 0
-	m.copyFrom = g0
-	m.send(g0, msg.CpRst{Level: 0})
-	return m.take()
+	m.startRejoin(g0)
+	return m.take(), nil
 }
 
 // DeepestNeighborIs reports whether who shares at least as many rightmost
@@ -401,6 +408,7 @@ func (m *Machine) AbandonRepair(level, digit int) {
 	want := m.tbl.DesiredSuffix(level, digit)
 	delete(m.pendingFinds, want)
 	delete(m.inRepair, [2]int{level, digit})
+	delete(m.repairs, [2]int{level, digit})
 }
 
 // findState tracks one outstanding suffix search (crash-repair Find
@@ -456,6 +464,13 @@ func (m *Machine) onFindRly(pm msg.FindRly) {
 	st.blocked = pm.Blocked
 	m.pendingFinds[pm.Want] = st
 	if pm.Blocked {
+		return
+	}
+	if !pm.Found.IsZero() && m.knownBad(pm.Found.ID) {
+		// A stale table answered with a node we know crashed or left:
+		// treat as blocked so the repair retries elsewhere.
+		st.blocked = true
+		m.pendingFinds[pm.Want] = st
 		return
 	}
 	for _, e := range st.entries {

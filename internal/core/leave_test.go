@@ -30,7 +30,7 @@ func buildSmallNetwork(t *testing.T, p id.Params, n int, seed int64) (*pump, []t
 		seen[x] = true
 		j := core.NewJoiner(p, table.Ref{ID: x, Addr: "sim://" + x.String()}, core.Options{})
 		pp.add(j)
-		pp.enqueue(j.StartJoin(members[rng.Intn(len(members))]))
+		pp.enqueue(must(j.StartJoin(members[rng.Intn(len(members))])))
 		pp.run()
 		members = append(members, j.Self())
 	}
@@ -43,7 +43,7 @@ func TestLeaveProtocolMessages(t *testing.T) {
 	pp, members := buildSmallNetwork(t, p, 12, 1)
 	leaver := pp.machines[members[5].ID]
 
-	envs := leaver.StartLeave()
+	envs := must(leaver.StartLeave())
 	if leaver.Status() != core.StatusLeaving {
 		t.Fatalf("status after StartLeave: %v", leaver.Status())
 	}
@@ -78,7 +78,7 @@ func TestLeaveCountersBigMessages(t *testing.T) {
 	pp, members := buildSmallNetwork(t, p, 8, 2)
 	leaver := pp.machines[members[3].ID]
 	bigBefore := leaver.Counters().BigSent()
-	envs := leaver.StartLeave()
+	envs := must(leaver.StartLeave())
 	_ = envs
 	if got := leaver.Counters().SentOf(msg.TLeave); got == 0 {
 		t.Fatal("no LeaveMsg counted")
@@ -239,7 +239,7 @@ func TestRejoinRestoresAnnouncement(t *testing.T) {
 	}
 	// y re-joins through any live node; the notifying phase must restore
 	// its reachability (Theorem 1 reused as a repair guarantee).
-	pp.enqueue(y.StartRejoin(members[0]))
+	pp.enqueue(must(y.StartRejoin(members[0])))
 	pp.run()
 	if !y.IsSNode() {
 		t.Fatalf("rejoiner stuck in %v", y.Status())
@@ -268,26 +268,19 @@ func TestRejoinRestoresAnnouncement(t *testing.T) {
 	}
 }
 
-func TestStartRejoinPanics(t *testing.T) {
+func TestStartRejoinErrors(t *testing.T) {
 	p := id.Params{B: 4, D: 4}
 	j := core.NewJoiner(p, table.Ref{ID: id.MustParse(p, "0123"), Addr: "x"}, core.Options{})
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("StartRejoin on joiner did not panic")
-			}
-		}()
-		j.StartRejoin(table.Ref{ID: id.MustParse(p, "3210"), Addr: "y"})
-	}()
+	if _, err := j.StartRejoin(table.Ref{ID: id.MustParse(p, "3210"), Addr: "y"}); err == nil {
+		t.Error("StartRejoin on joiner did not error")
+	}
 	s := core.NewSeed(p, table.Ref{ID: id.MustParse(p, "3210"), Addr: "y"}, core.Options{})
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("StartRejoin with self bootstrap did not panic")
-			}
-		}()
-		s.StartRejoin(s.Self())
-	}()
+	if _, err := s.StartRejoin(s.Self()); err == nil {
+		t.Error("StartRejoin with self bootstrap did not error")
+	}
+	if s.Status() != core.StatusInSystem {
+		t.Errorf("failed StartRejoin changed status to %v", s.Status())
+	}
 }
 
 func TestAbandonRepairClearsState(t *testing.T) {
@@ -383,8 +376,8 @@ func TestLeaveChaseThroughDepartedCarrier(t *testing.T) {
 	// z2 departed before processing z1's LeaveMsg, whose attached table
 	// (snapshotted at StartLeave, before z1 heard about z2) references z2
 	// as the only other "2"-carrier. u must chase z2's table to find y.
-	pp.enqueue(mz2.StartLeave())
-	pp.enqueue(mz1.StartLeave())
+	pp.enqueue(must(mz2.StartLeave()))
+	pp.enqueue(must(mz1.StartLeave()))
 	pp.run()
 	if mz1.Status() != core.StatusLeft || mz2.Status() != core.StatusLeft {
 		t.Fatalf("leavers stuck: z1=%v z2=%v", mz1.Status(), mz2.Status())

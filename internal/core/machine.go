@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
@@ -60,7 +61,8 @@ func (s Status) String() string {
 	}
 }
 
-// Options select the optional §6.2 message-size reductions.
+// Options select the optional §6.2 message-size reductions and the
+// failure-detection extensions.
 type Options struct {
 	// ReduceLevels ships only levels [noti_level, csuf] of the joiner's
 	// table inside JoinNotiMsg instead of the whole table.
@@ -68,6 +70,10 @@ type Options struct {
 	// BitVector attaches the joiner's fill vector to JoinNotiMsg so the
 	// receiver's reply omits entries the joiner already has.
 	BitVector bool
+	// Timeouts enables clock-driven resends and join restarts (see
+	// Machine.Tick); the zero value keeps the paper's purely
+	// message-driven behavior.
+	Timeouts Timeouts
 }
 
 // Machine is the protocol state machine for a single node.
@@ -107,6 +113,18 @@ type Machine struct {
 	// while marked, the entry is not evidence of suffix absence and
 	// Find queries crossing it answer Blocked instead of not-found.
 	inRepair map[[2]int]bool
+
+	// Clock-driven failure-detection state (timeout.go): the machine's
+	// notion of now (advanced by Tick), outstanding request/reply
+	// exchanges, fallback bootstrap nodes for join restarts, nodes
+	// declared crashed, and autonomous repair jobs.
+	now         time.Duration
+	exchanges   map[xchgKey]*exchange
+	gateways    map[id.ID]table.Ref
+	restarts    int
+	failed      map[id.ID]struct{}
+	needsRejoin bool
+	repairs     map[[2]int]*repairJob
 
 	counters msg.Counters
 	out      []msg.Envelope
@@ -231,6 +249,7 @@ func (m *Machine) send(to table.Ref, pm msg.Message) {
 	m.counters.CountSent(pm)
 	m.out = append(m.out, msg.Envelope{From: m.self, To: to, Msg: pm})
 	m.trace("%v -> %v: %v", m.self.ID, to.ID, pm.Type())
+	m.trackExchange(to, pm)
 }
 
 // setNeighbor fills entry (level,digit) and, per the protocol note in §4,
@@ -245,18 +264,20 @@ func (m *Machine) setNeighbor(level, digit int, n table.Neighbor, inBand bool) {
 
 // StartJoin begins the join process (Figure 5) given a bootstrap node g0
 // already in the network, and returns the first messages to transmit.
-func (m *Machine) StartJoin(g0 table.Ref) []msg.Envelope {
+// It fails if the node is not in the copying status or g0 is invalid.
+func (m *Machine) StartJoin(g0 table.Ref) ([]msg.Envelope, error) {
 	if m.status != StatusCopying {
-		panic(fmt.Sprintf("core: StartJoin on node %v in status %v", m.self.ID, m.status))
+		return nil, fmt.Errorf("core: StartJoin on node %v in status %v", m.self.ID, m.status)
 	}
 	if g0.IsZero() || g0.ID == m.self.ID {
-		panic(fmt.Sprintf("core: StartJoin with invalid bootstrap %v", g0.ID))
+		return nil, fmt.Errorf("core: StartJoin with invalid bootstrap %v", g0.ID)
 	}
 	m.out = m.out[:0]
+	m.AddGateways(g0)
 	m.copyLevel = 0
 	m.copyFrom = g0
 	m.send(g0, msg.CpRst{Level: 0})
-	return m.take()
+	return m.take(), nil
 }
 
 // Deliver processes one incoming message and returns the messages to
@@ -268,6 +289,7 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 	m.counters.CountReceived(env.Msg)
 	m.out = m.out[:0]
 	from := env.From
+	m.clearExchange(from, env.Msg)
 	switch pm := env.Msg.(type) {
 	case msg.CpRst:
 		m.onCpRst(from)
@@ -299,6 +321,13 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 		m.onFind(pm)
 	case msg.FindRly:
 		m.onFindRly(pm)
+	case msg.Ping:
+		m.onPing(from, pm)
+	case msg.Pong:
+		// Absorbed: runtimes with a failure detector intercept pongs
+		// before the machine; without one there is no probe to match.
+	case msg.FailedNoti:
+		m.onFailedNoti(pm)
 	default:
 		panic(fmt.Sprintf("core: unknown message %T", env.Msg))
 	}
@@ -339,7 +368,7 @@ func (m *Machine) onCpRly(from table.Ref, pm msg.CpRly) {
 		// Copy level-i neighbors of g into our table.
 		for j := 0; j < m.params.B; j++ {
 			n := snap.Get(i, j)
-			if n.IsZero() || n.ID == m.self.ID {
+			if n.IsZero() || n.ID == m.self.ID || m.knownBad(n.ID) {
 				continue
 			}
 			if m.tbl.Get(i, j).IsZero() {
@@ -430,7 +459,7 @@ func (m *Machine) checkNghTable(snap table.Snapshot) {
 	}
 	snap.ForEach(func(_, _ int, n table.Neighbor) {
 		u := n
-		if u.ID == m.self.ID {
+		if u.ID == m.self.ID || m.knownBad(u.ID) {
 			return
 		}
 		k := m.self.ID.CommonSuffixLen(u.ID)

@@ -29,6 +29,15 @@ func newPump(t *testing.T, p id.Params, rng *rand.Rand) *pump {
 	return &pump{t: t, params: p, machines: make(map[id.ID]*core.Machine), rng: rng}
 }
 
+// must unwraps an entry point's (envelopes, error) pair; tests that
+// exercise legal transitions treat an error as fatal.
+func must(envs []msg.Envelope, err error) []msg.Envelope {
+	if err != nil {
+		panic(err)
+	}
+	return envs
+}
+
 func (pp *pump) add(m *core.Machine) {
 	pp.machines[m.Self().ID] = m
 }
@@ -115,7 +124,7 @@ func joinAll(pp *pump, bootstrap table.Ref, joiners []*core.Machine) {
 		pp.add(j)
 	}
 	for _, j := range joiners {
-		pp.enqueue(j.StartJoin(bootstrap))
+		pp.enqueue(must(j.StartJoin(bootstrap)))
 	}
 	pp.run()
 }
@@ -211,7 +220,7 @@ func TestSequentialJoins(t *testing.T) {
 		pp.add(j)
 		// Bootstrap from a random established member (Lemma 5.2 setting).
 		g0 := members[rng.Intn(len(members))]
-		pp.enqueue(j.StartJoin(g0))
+		pp.enqueue(must(j.StartJoin(g0)))
 		pp.run() // quiesce before next join: sequential joins
 		if !j.IsSNode() {
 			t.Fatalf("sequential joiner %v stuck in %v", x, j.Status())
@@ -253,7 +262,7 @@ func testConcurrentJoins(t *testing.T, order *rand.Rand, nExisting, nJoin int) {
 		seen[x] = true
 		j := core.NewJoiner(p, table.Ref{ID: x, Addr: "sim://" + x.String()}, core.Options{})
 		pp.add(j)
-		pp.enqueue(j.StartJoin(members[rng.Intn(len(members))]))
+		pp.enqueue(must(j.StartJoin(members[rng.Intn(len(members))])))
 		pp.run()
 		members = append(members, j.Self())
 	}
@@ -275,7 +284,7 @@ func testConcurrentJoins(t *testing.T, order *rand.Rand, nExisting, nJoin int) {
 		pp.add(j)
 	}
 	for _, j := range joiners {
-		pp.enqueue(j.StartJoin(members[rng.Intn(len(members))]))
+		pp.enqueue(must(j.StartJoin(members[rng.Intn(len(members))])))
 	}
 	pp.run()
 
@@ -312,7 +321,7 @@ func TestPaperSection3Example(t *testing.T) {
 			for _, s := range vIDs[1:] {
 				j := core.NewJoiner(p, ref(p, s), core.Options{})
 				pp.add(j)
-				pp.enqueue(j.StartJoin(members[len(members)-1]))
+				pp.enqueue(must(j.StartJoin(members[len(members)-1])))
 				pp.run()
 				members = append(members, j.Self())
 			}
@@ -327,7 +336,7 @@ func TestPaperSection3Example(t *testing.T) {
 				_ = i
 			}
 			for i, j := range joiners {
-				pp.enqueue(j.StartJoin(members[i%len(members)]))
+				pp.enqueue(must(j.StartJoin(members[i%len(members)])))
 			}
 			pp.run()
 			pp.requireAllSNodes()
@@ -391,7 +400,7 @@ func TestJoinWaitDeferredByTNode(t *testing.T) {
 	// Drive a to the point where it has been stored by the seed but is
 	// still notifying (not yet S): deliver a's messages until it leaves
 	// waiting.
-	pp.enqueue(a.StartJoin(seedNode.Self()))
+	pp.enqueue(must(a.StartJoin(seedNode.Self())))
 	for len(pp.queue) > 0 && a.Status() != core.StatusInSystem {
 		env := pp.queue[0]
 		pp.queue = pp.queue[1:]
@@ -403,7 +412,7 @@ func TestJoinWaitDeferredByTNode(t *testing.T) {
 	}
 
 	// Now b joins; its JoinWait chain ends at a (negative from seed).
-	pp.enqueue(b.StartJoin(seedNode.Self()))
+	pp.enqueue(must(b.StartJoin(seedNode.Self())))
 	pp.run()
 	pp.requireAllSNodes()
 	pp.requireConsistent()
@@ -504,26 +513,25 @@ func TestOptionsReduceMessageBytes(t *testing.T) {
 	}
 }
 
-func TestStartJoinPanics(t *testing.T) {
+func TestStartJoinErrors(t *testing.T) {
 	p := id.Params{B: 4, D: 4}
 	j := core.NewJoiner(p, ref(p, "0123"), core.Options{})
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("StartJoin with self bootstrap did not panic")
-			}
-		}()
-		j.StartJoin(ref(p, "0123"))
-	}()
+	if _, err := j.StartJoin(ref(p, "0123")); err == nil {
+		t.Error("StartJoin with self bootstrap did not error")
+	}
 	seed := core.NewSeed(p, ref(p, "3210"), core.Options{})
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("StartJoin on in_system node did not panic")
-			}
-		}()
-		seed.StartJoin(ref(p, "0123"))
-	}()
+	if _, err := seed.StartJoin(ref(p, "0123")); err == nil {
+		t.Error("StartJoin on in_system node did not error")
+	}
+	// A failed entry point must not have mutated the machine: the joiner
+	// can still join normally afterwards.
+	pp := newPump(t, p, nil)
+	pp.add(seed)
+	pp.add(j)
+	pp.enqueue(must(j.StartJoin(seed.Self())))
+	pp.run()
+	pp.requireAllSNodes()
+	pp.requireConsistent()
 }
 
 func TestDeliverWrongRecipientPanics(t *testing.T) {
@@ -564,7 +572,7 @@ func TestQuickConcurrentJoinConsistency(t *testing.T) {
 				seen[x] = true
 				j := core.NewJoiner(p, table.Ref{ID: x, Addr: "sim://" + x.String()}, core.Options{})
 				pp.add(j)
-				pp.enqueue(j.StartJoin(members[rng.Intn(len(members))]))
+				pp.enqueue(must(j.StartJoin(members[rng.Intn(len(members))])))
 				pp.run()
 				members = append(members, j.Self())
 			}
@@ -582,7 +590,7 @@ func TestQuickConcurrentJoinConsistency(t *testing.T) {
 				pp.add(j)
 			}
 			for _, j := range joiners {
-				pp.enqueue(j.StartJoin(members[rng.Intn(len(members))]))
+				pp.enqueue(must(j.StartJoin(members[rng.Intn(len(members))])))
 			}
 			pp.run()
 			pp.requireAllSNodes()

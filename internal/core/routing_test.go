@@ -88,7 +88,7 @@ func TestGoldenSingleJoinTrace(t *testing.T) {
 		trace = append(trace, fmt.Sprintf("%v->%v:%v", env.From.ID, env.To.ID, env.Msg.Type()))
 	}
 	// Drive the pump manually to record each delivery.
-	queue := joiner.StartJoin(seed.Self())
+	queue := must(joiner.StartJoin(seed.Self()))
 	for _, e := range queue {
 		record(e)
 	}

@@ -1,0 +1,592 @@
+// Clock-driven machine behavior for the failure-detection extension:
+// request/reply timeouts with exponential resend and join restart, crash
+// declarations with FailedNoti gossip, and self-driven repair jobs that
+// replace the external RecoverFailure round loop.
+//
+// The paper's protocol is purely message-driven; every request
+// eventually gets a reply because nodes never fail. Once crashes are
+// admitted, a copying or waiting node whose counterpart died would wedge
+// forever. Machine.Tick(now) is the clock hook closing that gap: the
+// runtimes (virtual clock in overlay, a timer goroutine in tcptransport)
+// call it periodically, and the machine resends overdue requests,
+// restarts a stuck join through a different gateway, reissues blocked
+// repair queries, and re-announces itself after losing its bridge node.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// Timeouts configures the machine's clock-driven retries. The zero value
+// disables request/reply timeouts (Enabled reports false); repair-job
+// pacing falls back to defaults either way.
+type Timeouts struct {
+	// RetryAfter is the first resend timeout for an unanswered
+	// request/reply exchange; it doubles per resend. 0 disables
+	// exchange timeouts entirely.
+	RetryAfter time.Duration
+	// MaxAttempts is the total transmissions per exchange before the
+	// machine gives up on the peer (restarting the join, or abandoning
+	// the wait). Default 4.
+	MaxAttempts int
+	// RepairAfter paces repair-query reissues; a Find unanswered or
+	// blocked for this long is retried through the next helper.
+	// Default: RetryAfter, or 1s when exchange timeouts are disabled.
+	RepairAfter time.Duration
+	// MaxRepairAttempts caps autonomous repair queries per entry before
+	// the suffix is concluded dead. Default 8. Forced kicks (the batch
+	// RecoverFailures path) apply their own convergence rule and ignore
+	// this cap.
+	MaxRepairAttempts int
+}
+
+// Enabled reports whether request/reply exchange timeouts are active.
+func (t Timeouts) Enabled() bool { return t.RetryAfter > 0 }
+
+func (t Timeouts) maxAttempts() int {
+	if t.MaxAttempts <= 0 {
+		return 4
+	}
+	return t.MaxAttempts
+}
+
+func (t Timeouts) repairAfter() time.Duration {
+	if t.RepairAfter > 0 {
+		return t.RepairAfter
+	}
+	if t.RetryAfter > 0 {
+		return t.RetryAfter
+	}
+	return time.Second
+}
+
+func (t Timeouts) maxRepairAttempts() int {
+	if t.MaxRepairAttempts <= 0 {
+		return 8
+	}
+	return t.MaxRepairAttempts
+}
+
+// xchgKind identifies which request/reply pair an exchange tracks.
+type xchgKind uint8
+
+const (
+	xCopy  xchgKind = iota + 1 // CpRst -> CpRly (copying phase only)
+	xWait                      // JoinWait -> JoinWaitRly
+	xNoti                      // JoinNoti -> JoinNotiRly
+	xSpe                       // SpeNoti -> SpeNotiRly (keyed by Y)
+	xLeave                     // Leave -> LeaveRly
+)
+
+type xchgKey struct {
+	kind xchgKind
+	peer id.ID
+}
+
+// exchange is one outstanding request awaiting its reply.
+type exchange struct {
+	env      msg.Envelope
+	attempts int
+	due      time.Duration
+}
+
+// repairJob tracks one crash-emptied entry the machine repairs on its
+// own: which node to route around, how many queries were spent, and when
+// the next one is due.
+type repairJob struct {
+	avoid    id.ID
+	attempts int
+	due      time.Duration
+	active   bool // a Find is outstanding
+}
+
+// trackExchange registers a just-sent request for timeout-driven resend.
+// Only the request/reply pairs whose loss wedges the protocol are
+// tracked; replies and one-way notifications are not.
+func (m *Machine) trackExchange(to table.Ref, pm msg.Message) {
+	if !m.opts.Timeouts.Enabled() {
+		return
+	}
+	var key xchgKey
+	switch x := pm.(type) {
+	case msg.CpRst:
+		// Only the copying-phase cursor is tracked; repair-time table
+		// chases (repairViaDonor) resolve through pendingFinds instead.
+		if m.status != StatusCopying || to.ID != m.copyFrom.ID {
+			return
+		}
+		key = xchgKey{xCopy, to.ID}
+	case msg.JoinWait:
+		key = xchgKey{xWait, to.ID}
+	case msg.JoinNoti:
+		key = xchgKey{xNoti, to.ID}
+	case msg.SpeNoti:
+		if x.X.ID != m.self.ID {
+			return // forwarding someone else's notification
+		}
+		key = xchgKey{xSpe, x.Y.ID}
+	case msg.Leave:
+		if m.status != StatusLeaving {
+			return
+		}
+		if _, waiting := m.leaveAcks[to.ID]; !waiting {
+			return
+		}
+		key = xchgKey{xLeave, to.ID}
+	default:
+		return
+	}
+	if m.exchanges == nil {
+		m.exchanges = make(map[xchgKey]*exchange)
+	}
+	m.exchanges[key] = &exchange{
+		env:      msg.Envelope{From: m.self, To: to, Msg: pm},
+		attempts: 1,
+		due:      m.now + m.opts.Timeouts.RetryAfter,
+	}
+}
+
+// clearExchange settles the exchange answered by an incoming reply.
+func (m *Machine) clearExchange(from table.Ref, pm msg.Message) {
+	if len(m.exchanges) == 0 {
+		return
+	}
+	switch x := pm.(type) {
+	case msg.CpRly:
+		delete(m.exchanges, xchgKey{xCopy, from.ID})
+	case msg.JoinWaitRly:
+		delete(m.exchanges, xchgKey{xWait, from.ID})
+	case msg.JoinNotiRly:
+		delete(m.exchanges, xchgKey{xNoti, from.ID})
+	case msg.SpeNotiRly:
+		delete(m.exchanges, xchgKey{xSpe, x.Y.ID})
+	case msg.LeaveRly:
+		delete(m.exchanges, xchgKey{xLeave, from.ID})
+	}
+}
+
+// Tick advances the machine's clock: overdue requests are resent with
+// exponential backoff (and abandoned past the attempt cap), due repair
+// queries are issued or reissued, and a node orphaned by its bridge
+// node's crash re-announces itself. Returns the messages to transmit.
+// Runtimes call it periodically; a machine without Timeouts and without
+// declared failures does nothing.
+func (m *Machine) Tick(now time.Duration) []msg.Envelope {
+	m.out = m.out[:0]
+	m.now = now
+	if m.opts.Timeouts.Enabled() {
+		m.tickExchanges(now)
+	}
+	m.kickRepairs(now, false)
+	if m.needsRejoin && m.status == StatusInSystem {
+		if g := m.pickGateway(id.ID{}); !g.IsZero() {
+			m.needsRejoin = false
+			m.restarts++
+			m.startRejoin(g)
+		}
+	}
+	return m.take()
+}
+
+// tickExchanges resends or abandons overdue request/reply exchanges.
+func (m *Machine) tickExchanges(now time.Duration) {
+	if len(m.exchanges) == 0 {
+		return
+	}
+	keys := make([]xchgKey, 0, len(m.exchanges))
+	for k := range m.exchanges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].peer.Less(keys[j].peer)
+	})
+	for _, k := range keys {
+		ex, ok := m.exchanges[k]
+		if !ok || ex.due > now {
+			continue // resolved by an earlier give-up this tick, or not due
+		}
+		if ex.attempts >= m.opts.Timeouts.maxAttempts() {
+			m.trace("%v gives up on %v (%v after %d attempts)", m.self.ID, k.peer, ex.env.Msg.Type(), ex.attempts)
+			m.giveUp(k)
+			continue
+		}
+		ex.attempts++
+		ex.due = now + m.opts.Timeouts.RetryAfter<<(ex.attempts-1)
+		// Resend directly: routing through send() would re-register the
+		// exchange and reset the attempt count.
+		m.counters.CountSent(ex.env.Msg)
+		m.out = append(m.out, ex.env)
+		m.trace("%v resends %v to %v (attempt %d)", m.self.ID, ex.env.Msg.Type(), k.peer, ex.attempts)
+	}
+}
+
+// giveUp abandons an exchange whose peer stopped replying: the join
+// restarts through a different gateway, or the stalled wait is dropped
+// so the state machine can move on.
+func (m *Machine) giveUp(k xchgKey) {
+	delete(m.exchanges, k)
+	switch k.kind {
+	case xCopy:
+		if m.status == StatusCopying {
+			m.restartJoin(k.peer)
+		}
+	case xWait:
+		if m.status == StatusWaiting {
+			m.restartJoin(k.peer)
+		}
+	case xNoti:
+		delete(m.qr, k.peer)
+		m.maybeSwitch()
+	case xSpe:
+		delete(m.qsr, k.peer)
+		m.maybeSwitch()
+	case xLeave:
+		delete(m.leaveAcks, k.peer)
+		if m.status == StatusLeaving && len(m.leaveAcks) == 0 {
+			m.status = StatusLeft
+			m.trace("%v status -> left (unacknowledged departure)", m.self.ID)
+		}
+	}
+}
+
+// AddGateways registers fallback bootstrap nodes for join restarts. The
+// original bootstrap is registered automatically by StartJoin.
+func (m *Machine) AddGateways(refs ...table.Ref) {
+	for _, r := range refs {
+		if r.IsZero() || r.ID == m.self.ID {
+			continue
+		}
+		if m.gateways == nil {
+			m.gateways = make(map[id.ID]table.Ref)
+		}
+		m.gateways[r.ID] = r
+	}
+}
+
+// restartJoin re-runs the join from the top through a different gateway
+// after the current attach or wait target stopped replying. Harvested
+// table entries survive (re-copying only fills empty entries), so a
+// restart converges faster than the first attempt.
+func (m *Machine) restartJoin(avoid id.ID) {
+	m.restarts++
+	g := m.pickGateway(avoid)
+	if g.IsZero() {
+		// Nobody else known yet: retry the same target rather than wedge
+		// (it may be suffering one-way loss, not a crash).
+		if r, ok := m.gateways[avoid]; ok {
+			g = r
+		} else {
+			return
+		}
+	}
+	m.trace("%v restarts join via %v (restart %d)", m.self.ID, g.ID, m.restarts)
+	m.startRejoin(g)
+}
+
+// startRejoin resets the join bookkeeping and begins copying from g.
+// Unlike the public StartRejoin it preserves m.out, so it can run inside
+// Tick and give-up handling.
+func (m *Machine) startRejoin(g table.Ref) {
+	m.exchanges = nil
+	m.status = StatusCopying
+	m.qn = make(map[id.ID]struct{})
+	m.qr = make(map[id.ID]struct{})
+	m.qsn = make(map[id.ID]struct{})
+	m.qsr = make(map[id.ID]struct{})
+	m.copyLevel = 0
+	m.copyFrom = g
+	m.send(g, msg.CpRst{Level: 0})
+}
+
+// pickGateway chooses a restart gateway from the registered gateways and
+// the table's live entries, rotated by the restart count so consecutive
+// restarts try different nodes. avoid (the unresponsive peer) is
+// excluded unless it is the only candidate.
+func (m *Machine) pickGateway(avoid id.ID) table.Ref {
+	cands := make(map[id.ID]table.Ref, len(m.gateways))
+	for x, r := range m.gateways {
+		cands[x] = r
+	}
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID != m.self.ID {
+			cands[n.ID] = n.Ref()
+		}
+	})
+	delete(cands, m.self.ID)
+	for x := range m.failed {
+		delete(cands, x)
+	}
+	for x := range m.departed {
+		delete(cands, x)
+	}
+	if len(cands) > 1 {
+		delete(cands, avoid)
+	}
+	list := sortedRefs(cands)
+	if len(list) == 0 {
+		return table.Ref{}
+	}
+	return list[m.restarts%len(list)]
+}
+
+// KnowsFailed reports whether the machine has recorded x as crashed.
+func (m *Machine) KnowsFailed(x id.ID) bool {
+	_, ok := m.failed[x]
+	return ok
+}
+
+// knownBad reports whether x must never be (re-)installed in the table:
+// it crashed or announced departure.
+func (m *Machine) knownBad(x id.ID) bool {
+	if _, f := m.failed[x]; f {
+		return true
+	}
+	_, d := m.departed[x]
+	return d
+}
+
+// DeclareFailed records that the failure detector declared gone crashed,
+// and returns the resulting traffic: FailedNoti gossip to co-holders,
+// reverse-neighbor notices from local repairs, and (from later Ticks)
+// repair queries for entries local repair could not fill.
+func (m *Machine) DeclareFailed(gone table.Ref) []msg.Envelope {
+	m.out = m.out[:0]
+	m.noteFailed(gone)
+	return m.take()
+}
+
+// onFailedNoti processes gossip about a crash declared elsewhere.
+func (m *Machine) onFailedNoti(pm msg.FailedNoti) {
+	m.noteFailed(pm.Failed)
+}
+
+// noteFailed is the shared crash-declaration path: dedupe, gossip to
+// co-holders, orphan check, local table repair, and repair-job seeding.
+// Appends to m.out; callers manage the reset.
+func (m *Machine) noteFailed(gone table.Ref) {
+	if gone.IsZero() || gone.ID == m.self.ID {
+		return
+	}
+	if m.failed == nil {
+		m.failed = make(map[id.ID]struct{})
+	}
+	if _, dup := m.failed[gone.ID]; dup {
+		return
+	}
+	m.failed[gone.ID] = struct{}{}
+	if m.status == StatusLeft {
+		return
+	}
+	m.trace("%v declares %v failed", m.self.ID, gone.ID)
+
+	// Gossip once per failure. Every node that stores the dead node is
+	// either in our table, stores us too (reverse set), or is reached
+	// transitively: each co-holder re-gossips on first hearing, and every
+	// holder's own detector probes its entries anyway, so declarations
+	// reach all holders even if gossip misses some.
+	targets := make(map[id.ID]table.Ref, len(m.reverse))
+	for x, r := range m.reverse {
+		targets[x] = r
+	}
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID != m.self.ID {
+			targets[n.ID] = n.Ref()
+		}
+	})
+	delete(targets, m.self.ID)
+	for x := range targets {
+		if m.knownBad(x) {
+			delete(targets, x)
+		}
+	}
+	for _, ref := range sortedRefs(targets) {
+		m.send(ref, msg.FailedNoti{Failed: gone})
+	}
+
+	// Orphan check before the entries are dropped: if our deepest-known
+	// neighbor crashed it may have been the only node storing us, making
+	// us unfindable; re-announce via a rejoin at the next Tick.
+	held := false
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID == gone.ID {
+			held = true
+		}
+	})
+	if held && m.status == StatusInSystem && m.DeepestNeighborIs(gone.ID) {
+		m.needsRejoin = true
+	}
+
+	// Drop the dead node everywhere; DropFailed repairs locally and seeds
+	// repair jobs for the rest (driven by kickRepairs).
+	m.DropFailed(gone.ID)
+
+	// Any exchange waiting on the dead peer is settled immediately.
+	if len(m.exchanges) > 0 {
+		for _, kind := range []xchgKind{xCopy, xWait, xNoti, xSpe, xLeave} {
+			k := xchgKey{kind, gone.ID}
+			if _, ok := m.exchanges[k]; ok {
+				m.giveUp(k)
+			}
+		}
+	}
+}
+
+// addRepairJob registers a crash-emptied entry for autonomous repair.
+func (m *Machine) addRepairJob(e [2]int, avoid id.ID) {
+	if m.repairs == nil {
+		m.repairs = make(map[[2]int]*repairJob)
+	}
+	if _, dup := m.repairs[e]; dup {
+		return
+	}
+	m.repairs[e] = &repairJob{avoid: avoid, due: m.now}
+}
+
+// RepairsPending returns the entries with unresolved repair jobs, sorted.
+func (m *Machine) RepairsPending() [][2]int {
+	out := make([][2]int, 0, len(m.repairs))
+	for e := range m.repairs {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// KickRepairs drives the repair jobs once and returns the queries to
+// transmit. force reissues even jobs whose query is not yet overdue —
+// the batch RecoverFailures path uses it between quiescent rounds, where
+// "no reply yet" can only mean the query was blocked and consumed.
+// Forced mode also skips the per-entry attempt cap: the caller applies
+// its own convergence rule (see overlay.RecoverFailures).
+func (m *Machine) KickRepairs(now time.Duration, force bool) []msg.Envelope {
+	m.out = m.out[:0]
+	m.now = now
+	m.kickRepairs(now, force)
+	return m.take()
+}
+
+// SettleRepairs resolves repair jobs whose outcome is already known —
+// entry refilled (by a query reply, rejoin notification, or harvested
+// table), or proven empty — without issuing new queries. Returns how
+// many jobs resolved filled and how many empty. Blocked jobs are marked
+// for reissue by the next kick. The batch recovery rounds use the counts
+// for their convergence rule.
+func (m *Machine) SettleRepairs() (filled, emptied int) {
+	for _, e := range m.RepairsPending() {
+		job := m.repairs[e]
+		if !m.tbl.Get(e[0], e[1]).IsZero() {
+			m.AbandonRepair(e[0], e[1])
+			filled++
+			continue
+		}
+		if !job.active {
+			continue
+		}
+		switch m.ResolveRepair(e[0], e[1]) {
+		case RepairFilled:
+			delete(m.repairs, e)
+			filled++
+		case RepairEmpty:
+			delete(m.repairs, e)
+			emptied++
+		case RepairBlocked:
+			job.active = false // reissue on the next kick
+		case RepairPending:
+			// Reply still in flight (or lost); the next kick decides.
+		}
+	}
+	return filled, emptied
+}
+
+// kickRepairs is the shared repair-trigger loop (autonomous Ticks and
+// the batch recovery rounds). Appends to m.out.
+func (m *Machine) kickRepairs(now time.Duration, force bool) {
+	if len(m.repairs) == 0 {
+		return
+	}
+	if m.status == StatusLeaving || m.status == StatusLeft {
+		for _, e := range m.RepairsPending() {
+			m.AbandonRepair(e[0], e[1])
+		}
+		return
+	}
+	m.SettleRepairs()
+	for _, e := range m.RepairsPending() {
+		job := m.repairs[e]
+		if job.active {
+			if !force && now < job.due {
+				continue // still waiting for the reply
+			}
+			job.active = false // reply lost or blocked in flight; reissue
+		}
+		if !force && job.attempts >= m.opts.Timeouts.maxRepairAttempts() {
+			// Every helper rotation came back blocked or lost: conclude
+			// the suffix died with the crashed node.
+			m.AbandonRepair(e[0], e[1])
+			continue
+		}
+		helper := m.pickRepairHelper(job.avoid, job.attempts)
+		if helper.IsZero() {
+			continue // isolated for now; retry after tables change
+		}
+		job.attempts++
+		job.active = true
+		job.due = now + m.opts.Timeouts.repairAfter()<<minInt(job.attempts-1, 4)
+		m.repairEntry(e[0], e[1], helper, job.avoid)
+	}
+}
+
+// pickRepairHelper rotates deterministically through the live table
+// entries to start a Find query from.
+func (m *Machine) pickRepairHelper(avoid id.ID, attempt int) table.Ref {
+	cands := make(map[id.ID]table.Ref)
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID == m.self.ID || n.ID == avoid || m.knownBad(n.ID) {
+			return
+		}
+		cands[n.ID] = n.Ref()
+	})
+	list := sortedRefs(cands)
+	if len(list) == 0 {
+		return table.Ref{}
+	}
+	return list[attempt%len(list)]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// onPing answers a liveness probe (or relays an indirect one). Runtimes
+// with a detector intercept probes before the machine; this fallback
+// keeps detector-less nodes good probe citizens.
+func (m *Machine) onPing(from table.Ref, pm msg.Ping) {
+	if !pm.Target.IsZero() && pm.Target.ID != m.self.ID {
+		m.send(pm.Target, pm)
+		return
+	}
+	origin := pm.Origin
+	if origin.IsZero() {
+		origin = from
+	}
+	if origin.ID == m.self.ID {
+		return
+	}
+	m.send(origin, msg.Pong{Seq: pm.Seq})
+}

@@ -1,0 +1,217 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+func timeoutOpts() core.Options {
+	return core.Options{Timeouts: core.Timeouts{
+		RetryAfter:  100 * time.Millisecond,
+		MaxAttempts: 2,
+	}}
+}
+
+func TestExchangeResendOnTimeout(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	opts := core.Options{Timeouts: core.Timeouts{RetryAfter: 100 * time.Millisecond, MaxAttempts: 4}}
+	seed := core.NewSeed(p, ref(p, "3210"), opts)
+	j := core.NewJoiner(p, ref(p, "0123"), opts)
+
+	out := must(j.StartJoin(seed.Self()))
+	if len(out) != 1 || out[0].Msg.Type() != msg.TCpRst {
+		t.Fatalf("StartJoin sent %v", out)
+	}
+	// The CpRst is lost; nothing happens before the timeout...
+	if extra := j.Tick(50 * time.Millisecond); len(extra) != 0 {
+		t.Fatalf("premature resend: %v", extra)
+	}
+	// ...then the machine resends the identical request.
+	resent := j.Tick(150 * time.Millisecond)
+	if len(resent) != 1 || resent[0].Msg.Type() != msg.TCpRst || resent[0].To.ID != seed.Self().ID {
+		t.Fatalf("timeout resent %v, want CpRst to seed", resent)
+	}
+	if got := j.Counters().SentOf(msg.TCpRst); got != 2 {
+		t.Fatalf("CpRst sent %d times, want 2", got)
+	}
+
+	// This copy arrives; the reply settles the exchange and the join runs
+	// to completion, after which the clock finds nothing left to resend.
+	pp := newPump(t, p, nil)
+	pp.add(seed)
+	pp.add(j)
+	pp.enqueue(resent)
+	pp.run()
+	if !j.IsSNode() {
+		t.Fatalf("joiner stuck in %v", j.Status())
+	}
+	if late := j.Tick(time.Hour); len(late) != 0 {
+		t.Fatalf("quiescent machine resent %v", late)
+	}
+}
+
+func TestJoinRestartRotatesGateway(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	opts := timeoutOpts()
+	pp := newPump(t, p, nil)
+	seed := core.NewSeed(p, ref(p, "3210"), opts)
+	pp.add(seed)
+	b := core.NewJoiner(p, ref(p, "2101"), opts)
+	pp.add(b)
+	pp.enqueue(must(b.StartJoin(seed.Self())))
+	pp.run()
+	if !b.IsSNode() {
+		t.Fatalf("setup joiner stuck in %v", b.Status())
+	}
+
+	// The joiner boots through the seed, with b registered as fallback —
+	// but the seed has silently crashed: every message to it is dropped.
+	j := core.NewJoiner(p, ref(p, "0123"), opts)
+	j.AddGateways(b.Self())
+	must(j.StartJoin(seed.Self())) // lost
+	if out := j.Tick(100 * time.Millisecond); len(out) != 1 || out[0].To.ID != seed.Self().ID {
+		t.Fatalf("first timeout should retry the seed, got %v", out)
+	}
+	// Attempt cap reached: the join restarts through the fallback gateway.
+	out := j.Tick(time.Second)
+	if len(out) != 1 || out[0].Msg.Type() != msg.TCpRst {
+		t.Fatalf("give-up produced %v, want a fresh CpRst", out)
+	}
+	if out[0].To.ID != b.Self().ID {
+		t.Fatalf("restart went to %v, want fallback %v", out[0].To.ID, b.Self().ID)
+	}
+	if j.Status() != core.StatusCopying {
+		t.Fatalf("status after restart: %v", j.Status())
+	}
+
+	// Through the live gateway the join completes. The copied tables
+	// reference the crashed seed, so the joiner will talk to it too; keep
+	// dropping that traffic and let the clock retry around it.
+	pp.add(j)
+	deadID := seed.Self().ID
+	delete(pp.machines, deadID)
+	pp.enqueue(out)
+	for now := 2 * time.Second; now < 60*time.Second && !j.IsSNode(); now += 100 * time.Millisecond {
+		// Drain deliverable traffic by hand, dropping envelopes to the dead
+		// seed (the pump would panic on an unknown recipient).
+		for len(pp.queue) > 0 {
+			env := pp.queue[0]
+			pp.queue = pp.queue[1:]
+			if env.To.ID == deadID {
+				continue
+			}
+			pp.enqueue(pp.machines[env.To.ID].Deliver(env))
+		}
+		pp.enqueue(j.Tick(now))
+	}
+	if !j.IsSNode() {
+		t.Fatalf("joiner never recovered from gateway crash, stuck in %v", j.Status())
+	}
+}
+
+func TestDeclareFailedGossipAndDedupe(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	pp, members := buildSmallNetwork(t, p, 12, 9)
+	dead := members[4]
+
+	// Find a survivor that stores the dead node.
+	var holder *core.Machine
+	for _, ref := range members {
+		if ref.ID == dead.ID {
+			continue
+		}
+		m := pp.machines[ref.ID]
+		held := false
+		m.Table().ForEach(func(_, _ int, nb table.Neighbor) {
+			if nb.ID == dead.ID {
+				held = true
+			}
+		})
+		if held {
+			holder = m
+			break
+		}
+	}
+	if holder == nil {
+		t.Fatal("nobody stored the dead node — setup broken")
+	}
+
+	out := holder.DeclareFailed(dead)
+	if !holder.KnowsFailed(dead.ID) {
+		t.Fatal("DeclareFailed did not record the failure")
+	}
+	holder.Table().ForEach(func(level, digit int, nb table.Neighbor) {
+		if nb.ID == dead.ID {
+			t.Errorf("dead node still at (%d,%d) after DeclareFailed", level, digit)
+		}
+	})
+	var notis []msg.Envelope
+	for _, env := range out {
+		if env.Msg.Type() == msg.TFailedNoti {
+			notis = append(notis, env)
+		}
+	}
+	if len(notis) == 0 {
+		t.Fatal("declaration produced no FailedNoti gossip")
+	}
+
+	// First hearing: the co-holder drops the dead node and re-gossips.
+	env := notis[0]
+	peer := pp.machines[env.To.ID]
+	out2 := peer.Deliver(env)
+	if !peer.KnowsFailed(dead.ID) {
+		t.Fatal("gossip receiver did not record the failure")
+	}
+	regossiped := 0
+	for _, e := range out2 {
+		if e.Msg.Type() == msg.TFailedNoti {
+			regossiped++
+		}
+	}
+	if regossiped == 0 {
+		t.Fatal("first hearing did not re-gossip")
+	}
+	// Second hearing is a no-op (the gossip converges instead of echoing).
+	for _, e := range peer.Deliver(env) {
+		if e.Msg.Type() == msg.TFailedNoti {
+			t.Fatal("duplicate declaration re-gossiped")
+		}
+	}
+}
+
+func TestTickIssuesRepairQueries(t *testing.T) {
+	// A sparse space forces non-local repairs: after a declaration the
+	// machine's own clock must issue Find queries for the emptied entries.
+	p := id.Params{B: 16, D: 8}
+	pp, members := buildSmallNetwork(t, p, 16, 11)
+	dead := members[7]
+	var withJobs *core.Machine
+	for _, ref := range members {
+		if ref.ID == dead.ID {
+			continue
+		}
+		m := pp.machines[ref.ID]
+		m.DeclareFailed(dead)
+		if len(m.RepairsPending()) > 0 {
+			withJobs = m
+		}
+	}
+	if withJobs == nil {
+		t.Skip("every repair resolved locally at this seed; nothing to drive")
+	}
+	out := withJobs.Tick(time.Second)
+	finds := 0
+	for _, env := range out {
+		if env.Msg.Type() == msg.TFind {
+			finds++
+		}
+	}
+	if finds == 0 {
+		t.Fatalf("Tick sent no Find for %d pending repairs", len(withJobs.RepairsPending()))
+	}
+}

@@ -1,0 +1,407 @@
+// Package liveness implements autonomous failure detection for protocol
+// nodes: a probe scheduler that cycles through a node's neighbor table
+// and reverse-neighbor set, and a suspicion state machine that separates
+// transient loss from real crashes.
+//
+// The detector is deliberately transport-agnostic and clock-driven, like
+// core.Machine: Tick(now) consumes virtual or real time and returns the
+// probe messages to transmit plus any declared failures. The overlay
+// simulator drives it from the discrete-event clock (deterministic
+// tests); tcptransport drives it from a timer goroutine.
+//
+// Suspicion protocol (SWIM-flavored, adapted to the hypercube tables):
+//
+//   - alive: the target is probed when its turn comes in the round-robin
+//     cycle. A probe unanswered within ProbeTimeout is a miss; pongs and
+//     any other traffic from the target (Observe) reset the miss count.
+//   - suspect: after SuspectAfter consecutive misses. Each confirmation
+//     round sends one direct probe plus IndirectProbes relayed probes
+//     through distinct other neighbors, so one-way loss on the direct
+//     path cannot produce a false declaration.
+//   - declared: after ConfirmRounds confirmation rounds with no answer
+//     at all. The target is tombstoned (it can never be re-adopted from
+//     a stale table) and reported to the caller, which invokes the
+//     table-repair machinery (core.Machine.DeclareFailed).
+package liveness
+
+import (
+	"sort"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// Config tunes the failure detector. The zero value is usable: every
+// field falls back to the default documented on it.
+type Config struct {
+	// ProbeInterval is the gap between successive routine probes (one
+	// target per interval, round-robin). Default 250ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout is how long a probe may stay unanswered before it
+	// counts as a miss. Default 1s.
+	ProbeTimeout time.Duration
+	// SuspectAfter is the number of consecutive missed routine probes
+	// that turns an alive target into a suspect. Default 3.
+	SuspectAfter int
+	// IndirectProbes is the number of relayed probes (via distinct other
+	// neighbors) added to the direct probe in each confirmation round.
+	// Default 3; 0 disables indirect probing.
+	IndirectProbes int
+	// ConfirmRounds is the number of fully unanswered confirmation
+	// rounds needed to declare a suspect failed. Default 2.
+	ConfirmRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 250 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.IndirectProbes < 0 {
+		c.IndirectProbes = 0
+	}
+	if c.ConfirmRounds <= 0 {
+		c.ConfirmRounds = 2
+	}
+	return c
+}
+
+// Stats counts the detector's activity, for admin endpoints and tests.
+type Stats struct {
+	// ProbesSent counts direct probes; IndirectSent relayed ones.
+	ProbesSent   int
+	IndirectSent int
+	// PongsReceived counts answers attributable to an outstanding probe.
+	PongsReceived int
+	// Suspects counts alive -> suspect transitions.
+	Suspects int
+	// Recovered counts suspect -> alive transitions (false alarms caught
+	// by the confirmation round).
+	Recovered int
+	// Declared counts suspect -> declared-failed transitions.
+	Declared int
+}
+
+type targetState uint8
+
+const (
+	stateAlive targetState = iota + 1
+	stateSuspect
+)
+
+type target struct {
+	ref     table.Ref
+	state   targetState
+	missed  int // consecutive routine-probe misses while alive
+	rounds  int // completed confirmation rounds while suspect
+	pending int // outstanding probes (any kind) for this target
+}
+
+// probe is one in-flight probe: which target it checks and when it
+// expires.
+type probe struct {
+	target   id.ID
+	deadline time.Duration
+}
+
+// Prober is one node's failure detector. It is not safe for concurrent
+// use; drive it from one goroutine or under an external lock (the same
+// discipline as core.Machine).
+type Prober struct {
+	cfg  Config
+	self table.Ref
+
+	targets map[id.ID]*target
+	tombs   map[id.ID]bool // declared-failed; never re-adopted
+	cycle   []id.ID        // round-robin order (sorted, rebuilt on change)
+	cycleAt int
+	nextDue time.Duration // next routine probe time
+	started bool
+
+	seq      uint64
+	inflight map[uint64]probe
+	helperAt int // rotates indirect-probe helper choice
+
+	stats Stats
+	out   []msg.Envelope
+}
+
+// NewProber creates a detector for the node self.
+func NewProber(cfg Config, self table.Ref) *Prober {
+	return &Prober{
+		cfg:      cfg.withDefaults(),
+		self:     self,
+		targets:  make(map[id.ID]*target),
+		tombs:    make(map[id.ID]bool),
+		inflight: make(map[uint64]probe),
+	}
+}
+
+// Stats returns a copy of the activity counters.
+func (p *Prober) Stats() Stats { return p.stats }
+
+// SuspectCount returns how many targets are currently suspects.
+func (p *Prober) SuspectCount() int {
+	n := 0
+	for _, t := range p.targets {
+		if t.state == stateSuspect {
+			n++
+		}
+	}
+	return n
+}
+
+// TargetCount returns how many targets are currently monitored.
+func (p *Prober) TargetCount() int { return len(p.targets) }
+
+// SetTargets replaces the monitored set with refs (typically the union
+// of the node's table entries and reverse neighbors). Existing state for
+// retained targets survives; vanished targets are forgotten; tombstoned
+// (declared) targets are never re-adopted.
+func (p *Prober) SetTargets(refs []table.Ref) {
+	seen := make(map[id.ID]bool, len(refs))
+	changed := false
+	for _, r := range refs {
+		if r.ID == p.self.ID || p.tombs[r.ID] || seen[r.ID] {
+			continue
+		}
+		seen[r.ID] = true
+		if t, ok := p.targets[r.ID]; ok {
+			t.ref = r // refresh address
+			continue
+		}
+		p.targets[r.ID] = &target{ref: r, state: stateAlive}
+		changed = true
+	}
+	for x := range p.targets {
+		if !seen[x] {
+			delete(p.targets, x)
+			changed = true
+		}
+	}
+	if changed {
+		p.rebuildCycle()
+	}
+}
+
+func (p *Prober) rebuildCycle() {
+	p.cycle = p.cycle[:0]
+	for x := range p.targets {
+		p.cycle = append(p.cycle, x)
+	}
+	sort.Slice(p.cycle, func(i, j int) bool { return p.cycle[i].Less(p.cycle[j]) })
+	if p.cycleAt >= len(p.cycle) {
+		p.cycleAt = 0
+	}
+}
+
+// Observe notes non-probe traffic from a peer as evidence of liveness,
+// clearing any miss count or suspicion. Runtimes call it for every
+// delivered protocol message.
+func (p *Prober) Observe(from id.ID) {
+	if t, ok := p.targets[from]; ok {
+		p.markAlive(t)
+	}
+}
+
+func (p *Prober) markAlive(t *target) {
+	if t.state == stateSuspect {
+		p.stats.Recovered++
+	}
+	t.state = stateAlive
+	t.missed = 0
+	t.rounds = 0
+	t.pending = 0
+	// Orphan the in-flight probes so their expiry is ignored.
+	for seq, pr := range p.inflight {
+		if pr.target == t.ref.ID {
+			delete(p.inflight, seq)
+		}
+	}
+}
+
+// HandleMessage consumes a Ping or Pong addressed to this node and
+// returns any messages to transmit in response (a Pong, or the relayed
+// Ping of an indirect probe). Messages of other types are ignored.
+func (p *Prober) HandleMessage(env msg.Envelope) []msg.Envelope {
+	p.out = p.out[:0]
+	switch pm := env.Msg.(type) {
+	case msg.Ping:
+		p.out = append(p.out, RespondPing(p.self, env.From, pm)...)
+	case msg.Pong:
+		pr, ok := p.inflight[pm.Seq]
+		if !ok {
+			break // late answer for an already-resolved probe
+		}
+		delete(p.inflight, pm.Seq)
+		p.stats.PongsReceived++
+		if t, ok := p.targets[pr.target]; ok {
+			p.markAlive(t)
+		}
+	}
+	out := make([]msg.Envelope, len(p.out))
+	copy(out, p.out)
+	p.out = p.out[:0]
+	return out
+}
+
+// RespondPing implements the receiving side of the probe protocol for
+// node self: answer direct pings with a Pong to the origin, relay
+// indirect pings to their target. It is a free function so nodes
+// without a detector of their own can still be good probe citizens.
+func RespondPing(self, from table.Ref, pm msg.Ping) []msg.Envelope {
+	origin := pm.Origin
+	if origin.IsZero() {
+		origin = from
+	}
+	if !pm.Target.IsZero() && pm.Target.ID != self.ID {
+		// Indirect probe: relay unchanged; the target answers the origin.
+		return []msg.Envelope{{From: self, To: pm.Target, Msg: pm}}
+	}
+	if origin.ID == self.ID {
+		return nil // degenerate self-probe
+	}
+	return []msg.Envelope{{From: self, To: origin, Msg: msg.Pong{Seq: pm.Seq}}}
+}
+
+// Tick advances the detector to virtual (or real) time now. It returns
+// the probes to transmit and the targets newly declared failed; the
+// caller feeds declarations to core.Machine.DeclareFailed and transmits
+// both outputs.
+func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared []table.Ref) {
+	p.out = p.out[:0]
+
+	// Expire in-flight probes, collecting misses per target.
+	expired := make([]id.ID, 0, 4)
+	for seq, pr := range p.inflight {
+		if pr.deadline <= now {
+			delete(p.inflight, seq)
+			expired = append(expired, pr.target)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].Less(expired[j]) })
+	for _, x := range expired {
+		t, ok := p.targets[x]
+		if !ok {
+			continue
+		}
+		t.pending--
+		switch t.state {
+		case stateAlive:
+			t.missed++
+			if t.missed >= p.cfg.SuspectAfter {
+				t.state = stateSuspect
+				t.rounds = 0
+				p.stats.Suspects++
+				p.confirmRound(t, now)
+			}
+		case stateSuspect:
+			if t.pending > 0 {
+				continue // round still has probes in flight
+			}
+			t.rounds++
+			if t.rounds >= p.cfg.ConfirmRounds {
+				delete(p.targets, t.ref.ID)
+				p.tombs[t.ref.ID] = true
+				p.stats.Declared++
+				declared = append(declared, t.ref)
+				p.rebuildCycle()
+				continue
+			}
+			p.confirmRound(t, now)
+		}
+	}
+
+	// Routine round-robin probing of alive targets.
+	if !p.started {
+		p.started = true
+		p.nextDue = now
+	}
+	for p.nextDue <= now {
+		p.nextDue += p.cfg.ProbeInterval
+		t := p.nextAlive()
+		if t == nil {
+			break
+		}
+		// One routine probe per target at a time: a slow target must not
+		// accumulate overlapping probes that all expire as misses.
+		if t.pending == 0 {
+			p.sendProbe(t, table.Ref{}, now)
+		}
+	}
+
+	out = make([]msg.Envelope, len(p.out))
+	copy(out, p.out)
+	p.out = p.out[:0]
+	return out, declared
+}
+
+// nextAlive advances the round-robin cursor to the next alive target.
+func (p *Prober) nextAlive() *target {
+	for range p.cycle {
+		if len(p.cycle) == 0 {
+			return nil
+		}
+		x := p.cycle[p.cycleAt%len(p.cycle)]
+		p.cycleAt = (p.cycleAt + 1) % len(p.cycle)
+		if t, ok := p.targets[x]; ok && t.state == stateAlive {
+			return t
+		}
+	}
+	return nil
+}
+
+// confirmRound launches one confirmation round for a suspect: a direct
+// probe plus IndirectProbes relayed probes via distinct other targets.
+func (p *Prober) confirmRound(t *target, now time.Duration) {
+	p.sendProbe(t, table.Ref{}, now)
+	helpers := p.pickHelpers(t.ref.ID, p.cfg.IndirectProbes)
+	for _, h := range helpers {
+		p.sendProbe(t, h, now)
+	}
+}
+
+// pickHelpers returns up to n other non-suspect targets, rotating the
+// starting point so consecutive rounds try different relays.
+func (p *Prober) pickHelpers(suspect id.ID, n int) []table.Ref {
+	if n <= 0 || len(p.cycle) == 0 {
+		return nil
+	}
+	var out []table.Ref
+	start := p.helperAt
+	p.helperAt++
+	for i := 0; i < len(p.cycle) && len(out) < n; i++ {
+		x := p.cycle[(start+i)%len(p.cycle)]
+		t, ok := p.targets[x]
+		if !ok || x == suspect || t.state != stateAlive {
+			continue
+		}
+		out = append(out, t.ref)
+	}
+	return out
+}
+
+// sendProbe emits one probe for target t: direct when via is zero,
+// relayed through via otherwise.
+func (p *Prober) sendProbe(t *target, via table.Ref, now time.Duration) {
+	p.seq++
+	ping := msg.Ping{Seq: p.seq, Origin: p.self}
+	to := t.ref
+	if !via.IsZero() {
+		ping.Target = t.ref
+		to = via
+		p.stats.IndirectSent++
+	} else {
+		p.stats.ProbesSent++
+	}
+	p.inflight[p.seq] = probe{target: t.ref.ID, deadline: now + p.cfg.ProbeTimeout}
+	t.pending++
+	p.out = append(p.out, msg.Envelope{From: p.self, To: to, Msg: ping})
+}

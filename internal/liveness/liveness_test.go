@@ -1,0 +1,230 @@
+package liveness
+
+import (
+	"testing"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+var p44 = id.Params{B: 4, D: 4}
+
+func mkRef(t *testing.T, s string) table.Ref {
+	t.Helper()
+	return table.Ref{ID: id.MustParse(p44, s), Addr: "sim://" + s}
+}
+
+func cfgFast() Config {
+	return Config{
+		ProbeInterval:  100 * time.Millisecond,
+		ProbeTimeout:   250 * time.Millisecond,
+		SuspectAfter:   2,
+		IndirectProbes: 1,
+		ConfirmRounds:  2,
+	}
+}
+
+// drive ticks the prober in small steps up to deadline, feeding every
+// probe through respond (nil = blackhole) and collecting declarations.
+func drive(p *Prober, deadline time.Duration, respond func(env msg.Envelope) []msg.Envelope) []table.Ref {
+	var declared []table.Ref
+	for now := time.Duration(0); now <= deadline; now += 25 * time.Millisecond {
+		out, dec := p.Tick(now)
+		declared = append(declared, dec...)
+		for len(out) > 0 {
+			var next []msg.Envelope
+			for _, env := range out {
+				if respond == nil {
+					continue
+				}
+				next = append(next, respond(env)...)
+			}
+			out = next
+		}
+	}
+	return declared
+}
+
+func TestRoutineProbeAnswered(t *testing.T) {
+	self := mkRef(t, "0000")
+	a := mkRef(t, "1111")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{a})
+
+	// A responsive target is never suspected, let alone declared.
+	peer := NewProber(cfgFast(), a)
+	declared := drive(p, 3*time.Second, func(env msg.Envelope) []msg.Envelope {
+		if env.To.ID == a.ID {
+			return peer.HandleMessage(env)
+		}
+		if env.To.ID == self.ID {
+			return p.HandleMessage(env)
+		}
+		return nil
+	})
+	if len(declared) != 0 {
+		t.Fatalf("responsive target declared failed: %v", declared)
+	}
+	st := p.Stats()
+	if st.ProbesSent == 0 || st.PongsReceived == 0 {
+		t.Fatalf("no probe round trips recorded: %+v", st)
+	}
+	if st.Suspects != 0 || st.Declared != 0 {
+		t.Fatalf("spurious suspicion: %+v", st)
+	}
+}
+
+func TestSilentTargetDeclared(t *testing.T) {
+	self := mkRef(t, "0000")
+	dead := mkRef(t, "1111")
+	helper := mkRef(t, "2222")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{dead, helper})
+
+	// The helper answers (and relays indirect probes); dead stays silent.
+	relayed := 0
+	declared := drive(p, 10*time.Second, func(env msg.Envelope) []msg.Envelope {
+		switch env.To.ID {
+		case helper.ID:
+			out := RespondPing(helper, env.From, env.Msg.(msg.Ping))
+			for _, e := range out {
+				if e.To.ID == dead.ID {
+					relayed++
+				}
+			}
+			// Relayed pings vanish into the dead node.
+			var keep []msg.Envelope
+			for _, e := range out {
+				if e.To.ID != dead.ID {
+					keep = append(keep, e)
+				}
+			}
+			return keep
+		case self.ID:
+			return p.HandleMessage(env)
+		case dead.ID:
+			return nil
+		}
+		return nil
+	})
+	if len(declared) != 1 || declared[0].ID != dead.ID {
+		t.Fatalf("declared = %v, want exactly %v", declared, dead.ID)
+	}
+	st := p.Stats()
+	if st.Suspects != 1 || st.Declared != 1 {
+		t.Fatalf("stats %+v, want 1 suspect and 1 declaration", st)
+	}
+	if st.IndirectSent == 0 || relayed == 0 {
+		t.Fatalf("confirmation rounds sent no indirect probes (stats %+v, relayed %d)", st, relayed)
+	}
+	if p.TargetCount() != 1 {
+		t.Fatalf("declared target still monitored (%d targets)", p.TargetCount())
+	}
+
+	// Tombstone: a stale table re-offering the dead node must not revive it.
+	p.SetTargets([]table.Ref{dead, helper})
+	if p.TargetCount() != 1 {
+		t.Fatal("tombstoned target re-adopted from stale table")
+	}
+}
+
+func TestObserveClearsSuspicion(t *testing.T) {
+	self := mkRef(t, "0000")
+	a := mkRef(t, "1111")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{a})
+
+	// Let probes go unanswered until a is a suspect.
+	for now := time.Duration(0); p.SuspectCount() == 0 && now < 5*time.Second; now += 25 * time.Millisecond {
+		p.Tick(now)
+	}
+	if p.SuspectCount() != 1 {
+		t.Fatal("target never became suspect")
+	}
+	// Any protocol traffic from a proves it alive.
+	p.Observe(a.ID)
+	if p.SuspectCount() != 0 {
+		t.Fatal("Observe did not clear suspicion")
+	}
+	if p.Stats().Recovered != 1 {
+		t.Fatalf("stats %+v, want Recovered=1", p.Stats())
+	}
+	// And its orphaned probes expiring later must not re-suspect it.
+	out, declared := p.Tick(10 * time.Second)
+	_ = out
+	if len(declared) != 0 || p.SuspectCount() != 0 {
+		t.Fatal("stale probe expiry re-suspected a recovered target")
+	}
+}
+
+func TestRespondPingDirectAndRelay(t *testing.T) {
+	self := mkRef(t, "0000")
+	origin := mkRef(t, "1111")
+	target := mkRef(t, "2222")
+
+	// Direct probe: pong to the origin.
+	out := RespondPing(self, origin, msg.Ping{Seq: 9, Origin: origin})
+	if len(out) != 1 || out[0].To.ID != origin.ID {
+		t.Fatalf("direct ping answered %v", out)
+	}
+	if pong, ok := out[0].Msg.(msg.Pong); !ok || pong.Seq != 9 {
+		t.Fatalf("direct ping answer = %v, want Pong{9}", out[0].Msg)
+	}
+
+	// Indirect probe addressed to someone else: relay unchanged.
+	ping := msg.Ping{Seq: 10, Origin: origin, Target: target}
+	out = RespondPing(self, origin, ping)
+	if len(out) != 1 || out[0].To.ID != target.ID {
+		t.Fatalf("indirect ping relayed %v", out)
+	}
+	if got := out[0].Msg.(msg.Ping); got != ping {
+		t.Fatalf("relay mutated the ping: %v", got)
+	}
+
+	// Indirect probe that reached its target: pong to the origin, not the relay.
+	relay := mkRef(t, "3333")
+	out = RespondPing(target, relay, ping)
+	if len(out) != 1 || out[0].To.ID != origin.ID {
+		t.Fatalf("terminal indirect ping answered %v", out)
+	}
+}
+
+func TestLatePongIgnored(t *testing.T) {
+	self := mkRef(t, "0000")
+	a := mkRef(t, "1111")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{a})
+	out, _ := p.Tick(0)
+	if len(out) != 1 {
+		t.Fatalf("first tick sent %d probes", len(out))
+	}
+	seq := out[0].Msg.(msg.Ping).Seq
+	// Let the probe expire, then answer it.
+	p.Tick(time.Second)
+	p.HandleMessage(msg.Envelope{From: a, To: self, Msg: msg.Pong{Seq: seq}})
+	if p.Stats().PongsReceived != 0 {
+		t.Fatal("expired probe's pong still counted")
+	}
+}
+
+func TestSetTargetsRefreshesAndForgets(t *testing.T) {
+	self := mkRef(t, "0000")
+	a := mkRef(t, "1111")
+	b := mkRef(t, "2222")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{a, b, self}) // self is never monitored
+	if p.TargetCount() != 2 {
+		t.Fatalf("TargetCount = %d, want 2", p.TargetCount())
+	}
+	// b vanishes from the table (graceful leave): forgotten, not declared.
+	p.SetTargets([]table.Ref{a})
+	if p.TargetCount() != 1 {
+		t.Fatalf("TargetCount = %d after removal, want 1", p.TargetCount())
+	}
+	_, declared := p.Tick(time.Minute)
+	if len(declared) != 0 {
+		t.Fatalf("forgotten target declared: %v", declared)
+	}
+}

@@ -54,8 +54,14 @@ const (
 	TFind
 	// TFindRly answers a FindMsg to its origin.
 	TFindRly
+	// TPing probes a node for liveness (directly or via a relay).
+	TPing
+	// TPong answers a PingMsg to its origin.
+	TPong
+	// TFailedNoti gossips a declared crash to co-holders.
+	TFailedNoti
 
-	numTypes = int(TFindRly)
+	numTypes = int(TFailedNoti)
 )
 
 var typeNames = [...]string{
@@ -74,6 +80,9 @@ var typeNames = [...]string{
 	TLeaveRly:     "LeaveRlyMsg",
 	TFind:         "FindMsg",
 	TFindRly:      "FindRlyMsg",
+	TPing:         "PingMsg",
+	TPong:         "PongMsg",
+	TFailedNoti:   "FailedNotiMsg",
 }
 
 // String returns the paper's name for the message type.
@@ -88,7 +97,7 @@ func (t Type) String() string {
 // counters and tests.
 func Types() []Type {
 	out := make([]Type, 0, numTypes)
-	for t := TCpRst; t <= TFindRly; t++ {
+	for t := TCpRst; t <= TFailedNoti; t++ {
 		out = append(out, t)
 	}
 	return out

@@ -45,10 +45,11 @@ func TestTypeNamesMatchPaper(t *testing.T) {
 
 func TestTypesEnumeratesAll(t *testing.T) {
 	types := Types()
-	// 11 message types of Figure 4 plus the four §7-extension messages
-	// (Leave, LeaveRly, Find, FindRly).
-	if len(types) != 15 {
-		t.Fatalf("Types() has %d entries, want 15", len(types))
+	// 11 message types of Figure 4, the four §7-extension messages
+	// (Leave, LeaveRly, Find, FindRly), and the three liveness messages
+	// (Ping, Pong, FailedNoti).
+	if len(types) != 18 {
+		t.Fatalf("Types() has %d entries, want 18", len(types))
 	}
 	seen := make(map[Type]bool)
 	for _, typ := range types {
@@ -73,6 +74,7 @@ func TestBigClassification(t *testing.T) {
 		CpRst{}, JoinWait{}, InSysNoti{},
 		SpeNoti{}, SpeNotiRly{}, RvNghNoti{}, RvNghNotiRly{},
 		LeaveRly{}, Find{}, FindRly{},
+		Ping{}, Pong{}, FailedNoti{},
 	}
 	for _, m := range big {
 		if !m.Big() {
@@ -212,6 +214,9 @@ func TestAllMessagesTypeAndSize(t *testing.T) {
 		{LeaveRly{}, TLeaveRly},
 		{Find{Want: suffix, Origin: ref, Avoid: snap.Owner()}, TFind},
 		{FindRly{Want: suffix, Found: nb}, TFindRly},
+		{Ping{Seq: 7, Origin: ref, Target: ref}, TPing},
+		{Pong{Seq: 7}, TPong},
+		{FailedNoti{Failed: ref}, TFailedNoti},
 	}
 	if len(cases) != len(Types()) {
 		t.Fatalf("case list covers %d of %d message types", len(cases), len(Types()))

@@ -13,14 +13,19 @@ import (
 
 // ScheduleLeave schedules node x's graceful departure (the §7 leave
 // extension) at virtual time at. After Run, call FinalizeLeaves to
-// unregister nodes that completed their departure.
+// unregister nodes that completed their departure. A node no longer in
+// system when the time arrives (it crashed or already left) is skipped.
 func (n *Network) ScheduleLeave(x id.ID, at time.Duration) error {
 	m, ok := n.machines[x]
 	if !ok {
 		return fmt.Errorf("overlay: leave of unknown node %v", x)
 	}
 	n.engine.ScheduleAt(at, func() {
-		n.transmit(m.StartLeave())
+		out, err := m.StartLeave()
+		if err != nil {
+			return
+		}
+		n.transmit(out)
 	})
 	return nil
 }
@@ -36,6 +41,7 @@ func (n *Network) FinalizeLeaves() []id.ID {
 	}
 	for _, x := range gone {
 		delete(n.machines, x)
+		delete(n.probers, x)
 		n.removed[x] = true
 	}
 	return gone
@@ -49,6 +55,7 @@ func (n *Network) InjectFailure(x id.ID) error {
 		return fmt.Errorf("overlay: failure of unknown node %v", x)
 	}
 	delete(n.machines, x)
+	delete(n.probers, x)
 	n.removed[x] = true
 	return nil
 }
@@ -71,45 +78,62 @@ type RecoveryStats struct {
 	Unrepaired int
 }
 
-// RecoverFailure repairs all surviving tables after the crash of dead:
-// every holder first repairs locally (DropFailed), then unresolved
-// entries are refilled through routed Find queries, retried over rounds
-// because early queries may route through the dead node's stale entries
-// elsewhere. Runs the network to quiescence each round.
+// RecoverFailure repairs all surviving tables after the crash of dead.
+// It is the single-crash form of RecoverFailures.
 func (n *Network) RecoverFailure(dead id.ID, rng *rand.Rand, maxRounds int) RecoveryStats {
+	return n.RecoverFailures([]id.ID{dead}, rng, maxRounds)
+}
+
+// RecoverFailures is the offline/batch repair path: given the set of
+// crashed nodes (named by an oracle, e.g. a test harness), every
+// surviving holder first repairs locally (DropFailed), then unresolved
+// entries are refilled through the machines' own repair jobs —
+// KickRepairs, the same trigger code the autonomous failure-detection
+// path runs from Machine.Tick — forced in rounds to quiescence.
+//
+// The autonomous path (Config.Liveness plus core.Options.Timeouts) makes
+// this oracle unnecessary; it remains for deterministic experiments and
+// for repairing after simulated crashes without running virtual time.
+func (n *Network) RecoverFailures(dead []id.ID, rng *rand.Rand, maxRounds int) RecoveryStats {
 	if maxRounds <= 0 {
 		maxRounds = 2*n.cfg.Params.D + 6
 	}
 	var st RecoveryStats
 
 	// Round 0: local repair everywhere; remember which holders lost their
-	// deepest-known neighbor.
-	pending := make(map[id.ID][][2]int)
-	var orphans []*core.Machine
+	// deepest-known neighbor. DropFailed runs on every machine, holder or
+	// not: non-holders may still reference a dead node in their
+	// reverse-neighbor sets, and a stale reverse entry would make a later
+	// graceful leave wait forever for an acknowledgment that never comes.
 	// Deterministic iteration: simulation runs must replay identically.
 	ids := make([]id.ID, 0, len(n.machines))
 	for x := range n.machines {
 		ids = append(ids, x)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	var orphans []*core.Machine
 	for _, x := range ids {
 		m := n.machines[x]
-		before := countEntriesOf(m, dead)
-		if before > 0 {
+		held := 0
+		orphan := false
+		for _, d := range dead {
+			if c := countEntriesOf(m, d); c > 0 {
+				held += c
+				if m.DeepestNeighborIs(d) {
+					orphan = true
+				}
+			}
+		}
+		if held > 0 {
 			st.Holders++
-			if m.DeepestNeighborIs(dead) {
+			if orphan {
 				orphans = append(orphans, m)
 			}
 		}
-		// DropFailed runs on every machine, holder or not: non-holders may
-		// still reference the dead node in their reverse-neighbor sets, and
-		// a stale reverse entry would make a later graceful leave wait
-		// forever for an acknowledgment that can never come.
-		unrepaired := m.DropFailed(dead)
-		st.LocalRepairs += before - len(unrepaired)
-		if len(unrepaired) > 0 {
-			pending[x] = unrepaired
+		for _, d := range dead {
+			m.DropFailed(d)
 		}
+		st.LocalRepairs += held - len(m.RepairsPending())
 	}
 
 	// Orphan re-join: a node whose deepest neighbor crashed may have been
@@ -123,103 +147,81 @@ func (n *Network) RecoverFailure(dead id.ID, rng *rand.Rand, maxRounds int) Reco
 	// anywhere (so JoinWait dependencies are acyclic), but re-joining
 	// nodes already appear in each other's tables and could park each
 	// other in Qj forever.
+	deadSet := make(map[id.ID]bool, len(dead))
+	for _, d := range dead {
+		deadSet[d] = true
+	}
 	for _, m := range orphans {
-		helper := pickHelper(m, dead, rng)
+		helper := pickHelper(m, deadSet, rng)
 		if helper.IsZero() {
 			continue
 		}
+		out, err := m.StartRejoin(helper)
+		if err != nil {
+			continue // e.g. knocked out of in_system by a concurrent repair
+		}
 		st.Rejoined++
-		n.transmit(m.StartRejoin(helper))
+		n.transmit(out)
 		n.Run()
 	}
 	n.Run()
 
-	// Convergence rule: when the dead node was the sole carrier of a
+	// Convergence rule: when a dead node was the sole carrier of a
 	// suffix, every node that could certify the suffix's status is itself
 	// waiting for a repair, and all queries block on each other. A live
-	// carrier, in contrast, answers any query that reaches it, so rounds
-	// with fresh random helpers make progress with high probability while
-	// any live carrier exists. After zeroProgressLimit consecutive rounds
+	// carrier, in contrast, answers any query that reaches it, so forced
+	// rounds (each rotating to fresh helpers) make progress while any
+	// live carrier exists. After zeroProgressLimit consecutive rounds
 	// without a single resolution, the remaining suffixes are concluded
 	// dead and their entries stay (correctly) empty.
 	const zeroProgressLimit = 3
+	settleAll := func() (progress int) {
+		for _, x := range ids {
+			filled, emptied := n.machines[x].SettleRepairs()
+			st.RoutedRepairs += filled
+			st.Emptied += emptied
+			progress += filled + emptied
+		}
+		return progress
+	}
+	pendingAll := func() int {
+		total := 0
+		for _, x := range ids {
+			total += len(n.machines[x].RepairsPending())
+		}
+		return total
+	}
 	zeroProgress := 0
-	for round := 0; len(pending) > 0 && round < maxRounds; round++ {
-		st.Rounds++
-		for _, x := range sortedKeys(pending) {
-			entries := pending[x]
-			m := n.machines[x]
-			for _, e := range entries {
-				if !m.Table().Get(e[0], e[1]).IsZero() {
-					continue // already refilled (e.g. by a rejoin notification)
-				}
-				helper := pickHelper(m, dead, rng)
-				if helper.IsZero() {
-					continue // isolated; retry next round after others repair
-				}
-				n.transmit(m.RepairEntry(e[0], e[1], helper, dead))
+	for round := 0; round < maxRounds; round++ {
+		progress := settleAll()
+		if round > 0 {
+			if progress > 0 {
+				zeroProgress = 0
+			} else {
+				zeroProgress++
 			}
 		}
-		n.Run()
-		next := make(map[id.ID][][2]int)
-		progress := 0
-		for _, x := range sortedKeys(pending) {
-			entries := pending[x]
-			m := n.machines[x]
-			var still [][2]int
-			for _, e := range entries {
-				if !m.Table().Get(e[0], e[1]).IsZero() {
-					m.AbandonRepair(e[0], e[1]) // clear bookkeeping; entry is filled
-					st.RoutedRepairs++
-					progress++
-					continue
-				}
-				switch m.ResolveRepair(e[0], e[1]) {
-				case core.RepairFilled:
-					st.RoutedRepairs++
-					progress++
-				case core.RepairEmpty:
-					st.Emptied++
-					progress++
-				default: // blocked or pending: try again
-					still = append(still, e)
-				}
-			}
-			if len(still) > 0 {
-				next[x] = still
-			}
-		}
-		pending = next
-		if progress > 0 {
-			zeroProgress = 0
-			continue
-		}
-		zeroProgress++
 		if zeroProgress >= zeroProgressLimit {
-			for _, x := range sortedKeys(pending) {
-				entries := pending[x]
+			for _, x := range ids {
 				m := n.machines[x]
-				for _, e := range entries {
+				for _, e := range m.RepairsPending() {
 					m.AbandonRepair(e[0], e[1])
 					st.Emptied++
 				}
 			}
-			pending = nil
 		}
+		if pendingAll() == 0 {
+			break
+		}
+		st.Rounds++
+		for _, x := range ids {
+			n.transmit(n.machines[x].KickRepairs(n.engine.Now(), true))
+		}
+		n.Run()
 	}
-	for _, entries := range pending {
-		st.Unrepaired += len(entries)
-	}
+	settleAll()
+	st.Unrepaired = pendingAll()
 	return st
-}
-
-func sortedKeys(m map[id.ID][][2]int) []id.ID {
-	out := make([]id.ID, 0, len(m))
-	for x := range m {
-		out = append(out, x)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
-	return out
 }
 
 func countEntriesOf(m *core.Machine, who id.ID) int {
@@ -232,12 +234,12 @@ func countEntriesOf(m *core.Machine, who id.ID) int {
 	return c
 }
 
-// pickHelper chooses a random live neighbor to start a Find query from.
-func pickHelper(m *core.Machine, dead id.ID, rng *rand.Rand) table.Ref {
+// pickHelper chooses a random live neighbor to start a rejoin from.
+func pickHelper(m *core.Machine, dead map[id.ID]bool, rng *rand.Rand) table.Ref {
 	var candidates []table.Ref
 	seen := make(map[id.ID]bool)
 	m.Table().ForEach(func(_, _ int, nb table.Neighbor) {
-		if nb.ID == dead || nb.ID == m.Self().ID || seen[nb.ID] {
+		if dead[nb.ID] || nb.ID == m.Self().ID || seen[nb.ID] {
 			return
 		}
 		seen[nb.ID] = true

@@ -262,14 +262,14 @@ func TestLeaveStatusTransitions(t *testing.T) {
 	}
 }
 
-func TestStartLeavePanicsOnJoiner(t *testing.T) {
+func TestStartLeaveErrorsOnJoiner(t *testing.T) {
 	j := core.NewJoiner(p164, table.Ref{ID: id.MustParse(p164, "1234"), Addr: "x"}, core.Options{})
-	defer func() {
-		if recover() == nil {
-			t.Error("StartLeave on joiner did not panic")
-		}
-	}()
-	j.StartLeave()
+	if _, err := j.StartLeave(); err == nil {
+		t.Error("StartLeave on joiner did not error")
+	}
+	if j.Status() != core.StatusCopying {
+		t.Errorf("failed StartLeave changed status to %v", j.Status())
+	}
 }
 
 func TestChurnMixKeepsReachability(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/id"
+	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
 	"hypercube/internal/sim"
@@ -100,6 +101,11 @@ type Loss struct {
 	MaxAttempts int
 	// Seed feeds the deterministic loss stream.
 	Seed int64
+	// OneWay restricts loss to a single direction per node pair (picked
+	// by hashing the pair), modeling asymmetric path failures — the
+	// scenario indirect probes exist for. The reverse direction delivers
+	// reliably.
+	OneWay bool
 }
 
 func (l *Loss) retryDelay() time.Duration {
@@ -127,6 +133,12 @@ type Config struct {
 	// Loss optionally subjects deliveries to message loss with
 	// retransmission; nil means the reliable network of the paper.
 	Loss *Loss
+	// Liveness attaches a failure detector (internal/liveness) to every
+	// machine; nil disables autonomous failure detection.
+	Liveness *liveness.Config
+	// TickInterval is the cadence of the clock pump driving probers and
+	// Machine.Tick during RunFor. Default 50ms.
+	TickInterval time.Duration
 }
 
 // JoinRecord captures one node's completed join.
@@ -158,6 +170,11 @@ type Network struct {
 	lossRng     *rand.Rand
 	retransmits uint64
 	lost        uint64
+	// probers holds each node's failure detector (Config.Liveness).
+	probers map[id.ID]*liveness.Prober
+	// livenessUntil bounds tick-pump rescheduling so Run() can quiesce.
+	livenessUntil time.Duration
+	tickPending   bool
 }
 
 // New creates an empty network.
@@ -177,6 +194,7 @@ func New(cfg Config) *Network {
 		machines:        make(map[id.ID]*core.Machine),
 		joinersInFlight: make(map[id.ID]time.Duration),
 		removed:         make(map[id.ID]bool),
+		probers:         make(map[id.ID]*liveness.Prober),
 	}
 	if cfg.Loss != nil {
 		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
@@ -205,6 +223,9 @@ func (n *Network) addMachine(m *core.Machine) {
 		panic(fmt.Sprintf("overlay: duplicate node %v", m.Self().ID))
 	}
 	n.machines[m.Self().ID] = m
+	if n.cfg.Liveness != nil {
+		n.probers[m.Self().ID] = liveness.NewProber(*n.cfg.Liveness, m.Self())
+	}
 }
 
 // BuildDirect installs a consistent network over the given members using
@@ -277,13 +298,20 @@ func (n *Network) BuildByJoins(members []table.Ref, rng *rand.Rand) error {
 }
 
 // ScheduleJoin creates a joiner machine and schedules its StartJoin at
-// the given virtual time.
-func (n *Network) ScheduleJoin(ref table.Ref, g0 table.Ref, at time.Duration) *core.Machine {
+// the given virtual time. Optional fallback refs are registered as
+// restart gateways: if the bootstrap crashes mid-join, the machine's
+// timeout handling re-runs the join through one of them.
+func (n *Network) ScheduleJoin(ref table.Ref, g0 table.Ref, at time.Duration, fallbacks ...table.Ref) *core.Machine {
 	m := core.NewJoiner(n.cfg.Params, ref, n.cfg.Opts)
+	m.AddGateways(fallbacks...)
 	n.addMachine(m)
 	n.engine.ScheduleAt(at, func() {
 		n.joinersInFlight[ref.ID] = n.engine.Now()
-		n.transmit(m.StartJoin(g0))
+		out, err := m.StartJoin(g0)
+		if err != nil {
+			panic(fmt.Sprintf("overlay: scheduled join of %v: %v", ref.ID, err))
+		}
+		n.transmit(out)
 	})
 	return m
 }
@@ -298,15 +326,18 @@ func (n *Network) transmit(envs []msg.Envelope) {
 // post schedules one transmission attempt of env. Under Config.Loss a
 // transmission may be lost in flight; the sender then retransmits
 // after an exponential timeout, and gives up (dead-letter) after
-// MaxAttempts transmissions.
+// MaxAttempts transmissions. Probes (Ping/Pong) are never retransmitted:
+// detecting their loss is the failure detector's whole job, and a
+// reliable probe channel would mask exactly the signal it measures.
 func (n *Network) post(env msg.Envelope, attempt int) {
 	delay := n.cfg.Latency(env.From, env.To)
 	if attempt > 1 {
 		delay += n.cfg.Loss.retryDelay() << (attempt - 2)
 	}
 	n.engine.Schedule(delay, func() {
-		if l := n.cfg.Loss; l != nil && n.lossRng.Float64() < l.Rate {
-			if attempt >= l.maxAttempts() {
+		if l := n.cfg.Loss; l != nil && n.lossDrop(env) {
+			t := env.Msg.Type()
+			if t == msg.TPing || t == msg.TPong || attempt >= l.maxAttempts() {
 				n.lost++
 				return
 			}
@@ -316,6 +347,34 @@ func (n *Network) post(env msg.Envelope, attempt int) {
 		}
 		n.deliver(env)
 	})
+}
+
+// lossDrop decides whether this transmission is lost. Under Loss.OneWay
+// only the pair's hash-chosen lossy direction ever drops.
+func (n *Network) lossDrop(env msg.Envelope) bool {
+	l := n.cfg.Loss
+	if l.OneWay && !n.lossyDirection(env.From.ID, env.To.ID) {
+		return false
+	}
+	return n.lossRng.Float64() < l.Rate
+}
+
+// lossyDirection reports whether from->to is the lossy direction of the
+// unordered pair {from,to}, chosen deterministically from the seed.
+func (n *Network) lossyDirection(from, to id.ID) bool {
+	a, b := from.String(), to.String()
+	flip := false
+	if b < a {
+		a, b = b, a
+		flip = true
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", n.cfg.Loss.Seed, a, b)
+	lowToHigh := h.Sum64()&1 == 0
+	if flip {
+		return !lowToHigh
+	}
+	return lowToHigh
 }
 
 func (n *Network) deliver(env msg.Envelope) {
@@ -328,6 +387,17 @@ func (n *Network) deliver(env msg.Envelope) {
 		panic(fmt.Sprintf("overlay: envelope for unknown node %v: %v", env.To.ID, env))
 	}
 	n.delivered++
+	if p := n.probers[env.To.ID]; p != nil {
+		t := env.Msg.Type()
+		if t == msg.TPing || t == msg.TPong {
+			// The detector owns the probe protocol; the machine never
+			// sees probes when a prober is attached.
+			n.transmit(p.HandleMessage(env))
+			return
+		}
+		// Any other traffic from a peer is evidence of its liveness.
+		p.Observe(env.From.ID)
+	}
 	out := m.Deliver(env)
 	if started, joining := n.joinersInFlight[env.To.ID]; joining && m.IsSNode() {
 		c := m.Counters()
@@ -349,6 +419,103 @@ func (n *Network) deliver(env msg.Envelope) {
 // Run drains the event queue and returns the number of events processed.
 func (n *Network) Run() uint64 {
 	return n.engine.Run(n.cfg.MaxEvents)
+}
+
+func (n *Network) tickInterval() time.Duration {
+	if n.cfg.TickInterval > 0 {
+		return n.cfg.TickInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// RunFor advances the network by d of virtual time with the clock pump
+// running: every TickInterval each prober probes and each machine's
+// Tick fires (timeout resends, repair queries, rejoins). After the
+// deadline the pump stops rescheduling and remaining in-flight messages
+// drain, so the network quiesces like Run. Returns events processed.
+func (n *Network) RunFor(d time.Duration) uint64 {
+	deadline := n.engine.Now() + d
+	if deadline > n.livenessUntil {
+		n.livenessUntil = deadline
+	}
+	n.scheduleTick()
+	ev := n.engine.RunUntil(deadline)
+	return ev + n.engine.Run(n.cfg.MaxEvents)
+}
+
+// scheduleTick arms the recurring clock pump. It reschedules itself only
+// while before livenessUntil, so plain Run() calls still quiesce.
+func (n *Network) scheduleTick() {
+	if n.tickPending {
+		return
+	}
+	if n.cfg.Liveness == nil && !n.cfg.Opts.Timeouts.Enabled() {
+		return
+	}
+	n.tickPending = true
+	n.engine.Schedule(n.tickInterval(), func() {
+		n.tickPending = false
+		n.tick()
+		if n.engine.Now() < n.livenessUntil {
+			n.scheduleTick()
+		}
+	})
+}
+
+// tick runs one clock-pump round over all machines in sorted order
+// (determinism: declarations and repairs must replay identically).
+func (n *Network) tick() {
+	now := n.engine.Now()
+	ids := make([]id.ID, 0, len(n.machines))
+	for x := range n.machines {
+		ids = append(ids, x)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	for _, x := range ids {
+		m := n.machines[x]
+		if p := n.probers[x]; p != nil {
+			p.SetTargets(probeTargets(m))
+			out, declared := p.Tick(now)
+			n.transmit(out)
+			for _, ref := range declared {
+				n.transmit(m.DeclareFailed(ref))
+			}
+		}
+		n.transmit(m.Tick(now))
+	}
+}
+
+// probeTargets collects a machine's monitoring set: every table entry
+// plus every reverse neighbor.
+func probeTargets(m *core.Machine) []table.Ref {
+	var out []table.Ref
+	m.Table().ForEach(func(_, _ int, nb table.Neighbor) {
+		if nb.ID != m.Self().ID {
+			out = append(out, nb.Ref())
+		}
+	})
+	return append(out, m.ReverseNeighbors()...)
+}
+
+// LivenessStats aggregates detector counters over all live nodes.
+func (n *Network) LivenessStats() liveness.Stats {
+	var total liveness.Stats
+	for _, p := range n.probers {
+		s := p.Stats()
+		total.ProbesSent += s.ProbesSent
+		total.IndirectSent += s.IndirectSent
+		total.PongsReceived += s.PongsReceived
+		total.Suspects += s.Suspects
+		total.Recovered += s.Recovered
+		total.Declared += s.Declared
+	}
+	return total
+}
+
+// Prober returns node x's failure detector, if liveness is enabled.
+func (n *Network) Prober(x id.ID) (*liveness.Prober, bool) {
+	p, ok := n.probers[x]
+	return p, ok
 }
 
 // Delivered returns the total number of messages delivered so far.

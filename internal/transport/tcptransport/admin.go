@@ -31,17 +31,29 @@ func (n *Node) AdminHandler() http.Handler {
 }
 
 type statusResponse struct {
-	ID       string         `json:"id"`
-	Addr     string         `json:"addr"`
-	Status   string         `json:"status"`
-	B        int            `json:"b"`
-	D        int            `json:"d"`
-	Filled   int            `json:"filledEntries"`
-	Sent     map[string]int `json:"sent"`
-	Received map[string]int `json:"received"`
-	Retried  map[string]int `json:"retried,omitempty"`
-	Dropped  map[string]int `json:"dropped,omitempty"`
-	Bytes    int            `json:"bytesSent"`
+	ID       string          `json:"id"`
+	Addr     string          `json:"addr"`
+	Status   string          `json:"status"`
+	B        int             `json:"b"`
+	D        int             `json:"d"`
+	Filled   int             `json:"filledEntries"`
+	Sent     map[string]int  `json:"sent"`
+	Received map[string]int  `json:"received"`
+	Retried  map[string]int  `json:"retried,omitempty"`
+	Dropped  map[string]int  `json:"dropped,omitempty"`
+	Bytes    int             `json:"bytesSent"`
+	Liveness *livenessStatus `json:"liveness,omitempty"`
+}
+
+// livenessStatus is the failure detector's slice of /status; present
+// only when the node was started with WithLiveness.
+type livenessStatus struct {
+	Targets       int `json:"targets"`
+	ProbesSent    int `json:"probesSent"`
+	IndirectSent  int `json:"indirectSent"`
+	PongsReceived int `json:"pongsReceived"`
+	Suspects      int `json:"suspects"`
+	Declared      int `json:"declared"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -71,6 +83,19 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 		}
 		if v := c.DroppedOf(typ); v > 0 {
 			resp.Dropped[typ.String()] = v
+		}
+	}
+	if stats, suspects, ok := n.LivenessStats(); ok {
+		n.probeMu.Lock()
+		targets := n.prober.TargetCount()
+		n.probeMu.Unlock()
+		resp.Liveness = &livenessStatus{
+			Targets:       targets,
+			ProbesSent:    stats.ProbesSent,
+			IndirectSent:  stats.IndirectSent,
+			PongsReceived: stats.PongsReceived,
+			Suspects:      suspects,
+			Declared:      stats.Declared,
 		}
 	}
 	writeJSON(w, resp)

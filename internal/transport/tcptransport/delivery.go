@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 )
 
@@ -40,6 +41,11 @@ type Config struct {
 	// Faults optionally injects transport failures (tests and
 	// experiments). Nil disables injection.
 	Faults *Faults
+	// Liveness enables the failure detector: a background goroutine
+	// probes table and reverse neighbors, declares unresponsive peers
+	// failed, and drives Machine.Tick for join timeouts and repair.
+	// Nil disables it.
+	Liveness *liveness.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +106,11 @@ func WithPollInterval(d time.Duration) Option {
 // WithFaults installs a fault injector.
 func WithFaults(f *Faults) Option {
 	return func(c *Config) { c.Faults = f }
+}
+
+// WithLiveness enables the failure detector with the given tuning.
+func WithLiveness(lc liveness.Config) Option {
+	return func(c *Config) { c.Liveness = &lc }
 }
 
 // Faults injects failures into the outbound delivery path so the

@@ -12,6 +12,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/id"
+	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/table"
 )
@@ -26,6 +27,14 @@ type Node struct {
 
 	mu      sync.Mutex // guards machine
 	machine *core.Machine
+
+	// probeMu guards prober. It is never held together with mu: the
+	// liveness tick snapshots machine state under mu first, releases it,
+	// then updates the prober — so probe traffic cannot deadlock against
+	// protocol delivery.
+	probeMu sync.Mutex
+	prober  *liveness.Prober
+	start   time.Time
 
 	ln net.Listener
 
@@ -78,6 +87,12 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	}
 	ref := table.Ref{ID: nodeID, Addr: ln.Addr().String()}
 	n.machine = mk(ref)
+	n.start = time.Now()
+	if n.cfg.Liveness != nil {
+		n.prober = liveness.NewProber(*n.cfg.Liveness, ref)
+		n.wg.Add(1)
+		go n.livenessLoop()
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -114,8 +129,11 @@ func (n *Node) Counters() msg.Counters {
 // asynchronously and surface through Counters and AwaitStatus.
 func (n *Node) Join(bootstrap table.Ref) error {
 	n.mu.Lock()
-	out := n.machine.StartJoin(bootstrap)
+	out, err := n.machine.StartJoin(bootstrap)
 	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	return n.sendAll(out)
 }
 
@@ -123,8 +141,11 @@ func (n *Node) Join(bootstrap table.Ref) error {
 // before shutting the node down so holders can repair their tables.
 func (n *Node) Leave() error {
 	n.mu.Lock()
-	out := n.machine.StartLeave()
+	out, err := n.machine.StartLeave()
 	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	return n.sendAll(out)
 }
 
@@ -144,6 +165,73 @@ func (n *Node) AwaitStatus(ctx context.Context, want core.Status) error {
 		case <-tick.C:
 		}
 	}
+}
+
+// livenessLoop drives the failure detector and the machine's timeout
+// clock off real time. Each tick snapshots the machine's neighbor set,
+// advances the prober (probe sends, suspicion, declarations), feeds any
+// declared failures back into the machine, and runs Machine.Tick for
+// join-protocol retransmissions and repair scheduling.
+func (n *Node) livenessLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.Liveness.ProbeInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+			n.livenessTick()
+		}
+	}
+}
+
+func (n *Node) livenessTick() {
+	now := time.Since(n.start)
+
+	n.mu.Lock()
+	var targets []table.Ref
+	self := n.machine.Self().ID
+	n.machine.Table().ForEach(func(_, _ int, nb table.Neighbor) {
+		if nb.ID != self {
+			targets = append(targets, nb.Ref())
+		}
+	})
+	targets = append(targets, n.machine.ReverseNeighbors()...)
+	n.mu.Unlock()
+
+	n.probeMu.Lock()
+	n.prober.SetTargets(targets)
+	probes, declared := n.prober.Tick(now)
+	n.probeMu.Unlock()
+	_ = n.sendAll(probes)
+
+	for _, gone := range declared {
+		n.mu.Lock()
+		out := n.machine.DeclareFailed(gone)
+		n.mu.Unlock()
+		_ = n.sendAll(out)
+	}
+
+	n.mu.Lock()
+	out := n.machine.Tick(now)
+	n.mu.Unlock()
+	_ = n.sendAll(out)
+}
+
+// LivenessStats returns the failure detector's counters plus the current
+// suspect count; ok is false when liveness is disabled.
+func (n *Node) LivenessStats() (stats liveness.Stats, suspects int, ok bool) {
+	if n.prober == nil {
+		return liveness.Stats{}, 0, false
+	}
+	n.probeMu.Lock()
+	defer n.probeMu.Unlock()
+	return n.prober.Stats(), n.prober.SuspectCount(), true
 }
 
 func (n *Node) acceptLoop() {
@@ -191,6 +279,20 @@ func (n *Node) readLoop(conn net.Conn) {
 		env, err := decodeEnvelope(n.params, w)
 		if err != nil {
 			return
+		}
+		if n.prober != nil {
+			t := env.Msg.Type()
+			if t == msg.TPing || t == msg.TPong {
+				n.probeMu.Lock()
+				out := n.prober.HandleMessage(env)
+				n.probeMu.Unlock()
+				_ = n.sendAll(out)
+				continue
+			}
+			// Any protocol traffic from a peer is proof of life.
+			n.probeMu.Lock()
+			n.prober.Observe(env.From.ID)
+			n.probeMu.Unlock()
 		}
 		n.mu.Lock()
 		out := n.machine.Deliver(env)

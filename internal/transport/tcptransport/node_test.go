@@ -46,6 +46,10 @@ func TestWireRoundTrip(t *testing.T) {
 		msg.Find{Want: id.EmptySuffix, Origin: refA},
 		msg.FindRly{Want: id.MustParseSuffix(p, "233"), Found: table.Neighbor{ID: id.MustParse(p, "40233"), Addr: "a:1", State: table.StateS}},
 		msg.FindRly{Want: id.MustParseSuffix(p, "233"), Blocked: true},
+		msg.Ping{Seq: 42, Origin: refA},
+		msg.Ping{Seq: 43, Origin: refA, Target: refB},
+		msg.Pong{Seq: 42},
+		msg.FailedNoti{Failed: refB},
 	}
 	for _, m := range messages {
 		env := msg.Envelope{From: refA, To: refB, Msg: m}
@@ -98,6 +102,19 @@ func TestWireRoundTrip(t *testing.T) {
 		case msg.JoinNotiRly:
 			if !bm.F || bm.R != msg.Positive {
 				t.Fatal("JoinNotiRly flags lost")
+			}
+		case msg.Ping:
+			orig := m.(msg.Ping)
+			if bm.Seq != orig.Seq || bm.Origin != orig.Origin || bm.Target != orig.Target {
+				t.Fatalf("Ping fields corrupted: %+v vs %+v", bm, orig)
+			}
+		case msg.Pong:
+			if bm.Seq != 42 {
+				t.Fatal("Pong seq lost")
+			}
+		case msg.FailedNoti:
+			if bm.Failed != refB {
+				t.Fatalf("FailedNoti ref corrupted: %+v", bm.Failed)
 			}
 		}
 	}

@@ -106,6 +106,9 @@ type wireEnvelope struct {
 	Found   wireEntry
 	Blocked bool
 	Avoid   string
+
+	// Liveness probe sequence number (Ping/Pong).
+	Seq uint64
 }
 
 // encodeEnvelope flattens a protocol envelope into its wire form.
@@ -162,6 +165,14 @@ func encodeEnvelope(env msg.Envelope) (wireEnvelope, error) {
 		if !m.Found.IsZero() {
 			w.Found = wireEntry{ID: m.Found.ID.String(), Addr: m.Found.Addr, State: uint8(m.Found.State)}
 		}
+	case msg.Ping:
+		w.Seq = m.Seq
+		w.X = encodeRef(m.Origin)
+		w.Y = encodeRef(m.Target)
+	case msg.Pong:
+		w.Seq = m.Seq
+	case msg.FailedNoti:
+		w.X = encodeRef(m.Failed)
 	default:
 		return wireEnvelope{}, fmt.Errorf("tcptransport: unknown message %T", env.Msg)
 	}
@@ -264,6 +275,24 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 			m.Found = table.Neighbor{ID: fid, Addr: w.Found.Addr, State: table.State(w.Found.State)}
 		}
 		env.Msg = m
+	case msg.TPing:
+		origin, err := decodeRef(p, w.X)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		target, err := decodeRef(p, w.Y)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = msg.Ping{Seq: w.Seq, Origin: origin, Target: target}
+	case msg.TPong:
+		env.Msg = msg.Pong{Seq: w.Seq}
+	case msg.TFailedNoti:
+		failed, err := decodeRef(p, w.X)
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = msg.FailedNoti{Failed: failed}
 	default:
 		return msg.Envelope{}, fmt.Errorf("tcptransport: unknown wire kind %d", w.Kind)
 	}

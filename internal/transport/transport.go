@@ -169,8 +169,11 @@ func (rt *Runtime) Join(ref table.Ref, g0 table.Ref) error {
 	}
 	// StartJoin runs under the node lock like any delivery.
 	proc.mu.Lock()
-	out := m.StartJoin(g0)
+	out, err := m.StartJoin(g0)
 	proc.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	rt.route(out)
 	rt.startLoop(proc)
 	return nil
@@ -281,8 +284,11 @@ func (rt *Runtime) Leave(x id.ID) error {
 		return fmt.Errorf("transport: leave of unknown node %v", x)
 	}
 	proc.mu.Lock()
-	out := proc.machine.StartLeave()
+	out, err := proc.machine.StartLeave()
 	proc.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	rt.route(out)
 	return nil
 }
