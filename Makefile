@@ -8,15 +8,14 @@ build:
 	$(GO) build ./...
 
 # The default test path includes vet and a race-detector pass over the
-# packages with goroutine concurrency or clock-driven state (transport
-# writers, the liveness prober, the machines' Tick path) so races cannot
-# land silently.
+# whole module — new packages (anti-entropy engine, partition plumbing)
+# get race coverage automatically instead of waiting to be listed.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/liveness/ ./internal/transport/...
+	$(GO) test -race ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/overlay/ ./internal/liveness/ ./internal/transport/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -14,11 +14,14 @@ import (
 
 	"time"
 
+	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
+	"hypercube/internal/netcheck"
 	"hypercube/internal/overlay"
+	"hypercube/internal/table"
 	"hypercube/internal/topology"
 )
 
@@ -32,6 +35,11 @@ func main() {
 		seed   = flag.Int64("seed", 1, "seed")
 		auto   = flag.Bool("crash", false, "self-healing crash mode: nodes detect and repair crashes themselves (no recovery oracle)")
 		heal   = flag.Duration("heal", 20*time.Second, "virtual healing window per crash in -crash mode")
+
+		partition = flag.Bool("partition", false, "partition experiment: split the network into halves, verify declarations are held, heal, and measure anti-entropy reconvergence (replaces the churn phases)")
+		split     = flag.Duration("split", 15*time.Second, "virtual duration of the partition in -partition mode")
+		syncEvery = flag.Duration("sync-interval", time.Second, "anti-entropy round interval in -partition mode")
+		joins     = flag.Int("joins", 2, "nodes joining through one side while split in -partition mode (drives table divergence)")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -47,6 +55,9 @@ func main() {
 		os.Exit(1)
 	}
 	tl := overlay.NewTopologyLatency(topo)
+	if *partition {
+		os.Exit(runPartition(p, *n, *joins, *seed, *split, *syncEvery, topo, tl))
+	}
 	cfg := overlay.Config{Params: p, Latency: tl.Func()}
 	if *auto {
 		// Self-healing mode: every node runs a failure detector and the
@@ -142,9 +153,198 @@ func main() {
 	// Survivor-side counters (the leavers' machines are gone, so count
 	// receipts rather than sends).
 	traffic := net.AggregateTraffic()
-	fmt.Printf("\nfinal network: %d nodes, consistent; %d LeaveMsg received, %d FindMsg sent in total\n",
-		net.Size(), traffic.ReceivedOf(msg.TLeave), traffic.SentOf(msg.TFind))
-	if violations != 0 || unrepaired != 0 {
+	final := net.CheckConsistency()
+	state := "consistent"
+	if len(final) != 0 {
+		state = fmt.Sprintf("%d violations", len(final))
+	}
+	fmt.Printf("\nfinal network: %d nodes, %s; %d LeaveMsg received, %d FindMsg sent in total\n",
+		net.Size(), state, traffic.ReceivedOf(msg.TLeave), traffic.SentOf(msg.TFind))
+	if len(final) != 0 || unrepaired != 0 {
+		printViolations(final)
+		if unrepaired != 0 {
+			fmt.Fprintf(os.Stderr, "churn: %d table entries left unrepaired\n", unrepaired)
+		}
 		os.Exit(1)
 	}
+}
+
+// partitionJoiner constructs a fresh node ID whose rightmost digit
+// matches the gateway and whose two-digit suffix no current member
+// shares. The first property makes a join routed through the gateway
+// resolve its copy phase without crossing the partition (a deeper shared
+// suffix could put the copy target on the unreachable side and stall the
+// join forever); the second makes its deeper copy levels legally empty.
+func partitionJoiner(p id.Params, refs []table.Ref, taken map[id.ID]bool, rng *rand.Rand) (table.Ref, bool) {
+	const digits = "0123456789abcdef"
+	y0 := refs[0].ID.Digit(0)
+	usedY1 := make(map[int]bool)
+	for x := range taken {
+		if x.Digit(0) == y0 {
+			usedY1[x.Digit(1)] = true
+		}
+	}
+	free := make([]int, 0, p.B)
+	for y1 := 0; y1 < p.B; y1++ {
+		if !usedY1[y1] {
+			free = append(free, y1)
+		}
+	}
+	for _, y1 := range rng.Perm(len(free)) {
+		for attempt := 0; attempt < 64; attempt++ {
+			s := make([]byte, p.D)
+			for i := 2; i < p.D; i++ {
+				s[p.D-1-i] = digits[rng.Intn(p.B)]
+			}
+			s[p.D-1] = digits[y0]
+			s[p.D-2] = digits[free[y1]]
+			x, err := id.Parse(p, string(s))
+			if err != nil || taken[x] {
+				continue
+			}
+			taken[x] = true
+			return table.Ref{ID: x, Addr: "sim://" + string(s)}, true
+		}
+	}
+	return table.Ref{}, false
+}
+
+// printViolations lists every netcheck violation on stderr so a failing
+// run names the broken entries instead of just exiting non-zero.
+func printViolations(v []netcheck.Violation) {
+	if len(v) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "churn: netcheck failed with %d violations:\n", len(v))
+	for _, x := range v {
+		fmt.Fprintf(os.Stderr, "  %v\n", x)
+	}
+}
+
+// runPartition is the -partition experiment: build a consistent network,
+// split it into halves for a window long enough that every failure
+// detector times out many times over, verify that partition-aware
+// liveness held all declarations, then heal and count the anti-entropy
+// rounds until Definition 3.8 consistency returns. Exit status is
+// non-zero if anything was falsely declared dead or the tables never
+// reconverge.
+func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.Duration, topo *topology.Topology, tl *overlay.TopologyLatency) int {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := overlay.Config{
+		Params:  p,
+		Latency: tl.Func(),
+		Opts:    core.Options{Timeouts: core.Timeouts{RetryAfter: 500 * time.Millisecond}},
+		Liveness: &liveness.Config{
+			// Probe fast enough that every target accrues several misses
+			// within the split window even when the round-robin cycles
+			// through a dozen-plus targets per prober.
+			ProbeInterval:  100 * time.Millisecond,
+			ProbeTimeout:   400 * time.Millisecond,
+			SuspectAfter:   3,
+			IndirectProbes: 2,
+			ConfirmRounds:  3,
+			// Halving the network puts ~50% of each node's targets out of
+			// reach; 0.3 trips comfortably below that while staying above
+			// any plausible crash fraction.
+			PartitionThreshold: 0.3,
+		},
+		AntiEntropy:  &antientropy.Config{Interval: syncEvery},
+		TickInterval: 100 * time.Millisecond,
+	}
+	net := overlay.New(cfg)
+	taken := make(map[id.ID]bool)
+	refs := overlay.RandomRefs(p, n, rng, taken)
+	hosts := topo.AttachHosts(len(refs), rng)
+	for i, ref := range refs {
+		tl.Bind(ref.ID, hosts[i])
+	}
+	net.BuildDirect(refs, rng)
+	fmt.Printf("partition experiment: %d nodes (b=%d, d=%d), split %v, sync every %v, %d mid-split joins\n\n",
+		net.Size(), p.B, p.D, split, syncEvery, joins)
+
+	net.RunFor(2 * time.Second) // warm-up: probers acquire their targets
+	if st := net.LivenessStats(); st.Declared != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d declarations before the split\n", st.Declared)
+		return 1
+	}
+
+	// Joiners enter through a side-A gateway while the network is split:
+	// side B cannot hear about them, so its tables diverge and only the
+	// post-heal anti-entropy rounds can reconverge them. Their IDs share
+	// the gateway's rightmost digit so the join's copy phase resolves
+	// inside side A (a random ID could legitimately need the unreachable
+	// side and never finish joining), and they are listed in side A's
+	// partition group — an unlisted node would keep full connectivity and
+	// defeat the experiment.
+	joiners := make([]table.Ref, 0, joins)
+	for i := 0; i < joins; i++ {
+		j, ok := partitionJoiner(p, refs, taken, rng)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "churn: ID space under the gateway's digit exhausted after %d joiners\n", i)
+			break
+		}
+		joiners = append(joiners, j)
+	}
+	jhosts := topo.AttachHosts(len(joiners), rng)
+	sideA := make([]id.ID, 0, len(refs)/2+len(joiners))
+	sideB := make([]id.ID, 0, len(refs)-len(refs)/2)
+	for i, r := range refs {
+		if i < len(refs)/2 {
+			sideA = append(sideA, r.ID)
+		} else {
+			sideB = append(sideB, r.ID)
+		}
+	}
+	jms := make([]*core.Machine, 0, len(joiners))
+	for i, j := range joiners {
+		tl.Bind(j.ID, jhosts[i])
+		sideA = append(sideA, j.ID)
+	}
+	net.Partition(sideA, sideB)
+	for _, j := range joiners {
+		jms = append(jms, net.ScheduleJoin(j, refs[0], 4*time.Second, refs[1], refs[2]))
+	}
+	net.RunFor(split)
+	st := net.LivenessStats()
+	fmt.Printf("split %v: %d/%d probers in partition mode, %d messages cut, %d declarations held, %d declared\n",
+		split, net.PartitionedCount(), net.Size(), net.PartitionDropped(), st.DeclarationsHeld, st.Declared)
+	if st.Declared != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d false-positive declarations during the partition\n", st.Declared)
+		printViolations(net.CheckConsistency())
+		return 1
+	}
+	for i, jm := range jms {
+		if !jm.IsSNode() {
+			fmt.Fprintf(os.Stderr, "churn: joiner %v stuck in %v — a partitioned side must still admit nodes\n",
+				joiners[i].ID, jm.Status())
+			return 1
+		}
+	}
+
+	net.Heal()
+	diverged := len(net.CheckConsistency())
+	const maxRounds = 50
+	rounds := 0
+	for ; rounds < maxRounds && len(net.CheckConsistency()) != 0; rounds++ {
+		net.RunFor(syncEvery)
+	}
+	ae := net.AntiEntropyStats()
+	fmt.Printf("heal: %d violations at heal time, reconverged after %d anti-entropy rounds (%v); pulled %d, purged %d\n",
+		diverged, rounds, time.Duration(rounds)*syncEvery, ae.Pulled, ae.Purged)
+
+	// Settle: let the restored pongs clear the held suspicions so every
+	// prober leaves partition mode before the final audit.
+	net.RunFor(3 * time.Second)
+	final := net.CheckConsistency()
+	st = net.LivenessStats()
+	fmt.Printf("\nfinal network: %d nodes, %d violations, %d declared (want 0), partition mode entered %d / exited %d\n",
+		net.Size(), len(final), st.Declared, st.PartitionsEntered, st.PartitionsExited)
+	if len(final) != 0 || st.Declared != 0 || net.PartitionedCount() != 0 {
+		printViolations(final)
+		if net.PartitionedCount() != 0 {
+			fmt.Fprintf(os.Stderr, "churn: %d probers still in partition mode after heal\n", net.PartitionedCount())
+		}
+		return 1
+	}
+	return 0
 }

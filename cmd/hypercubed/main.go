@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
@@ -64,6 +65,10 @@ func run() error {
 		suspectAfter = flag.Int("suspect-after", 0, "consecutive misses before a peer is suspected")
 		indirect     = flag.Int("indirect-probes", 0, "relayed probes per confirmation round")
 		retryAfter   = flag.Duration("retry-after", 2*time.Second, "join-protocol request timeout (0 disables)")
+
+		// Anti-entropy knobs (0 keeps the antientropy default).
+		noSync    = flag.Bool("no-sync", false, "disable anti-entropy table audit and repair")
+		syncEvery = flag.Duration("sync-interval", 0, "gap between anti-entropy rounds")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -91,6 +96,11 @@ func run() error {
 			IndirectProbes: *indirect,
 		}))
 		opts.Timeouts = core.Timeouts{RetryAfter: *retryAfter}
+	}
+	if !*noSync {
+		options = append(options, tcptransport.WithAntiEntropy(antientropy.Config{
+			Interval: *syncEvery,
+		}))
 	}
 	var node *tcptransport.Node
 	if *join == "" {

@@ -1,0 +1,113 @@
+package antientropy
+
+import (
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+var p44 = id.Params{B: 4, D: 4}
+
+func ref(t *testing.T, s string) table.Ref {
+	t.Helper()
+	return table.Ref{ID: id.MustParse(p44, s), Addr: "sim://" + s}
+}
+
+// twoNodeNet joins b into a's single-node network and runs the exchange
+// to quiescence, returning two established machines.
+func twoNodeNet(t *testing.T) (*core.Machine, *core.Machine) {
+	t.Helper()
+	a := core.NewSeed(p44, ref(t, "0000"), core.Options{})
+	b := core.NewJoiner(p44, ref(t, "1111"), core.Options{})
+	byID := map[id.ID]*core.Machine{a.Self().ID: a, b.Self().ID: b}
+	queue, err := b.StartJoin(a.Self())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(queue) > 0 {
+		env := queue[0]
+		queue = append(queue[1:], byID[env.To.ID].Deliver(env)...)
+	}
+	if !a.IsSNode() || !b.IsSNode() {
+		t.Fatalf("join did not settle: %v / %v", a.Status(), b.Status())
+	}
+	return a, b
+}
+
+func TestEngineRoundCadence(t *testing.T) {
+	a, b := twoNodeNet(t)
+	_ = b
+	e := New(Config{Interval: time.Second}, a)
+
+	// The first tick only arms the staggered schedule; rounds then fire
+	// once per interval, catching up after a long gap.
+	e.Tick(0)
+	if got := e.Stats().Rounds; got > 1 {
+		t.Fatalf("%d rounds on the arming tick, want at most 1", got)
+	}
+	e.Tick(3 * time.Second)
+	if got := e.Stats().Rounds; got < 2 || got > 4 {
+		t.Fatalf("%d rounds after 3s at 1s interval, want 2..4", got)
+	}
+	// A quiescent instant later produces nothing new.
+	before := e.Stats().Rounds
+	if out := e.Tick(3 * time.Second); len(out) != 0 || e.Stats().Rounds != before {
+		t.Fatalf("re-tick at same instant ran %d extra rounds", e.Stats().Rounds-before)
+	}
+}
+
+func TestEngineSyncsWithPeer(t *testing.T) {
+	a, b := twoNodeNet(t)
+	e := New(Config{Interval: time.Second}, a)
+	e.Tick(0)
+	out := e.Tick(2 * time.Second)
+	if len(out) == 0 {
+		t.Fatal("no sync traffic after an interval elapsed")
+	}
+	var sawReq bool
+	for _, env := range out {
+		if env.Msg.Type() == msg.TSyncReq {
+			sawReq = true
+			if env.To.ID != b.Self().ID {
+				t.Fatalf("sync request addressed to %v, want %v", env.To.ID, b.Self().ID)
+			}
+		}
+	}
+	if !sawReq {
+		t.Fatalf("no SyncReq among %d envelopes", len(out))
+	}
+}
+
+func TestEngineIdleWithoutPeersOrStatus(t *testing.T) {
+	// A lone seed has no sync partners: audits run but no rounds count.
+	lone := core.NewSeed(p44, ref(t, "0000"), core.Options{})
+	e := New(Config{Interval: time.Second}, lone)
+	e.Tick(0)
+	if out := e.Tick(5 * time.Second); len(out) != 0 || e.Stats().Rounds != 0 {
+		t.Fatalf("lone node synced: %d envelopes, %d rounds", len(out), e.Stats().Rounds)
+	}
+
+	// A joiner that never completed its join must not sync at all.
+	stuck := core.NewJoiner(p44, ref(t, "2222"), core.Options{})
+	e2 := New(Config{Interval: time.Second}, stuck)
+	e2.Tick(0)
+	if out := e2.Tick(5 * time.Second); len(out) != 0 {
+		t.Fatalf("non-S-node emitted %d envelopes", len(out))
+	}
+}
+
+func TestEngineStaggerDeterministicAndBounded(t *testing.T) {
+	a, _ := twoNodeNet(t)
+	cfg := Config{Interval: time.Second}
+	e1, e2 := New(cfg, a), New(cfg, a)
+	if s1, s2 := e1.stagger(), e2.stagger(); s1 != s2 {
+		t.Fatalf("stagger not deterministic: %v vs %v", s1, s2)
+	}
+	if s := e1.stagger(); s < 0 || s >= cfg.Interval {
+		t.Fatalf("stagger %v outside [0, %v)", s, cfg.Interval)
+	}
+}

@@ -126,6 +126,11 @@ type Machine struct {
 	needsRejoin bool
 	repairs     map[[2]int]*repairJob
 
+	// Anti-entropy accounting (sync.go): entries installed from peers'
+	// sync replies/pushes and entries purged by table audits.
+	syncPulled  int
+	auditPurged int
+
 	counters msg.Counters
 	out      []msg.Envelope
 
@@ -328,6 +333,12 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 		// before the machine; without one there is no probe to match.
 	case msg.FailedNoti:
 		m.onFailedNoti(pm)
+	case msg.SyncReq:
+		m.onSyncReq(from, pm)
+	case msg.SyncRly:
+		m.onSyncRly(from, pm)
+	case msg.SyncPush:
+		m.onSyncPush(pm)
 	default:
 		panic(fmt.Sprintf("core: unknown message %T", env.Msg))
 	}

@@ -1,0 +1,146 @@
+// Anti-entropy support for the partition-tolerance extension: the
+// machine side of the periodic table-audit protocol driven by
+// internal/antientropy.
+//
+// A sync round is a push-pull digest exchange. The initiator sends its
+// §6.2 fill vector (SyncReqMsg); the responder computes, from the two
+// IDs alone, the canonical entry each of its occupants would fill in the
+// initiator's table and replies with exactly the occupants whose bit is
+// clear (SyncRlyMsg), attaching its own fill vector; the initiator
+// merges, then pushes back whatever the responder is missing
+// (SyncPushMsg). Merging reuses checkNghTable, which installs each
+// harvested node at its canonical coordinate in the local table — so the
+// exchange is owner-independent and converges any divergence, including
+// the mutual blindness two partition sides develop while separated.
+//
+// AuditTable is the purge side: entries the netcheck predicates would
+// classify as Ghost (occupant known crashed or departed) or WrongSuffix
+// (occupant cannot legally sit in the entry) are cleared and repaired
+// from the local table, falling back to the clock-driven repair jobs of
+// timeout.go when no local replacement exists.
+package core
+
+import (
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+// StartSync opens one anti-entropy round with peer and returns the
+// SyncReqMsg to transmit. Only S-nodes sync; other statuses return nil.
+func (m *Machine) StartSync(peer table.Ref) []msg.Envelope {
+	if m.status != StatusInSystem || peer.IsZero() || peer.ID == m.self.ID {
+		return nil
+	}
+	m.out = m.out[:0]
+	m.send(peer, msg.SyncReq{Fill: m.tbl.FillVector()})
+	return m.take()
+}
+
+// SyncPeers returns the distinct live nodes eligible as anti-entropy
+// partners — table occupants plus reverse neighbors, minus self and
+// known-bad nodes — sorted by ID so round-robin rotation is
+// deterministic. Reverse neighbors matter after a partition heals: a
+// node the far side just installed learns of its holder through the
+// holder's RvNghNoti, and syncing back with that holder is the fastest
+// route to everything else the far side knows.
+func (m *Machine) SyncPeers() []table.Ref {
+	cands := make(map[id.ID]table.Ref)
+	m.tbl.ForEach(func(_, _ int, n table.Neighbor) {
+		if n.ID == m.self.ID || m.knownBad(n.ID) {
+			return
+		}
+		cands[n.ID] = n.Ref()
+	})
+	for _, r := range m.reverse {
+		if r.ID != m.self.ID && !m.knownBad(r.ID) {
+			cands[r.ID] = r
+		}
+	}
+	return sortedRefs(cands)
+}
+
+// SyncPulled returns how many table entries were installed from peers'
+// sync replies and pushes.
+func (m *Machine) SyncPulled() int { return m.syncPulled }
+
+// AuditPurged returns how many entries AuditTable has cleared.
+func (m *Machine) AuditPurged() int { return m.auditPurged }
+
+// AuditTable scans the local table for entries a netcheck would flag as
+// Ghost (occupant declared crashed or departed) or WrongSuffix (occupant
+// lacks the entry's desired suffix), purges them, and repairs each from
+// the local table where possible — unrepaired entries become repair jobs
+// for the clock-driven Find machinery. It returns the number of entries
+// purged and the repair traffic to transmit.
+func (m *Machine) AuditTable() (purged int, out []msg.Envelope) {
+	if m.status != StatusInSystem {
+		return 0, nil
+	}
+	m.out = m.out[:0]
+	var bad [][2]int
+	m.tbl.ForEach(func(level, digit int, n table.Neighbor) {
+		if n.ID == m.self.ID {
+			return
+		}
+		if m.knownBad(n.ID) || !m.tbl.Qualifies(level, digit, n.ID) {
+			bad = append(bad, [2]int{level, digit})
+		}
+	})
+	for _, e := range bad {
+		gone := m.tbl.Get(e[0], e[1]).ID
+		purged++
+		m.auditPurged++
+		m.trace("%v audit purges %v from (%d,%d)", m.self.ID, gone, e[0], e[1])
+		if !m.repairFromTables(e[0], e[1], gone, table.Snapshot{}) {
+			if m.inRepair == nil {
+				m.inRepair = make(map[[2]int]bool)
+			}
+			m.inRepair[e] = true
+			m.addRepairJob(e, gone)
+		}
+	}
+	return purged, m.take()
+}
+
+// onSyncReq answers an anti-entropy request: ship exactly the occupants
+// whose canonical slot in the requester's table is empty per the digest,
+// plus our own fill vector so the requester can push back in turn.
+func (m *Machine) onSyncReq(from table.Ref, pm msg.SyncReq) {
+	if m.status != StatusInSystem {
+		return // joining or departing tables are not sync authorities
+	}
+	m.send(from, msg.SyncRly{
+		Table: m.tbl.Snapshot().MissingIn(from.ID, pm.Fill),
+		Fill:  m.tbl.FillVector(),
+	})
+}
+
+// onSyncRly merges the pulled entries, then pushes back whatever the
+// responder's fill vector showed it was missing.
+func (m *Machine) onSyncRly(from table.Ref, pm msg.SyncRly) {
+	if m.status != StatusInSystem {
+		return
+	}
+	m.harvestSync(pm.Table)
+	push := m.tbl.Snapshot().MissingIn(from.ID, pm.Fill)
+	if push.FilledCount() > 0 {
+		m.send(from, msg.SyncPush{Table: push})
+	}
+}
+
+// onSyncPush merges the entries pushed back by the round's initiator.
+func (m *Machine) onSyncPush(pm msg.SyncPush) {
+	if m.status != StatusInSystem {
+		return
+	}
+	m.harvestSync(pm.Table)
+}
+
+// harvestSync merges a sync table through checkNghTable (canonical-slot
+// installation with reverse-neighbor notices) and counts the installs.
+func (m *Machine) harvestSync(snap table.Snapshot) {
+	before := m.tbl.FilledCount()
+	m.checkNghTable(snap)
+	m.syncPulled += m.tbl.FilledCount() - before
+}

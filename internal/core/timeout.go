@@ -368,6 +368,23 @@ func (m *Machine) onFailedNoti(pm msg.FailedNoti) {
 	m.noteFailed(pm.Failed)
 }
 
+// DropUnreachable removes every table entry holding gone — a neighbor
+// the failure detector was never once able to reach — and repairs the
+// holes like a crash would. Unlike DeclareFailed it records no tombstone
+// and gossips no FailedNoti: with zero evidence the node was ever alive
+// from here, the silence may equally be a broken path or our own side of
+// a partition, so the drop stays local and the node is re-adopted
+// normally (e.g. via an anti-entropy round) once it proves reachable.
+func (m *Machine) DropUnreachable(gone table.Ref) []msg.Envelope {
+	if gone.IsZero() || gone.ID == m.self.ID || m.status == StatusLeft {
+		return nil
+	}
+	m.out = m.out[:0]
+	m.trace("%v drops unreachable %v", m.self.ID, gone.ID)
+	m.DropFailed(gone.ID)
+	return m.take()
+}
+
 // noteFailed is the shared crash-declaration path: dedupe, gossip to
 // co-holders, orphan check, local table repair, and repair-job seeding.
 // Appends to m.out; callers manage the reset.

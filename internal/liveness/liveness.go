@@ -22,6 +22,29 @@
 //     at all. The target is tombstoned (it can never be re-adopted from
 //     a stale table) and reported to the caller, which invokes the
 //     table-repair machinery (core.Machine.DeclareFailed).
+//
+// A target that exhausts its confirm rounds without EVER having answered
+// from here is not declared but dropped as unreachable: there is no
+// evidence it was ever alive, so the silence may equally be a broken
+// path or our own side of a partition. Unreachable targets are forgotten
+// locally (core.Machine.DropUnreachable) with no tombstone and no
+// gossip, and are re-adopted if they later turn up reachable — e.g.
+// delivered by an anti-entropy round after a partition heals. This is
+// what keeps a node that joined during a partition, whose table is
+// mostly one-sided, from poisoning the whole network with false
+// FailedNoti gossip about the side it has never met.
+//
+// Partition awareness: a network partition is indistinguishable from a
+// mass crash to a per-target detector — every cross-partition peer times
+// out at once. Declaring (and tombstoning) them all would be wrong twice
+// over: the declarations are false positives, and the tombstones would
+// prevent re-adoption after the partition heals. When the fraction of
+// simultaneously-distressed targets (suspect, or accruing misses toward
+// suspicion) reaches PartitionThreshold the prober therefore enters a
+// partitioned mode that freezes declarations (confirm rounds keep
+// running, so reconnection is noticed promptly) and exits once enough
+// targets recover. Held suspects that are genuinely dead are declared
+// through the normal path after the mode exits.
 package liveness
 
 import (
@@ -52,6 +75,18 @@ type Config struct {
 	// ConfirmRounds is the number of fully unanswered confirmation
 	// rounds needed to declare a suspect failed. Default 2.
 	ConfirmRounds int
+	// PartitionThreshold is the fraction of monitored targets that must
+	// be simultaneously distressed (suspect or accruing misses) for the
+	// prober to enter partitioned mode (declarations frozen, probing
+	// continues). The mode exits when the fraction falls to half the
+	// threshold or below. Default 0.5; set above 1 to disable partition
+	// detection entirely.
+	PartitionThreshold float64
+	// PartitionMinTargets is the minimum number of monitored targets for
+	// partition detection to apply: with very few targets the suspect
+	// fraction is too noisy to distinguish a partition from a crash.
+	// Default 4.
+	PartitionMinTargets int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +105,12 @@ func (c Config) withDefaults() Config {
 	if c.ConfirmRounds <= 0 {
 		c.ConfirmRounds = 2
 	}
+	if c.PartitionThreshold <= 0 {
+		c.PartitionThreshold = 0.5
+	}
+	if c.PartitionMinTargets <= 0 {
+		c.PartitionMinTargets = 4
+	}
 	return c
 }
 
@@ -87,6 +128,18 @@ type Stats struct {
 	Recovered int
 	// Declared counts suspect -> declared-failed transitions.
 	Declared int
+	// PartitionsEntered / PartitionsExited count transitions in and out
+	// of partitioned mode.
+	PartitionsEntered int
+	PartitionsExited  int
+	// DeclarationsHeld counts declarations suppressed because the prober
+	// was in partitioned mode when the suspect's confirm rounds ran out.
+	DeclarationsHeld int
+	// Unreachable counts targets dropped without a failure declaration
+	// because they never once answered from here: with no evidence they
+	// were ever alive, their silence may equally be our own partition, so
+	// they are forgotten locally instead of tombstoned and gossiped.
+	Unreachable int
 }
 
 type targetState uint8
@@ -97,11 +150,12 @@ const (
 )
 
 type target struct {
-	ref     table.Ref
-	state   targetState
-	missed  int // consecutive routine-probe misses while alive
-	rounds  int // completed confirmation rounds while suspect
-	pending int // outstanding probes (any kind) for this target
+	ref      table.Ref
+	state    targetState
+	missed   int  // consecutive routine-probe misses while alive
+	rounds   int  // completed confirmation rounds while suspect
+	pending  int  // outstanding probes (any kind) for this target
+	answered bool // ever seen alive from here (pong or observed traffic)
 }
 
 // probe is one in-flight probe: which target it checks and when it
@@ -128,6 +182,8 @@ type Prober struct {
 	seq      uint64
 	inflight map[uint64]probe
 	helperAt int // rotates indirect-probe helper choice
+
+	partitioned bool
 
 	stats Stats
 	out   []msg.Envelope
@@ -160,6 +216,74 @@ func (p *Prober) SuspectCount() int {
 
 // TargetCount returns how many targets are currently monitored.
 func (p *Prober) TargetCount() int { return len(p.targets) }
+
+// Partitioned reports whether the prober is currently in partitioned
+// mode (declarations frozen because too many targets are suspect at
+// once).
+func (p *Prober) Partitioned() bool { return p.partitioned }
+
+// distressedCount returns how many targets are suspect or partway there
+// (at least one missed probe). The partition signal is computed over
+// distressed targets rather than confirmed suspects because suspicion
+// spreads across one round-robin cycle: with many targets, the first
+// suspects of a cut cohort would finish their confirm rounds and be
+// declared before enough of the cohort turned fully suspect to cross
+// the threshold. Misses are reset the moment a target answers anything
+// (markAlive), so the broader signal still collapses promptly once
+// contact resumes.
+func (p *Prober) distressedCount() int {
+	n := 0
+	for _, t := range p.targets {
+		if t.state == stateSuspect || t.missed > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// updatePartitionMode re-evaluates the partitioned flag against the
+// current distressed-target fraction, with hysteresis: enter at
+// PartitionThreshold, exit below half of it (or when the target set
+// shrinks under PartitionMinTargets).
+func (p *Prober) updatePartitionMode() {
+	n := len(p.targets)
+	frac := 0.0
+	if n > 0 {
+		frac = float64(p.distressedCount()) / float64(n)
+	}
+	if !p.partitioned {
+		if n >= p.cfg.PartitionMinTargets && frac >= p.cfg.PartitionThreshold {
+			p.partitioned = true
+			p.stats.PartitionsEntered++
+		}
+		return
+	}
+	// Exit at half the entry threshold, inclusive: a residue of exactly
+	// threshold/2 distressed targets (say one dead node out of four) is a
+	// crash picture, not a partition, and must not latch the mode.
+	if n < p.cfg.PartitionMinTargets || frac <= p.cfg.PartitionThreshold/2 {
+		p.partitioned = false
+		p.stats.PartitionsExited++
+		// Evidence gathered while partitioned is tainted: a confirm probe
+		// cut by the split says nothing about its target. Every held
+		// suspect restarts its confirmation rounds against the healed
+		// network, so a declaration now requires ConfirmRounds of fresh
+		// silence — a genuinely dead suspect still falls, just a few
+		// rounds later.
+		for _, t := range p.targets {
+			if t.state != stateSuspect {
+				continue
+			}
+			t.rounds = 0
+			t.pending = 0
+			for seq, pr := range p.inflight {
+				if pr.target == t.ref.ID {
+					delete(p.inflight, seq)
+				}
+			}
+		}
+	}
+}
 
 // SetTargets replaces the monitored set with refs (typically the union
 // of the node's table entries and reverse neighbors). Existing state for
@@ -215,6 +339,7 @@ func (p *Prober) markAlive(t *target) {
 	if t.state == stateSuspect {
 		p.stats.Recovered++
 	}
+	t.answered = true
 	t.state = stateAlive
 	t.missed = 0
 	t.rounds = 0
@@ -272,11 +397,16 @@ func RespondPing(self, from table.Ref, pm msg.Ping) []msg.Envelope {
 }
 
 // Tick advances the detector to virtual (or real) time now. It returns
-// the probes to transmit and the targets newly declared failed; the
-// caller feeds declarations to core.Machine.DeclareFailed and transmits
-// both outputs.
-func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared []table.Ref) {
+// the probes to transmit, the targets newly declared failed, and the
+// targets dropped as unreachable (never once seen alive from here). The
+// caller feeds declarations to core.Machine.DeclareFailed, unreachable
+// drops to core.Machine.DropUnreachable, and transmits all outputs.
+func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreachable []table.Ref) {
 	p.out = p.out[:0]
+
+	// Recoveries since the last tick (Observe, pongs) may have lowered
+	// the suspect fraction enough to exit partitioned mode.
+	p.updatePartitionMode()
 
 	// Expire in-flight probes, collecting misses per target.
 	expired := make([]id.ID, 0, 4)
@@ -308,6 +438,32 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared []table.R
 			}
 			t.rounds++
 			if t.rounds >= p.cfg.ConfirmRounds {
+				// Suspicions raised earlier in this loop count too: a
+				// partition times out a whole cohort within one expiry
+				// sweep, and the first of them must already be held.
+				p.updatePartitionMode()
+				if p.partitioned {
+					// Partitioned mode: hold the declaration. The target
+					// stays a suspect and keeps getting confirm rounds so
+					// the first answer after the heal clears it; if it is
+					// genuinely dead it is declared once the mode exits.
+					p.stats.DeclarationsHeld++
+					p.confirmRound(t, now)
+					continue
+				}
+				if !t.answered {
+					// Never seen alive from here: a node adopted from
+					// someone else's table that we could not reach even
+					// once. Silence proves nothing about it — the path,
+					// or our own side of a partition, may be the problem —
+					// so it is forgotten locally (no tombstone, no gossip)
+					// and welcome back the moment it answers.
+					delete(p.targets, t.ref.ID)
+					p.stats.Unreachable++
+					unreachable = append(unreachable, t.ref)
+					p.rebuildCycle()
+					continue
+				}
 				delete(p.targets, t.ref.ID)
 				p.tombs[t.ref.ID] = true
 				p.stats.Declared++
@@ -340,7 +496,7 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared []table.R
 	out = make([]msg.Envelope, len(p.out))
 	copy(out, p.out)
 	p.out = p.out[:0]
-	return out, declared
+	return out, declared, unreachable
 }
 
 // nextAlive advances the round-robin cursor to the next alive target.

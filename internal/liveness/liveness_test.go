@@ -27,12 +27,13 @@ func cfgFast() Config {
 }
 
 // drive ticks the prober in small steps up to deadline, feeding every
-// probe through respond (nil = blackhole) and collecting declarations.
-func drive(p *Prober, deadline time.Duration, respond func(env msg.Envelope) []msg.Envelope) []table.Ref {
-	var declared []table.Ref
+// probe through respond (nil = blackhole) and collecting declarations
+// and unreachable drops.
+func drive(p *Prober, deadline time.Duration, respond func(env msg.Envelope) []msg.Envelope) (declared, unreachable []table.Ref) {
 	for now := time.Duration(0); now <= deadline; now += 25 * time.Millisecond {
-		out, dec := p.Tick(now)
+		out, dec, unr := p.Tick(now)
 		declared = append(declared, dec...)
+		unreachable = append(unreachable, unr...)
 		for len(out) > 0 {
 			var next []msg.Envelope
 			for _, env := range out {
@@ -44,7 +45,7 @@ func drive(p *Prober, deadline time.Duration, respond func(env msg.Envelope) []m
 			out = next
 		}
 	}
-	return declared
+	return declared, unreachable
 }
 
 func TestRoutineProbeAnswered(t *testing.T) {
@@ -55,7 +56,7 @@ func TestRoutineProbeAnswered(t *testing.T) {
 
 	// A responsive target is never suspected, let alone declared.
 	peer := NewProber(cfgFast(), a)
-	declared := drive(p, 3*time.Second, func(env msg.Envelope) []msg.Envelope {
+	declared, _ := drive(p, 3*time.Second, func(env msg.Envelope) []msg.Envelope {
 		if env.To.ID == a.ID {
 			return peer.HandleMessage(env)
 		}
@@ -83,9 +84,13 @@ func TestSilentTargetDeclared(t *testing.T) {
 	p := NewProber(cfgFast(), self)
 	p.SetTargets([]table.Ref{dead, helper})
 
-	// The helper answers (and relays indirect probes); dead stays silent.
+	// The helper answers (and relays indirect probes); dead answers its
+	// first probe — proving it was alive once, which is what makes its
+	// later silence a declarable crash rather than an unreachable drop —
+	// and nothing after that.
 	relayed := 0
-	declared := drive(p, 10*time.Second, func(env msg.Envelope) []msg.Envelope {
+	deadAnswers := 1
+	declared, _ := drive(p, 10*time.Second, func(env msg.Envelope) []msg.Envelope {
 		switch env.To.ID {
 		case helper.ID:
 			out := RespondPing(helper, env.From, env.Msg.(msg.Ping))
@@ -105,6 +110,10 @@ func TestSilentTargetDeclared(t *testing.T) {
 		case self.ID:
 			return p.HandleMessage(env)
 		case dead.ID:
+			if pm, ok := env.Msg.(msg.Ping); ok && deadAnswers > 0 {
+				deadAnswers--
+				return RespondPing(dead, env.From, pm)
+			}
 			return nil
 		}
 		return nil
@@ -130,6 +139,57 @@ func TestSilentTargetDeclared(t *testing.T) {
 	}
 }
 
+func TestNeverAnsweredDroppedUnreachable(t *testing.T) {
+	// A target adopted from someone else's table that never once answers
+	// is dropped as unreachable, not declared: there is no evidence it was
+	// ever alive from here, so no tombstone and no gossip — and it is
+	// welcome back should it ever turn up reachable (e.g. delivered by an
+	// anti-entropy round after a partition heals).
+	self := mkRef(t, "0000")
+	ghost := mkRef(t, "1111")
+	helper := mkRef(t, "2222")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{ghost, helper})
+
+	peer := NewProber(cfgFast(), helper)
+	declared, unreachable := drive(p, 10*time.Second, func(env msg.Envelope) []msg.Envelope {
+		switch env.To.ID {
+		case helper.ID:
+			out := peer.HandleMessage(env)
+			var keep []msg.Envelope
+			for _, e := range out {
+				if e.To.ID != ghost.ID {
+					keep = append(keep, e)
+				}
+			}
+			return keep
+		case self.ID:
+			return p.HandleMessage(env)
+		}
+		return nil
+	})
+	if len(declared) != 0 {
+		t.Fatalf("never-answered target declared failed: %v", declared)
+	}
+	if len(unreachable) != 1 || unreachable[0].ID != ghost.ID {
+		t.Fatalf("unreachable = %v, want exactly %v", unreachable, ghost.ID)
+	}
+	st := p.Stats()
+	if st.Declared != 0 || st.Unreachable != 1 {
+		t.Fatalf("stats %+v, want 0 declared and 1 unreachable", st)
+	}
+	if p.TargetCount() != 1 {
+		t.Fatalf("dropped target still monitored (%d targets)", p.TargetCount())
+	}
+
+	// No tombstone: unlike a declared failure, an unreachable drop is
+	// re-adopted when the table offers the node again.
+	p.SetTargets([]table.Ref{ghost, helper})
+	if p.TargetCount() != 2 {
+		t.Fatal("unreachable target not re-adopted after drop")
+	}
+}
+
 func TestObserveClearsSuspicion(t *testing.T) {
 	self := mkRef(t, "0000")
 	a := mkRef(t, "1111")
@@ -152,8 +212,7 @@ func TestObserveClearsSuspicion(t *testing.T) {
 		t.Fatalf("stats %+v, want Recovered=1", p.Stats())
 	}
 	// And its orphaned probes expiring later must not re-suspect it.
-	out, declared := p.Tick(10 * time.Second)
-	_ = out
+	_, declared, _ := p.Tick(10 * time.Second)
 	if len(declared) != 0 || p.SuspectCount() != 0 {
 		t.Fatal("stale probe expiry re-suspected a recovered target")
 	}
@@ -196,7 +255,7 @@ func TestLatePongIgnored(t *testing.T) {
 	a := mkRef(t, "1111")
 	p := NewProber(cfgFast(), self)
 	p.SetTargets([]table.Ref{a})
-	out, _ := p.Tick(0)
+	out, _, _ := p.Tick(0)
 	if len(out) != 1 {
 		t.Fatalf("first tick sent %d probes", len(out))
 	}
@@ -223,8 +282,145 @@ func TestSetTargetsRefreshesAndForgets(t *testing.T) {
 	if p.TargetCount() != 1 {
 		t.Fatalf("TargetCount = %d after removal, want 1", p.TargetCount())
 	}
-	_, declared := p.Tick(time.Minute)
+	_, declared, _ := p.Tick(time.Minute)
 	if len(declared) != 0 {
 		t.Fatalf("forgotten target declared: %v", declared)
+	}
+}
+
+func TestPartitionHoldsDeclarationsThenRecovers(t *testing.T) {
+	self := mkRef(t, "0000")
+	targets := []table.Ref{mkRef(t, "1111"), mkRef(t, "2222"), mkRef(t, "3333"), mkRef(t, "0011")}
+	p := NewProber(cfgFast(), self)
+	p.SetTargets(targets)
+
+	// The targets prove themselves alive once, then every one goes silent
+	// at the same time: the classic partition signature.
+	for _, tgt := range targets {
+		p.Observe(tgt.ID)
+	}
+	declared, unreachable := drive(p, 10*time.Second, nil)
+	if len(declared) != 0 || len(unreachable) != 0 {
+		t.Fatalf("declared %v / dropped %v during partition, want all held", declared, unreachable)
+	}
+	if !p.Partitioned() {
+		t.Fatal("prober did not enter partition mode")
+	}
+	st := p.Stats()
+	if st.PartitionsEntered != 1 || st.DeclarationsHeld == 0 || st.Declared != 0 {
+		t.Fatalf("stats %+v, want 1 partition entered, held declarations, 0 declared", st)
+	}
+	if p.SuspectCount() != len(targets) {
+		t.Fatalf("SuspectCount = %d, want %d (held suspects stay suspects)", p.SuspectCount(), len(targets))
+	}
+
+	// The partition heals: traffic from the peers proves them alive, the
+	// mode exits, and nothing was ever tombstoned.
+	for _, tgt := range targets {
+		p.Observe(tgt.ID)
+	}
+	p.Tick(11 * time.Second)
+	if p.Partitioned() {
+		t.Fatal("prober stuck in partition mode after recovery")
+	}
+	st = p.Stats()
+	if st.PartitionsExited != 1 {
+		t.Fatalf("stats %+v, want 1 partition exited", st)
+	}
+	if p.TargetCount() != len(targets) {
+		t.Fatalf("TargetCount = %d after heal, want %d (no tombstones)", p.TargetCount(), len(targets))
+	}
+
+	// Normal service resumes: a single dead node among live peers is a
+	// crash, not a partition, and must be declared.
+	dead := targets[0]
+	live := targets[1:]
+	responders := make(map[id.ID]*Prober, len(live))
+	for _, tgt := range live {
+		responders[tgt.ID] = NewProber(cfgFast(), tgt)
+	}
+	declared, _ = drive(p, 25*time.Second, func(env msg.Envelope) []msg.Envelope {
+		if env.To.ID == self.ID {
+			return p.HandleMessage(env)
+		}
+		if env.To.ID == dead.ID {
+			return nil
+		}
+		if r, ok := responders[env.To.ID]; ok {
+			out := r.HandleMessage(env)
+			var keep []msg.Envelope
+			for _, e := range out {
+				if e.To.ID != dead.ID {
+					keep = append(keep, e)
+				}
+			}
+			return keep
+		}
+		return nil
+	})
+	if len(declared) != 1 || declared[0].ID != dead.ID {
+		t.Fatalf("declared = %v after partition exit, want exactly %v", declared, dead.ID)
+	}
+	if p.Partitioned() {
+		t.Fatal("single crash misread as a partition")
+	}
+}
+
+func TestNoPartitionBelowMinTargets(t *testing.T) {
+	// With fewer simultaneously-suspect peers than PartitionMinTargets the
+	// suspect fraction is not evidence of a partition — declarations
+	// proceed (otherwise a 2-node network could never declare anything).
+	self := mkRef(t, "0000")
+	a, b := mkRef(t, "1111"), mkRef(t, "2222")
+	p := NewProber(cfgFast(), self)
+	p.SetTargets([]table.Ref{a, b})
+	p.Observe(a.ID) // both were alive once, so silence is declarable
+	p.Observe(b.ID)
+	declared, _ := drive(p, 10*time.Second, nil)
+	if len(declared) != 2 {
+		t.Fatalf("declared %v, want both silent targets declared", declared)
+	}
+	if p.Partitioned() || p.Stats().PartitionsEntered != 0 {
+		t.Fatalf("partition mode entered below the target floor: %+v", p.Stats())
+	}
+}
+
+func TestPartitionThresholdConfigurable(t *testing.T) {
+	// A sub-threshold suspect cohort must not trip the mode even above
+	// the minimum target count.
+	self := mkRef(t, "0000")
+	cfg := cfgFast()
+	cfg.PartitionThreshold = 0.9
+	cfg.PartitionMinTargets = 2
+	p := NewProber(cfg, self)
+	dead := mkRef(t, "1111")
+	live := []table.Ref{mkRef(t, "2222"), mkRef(t, "3333"), mkRef(t, "0011")}
+	p.SetTargets(append([]table.Ref{dead}, live...))
+	p.Observe(dead.ID) // alive once, so its crash is declarable
+	responders := make(map[id.ID]*Prober, len(live))
+	for _, tgt := range live {
+		responders[tgt.ID] = NewProber(cfgFast(), tgt)
+	}
+	declared, _ := drive(p, 15*time.Second, func(env msg.Envelope) []msg.Envelope {
+		if env.To.ID == self.ID {
+			return p.HandleMessage(env)
+		}
+		if r, ok := responders[env.To.ID]; ok {
+			out := r.HandleMessage(env)
+			var keep []msg.Envelope
+			for _, e := range out {
+				if e.To.ID != dead.ID {
+					keep = append(keep, e)
+				}
+			}
+			return keep
+		}
+		return nil
+	})
+	if len(declared) != 1 || declared[0].ID != dead.ID {
+		t.Fatalf("declared = %v, want exactly %v", declared, dead.ID)
+	}
+	if p.Stats().PartitionsEntered != 0 {
+		t.Fatalf("1/4 suspects tripped a 0.9 threshold: %+v", p.Stats())
 	}
 }

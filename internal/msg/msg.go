@@ -60,8 +60,17 @@ const (
 	TPong
 	// TFailedNoti gossips a declared crash to co-holders.
 	TFailedNoti
+	// TSyncReq opens an anti-entropy round, carrying the sender's fill
+	// vector as a compact table digest.
+	TSyncReq
+	// TSyncRly answers a SyncReqMsg with the entries the requester is
+	// missing plus the replier's own fill vector.
+	TSyncRly
+	// TSyncPush completes an anti-entropy round with the entries the
+	// replier turned out to be missing.
+	TSyncPush
 
-	numTypes = int(TFailedNoti)
+	numTypes = int(TSyncPush)
 )
 
 var typeNames = [...]string{
@@ -83,6 +92,9 @@ var typeNames = [...]string{
 	TPing:         "PingMsg",
 	TPong:         "PongMsg",
 	TFailedNoti:   "FailedNotiMsg",
+	TSyncReq:      "SyncReqMsg",
+	TSyncRly:      "SyncRlyMsg",
+	TSyncPush:     "SyncPushMsg",
 }
 
 // String returns the paper's name for the message type.
@@ -97,7 +109,7 @@ func (t Type) String() string {
 // counters and tests.
 func Types() []Type {
 	out := make([]Type, 0, numTypes)
-	for t := TCpRst; t <= TFailedNoti; t++ {
+	for t := TCpRst; t <= TSyncPush; t++ {
 		out = append(out, t)
 	}
 	return out

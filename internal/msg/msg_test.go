@@ -46,10 +46,11 @@ func TestTypeNamesMatchPaper(t *testing.T) {
 func TestTypesEnumeratesAll(t *testing.T) {
 	types := Types()
 	// 11 message types of Figure 4, the four §7-extension messages
-	// (Leave, LeaveRly, Find, FindRly), and the three liveness messages
-	// (Ping, Pong, FailedNoti).
-	if len(types) != 18 {
-		t.Fatalf("Types() has %d entries, want 18", len(types))
+	// (Leave, LeaveRly, Find, FindRly), the three liveness messages
+	// (Ping, Pong, FailedNoti), and the three anti-entropy messages
+	// (SyncReq, SyncRly, SyncPush).
+	if len(types) != 21 {
+		t.Fatalf("Types() has %d entries, want 21", len(types))
 	}
 	seen := make(map[Type]bool)
 	for _, typ := range types {
@@ -69,12 +70,14 @@ func TestBigClassification(t *testing.T) {
 		JoinNoti{Table: snap},
 		JoinNotiRly{R: Negative, Table: snap},
 		Leave{Table: snap},
+		SyncRly{Table: snap},
+		SyncPush{Table: snap},
 	}
 	small := []Message{
 		CpRst{}, JoinWait{}, InSysNoti{},
 		SpeNoti{}, SpeNotiRly{}, RvNghNoti{}, RvNghNotiRly{},
 		LeaveRly{}, Find{}, FindRly{},
-		Ping{}, Pong{}, FailedNoti{},
+		Ping{}, Pong{}, FailedNoti{}, SyncReq{},
 	}
 	for _, m := range big {
 		if !m.Big() {
@@ -217,6 +220,9 @@ func TestAllMessagesTypeAndSize(t *testing.T) {
 		{Ping{Seq: 7, Origin: ref, Target: ref}, TPing},
 		{Pong{Seq: 7}, TPong},
 		{FailedNoti{Failed: ref}, TFailedNoti},
+		{SyncReq{Fill: table.NewBitVector(p168.B * p168.D)}, TSyncReq},
+		{SyncRly{Table: snap, Fill: table.NewBitVector(p168.B * p168.D)}, TSyncRly},
+		{SyncPush{Table: snap}, TSyncPush},
 	}
 	if len(cases) != len(Types()) {
 		t.Fatalf("case list covers %d of %d message types", len(cases), len(Types()))

@@ -1,0 +1,59 @@
+// Anti-entropy messages — the table-audit layer of the partition-
+// tolerance extension. A round is a push-pull exchange: the initiator
+// sends its §6.2 fill vector as a digest (SyncReq), the responder
+// replies with exactly the entries the initiator is missing plus its
+// own fill vector (SyncRly), and the initiator pushes back whatever the
+// responder is missing (SyncPush). Two consistent peers exchange one
+// small and two empty-table messages; divergence costs bytes in
+// proportion to the difference.
+package msg
+
+import "hypercube/internal/table"
+
+// SyncReq opens an anti-entropy round: the sender's fill vector is a
+// compact digest of which (level, digit) entries it has filled.
+type SyncReq struct {
+	Fill table.BitVector
+}
+
+// Type implements Message.
+func (SyncReq) Type() Type { return TSyncReq }
+
+// Big implements Message.
+func (SyncReq) Big() bool { return false }
+
+// WireSize implements Message.
+func (m SyncReq) WireSize() int { return smallHeader + m.Fill.WireSize() }
+
+// SyncRly answers a SyncReq. Table holds the responder's entries whose
+// canonical slot in the requester's table is empty per the digest; Fill
+// is the responder's own fill vector so the requester can push back in
+// turn.
+type SyncRly struct {
+	Table table.Snapshot
+	Fill  table.BitVector
+}
+
+// Type implements Message.
+func (SyncRly) Type() Type { return TSyncRly }
+
+// Big implements Message.
+func (SyncRly) Big() bool { return true }
+
+// WireSize implements Message.
+func (m SyncRly) WireSize() int { return smallHeader + m.Table.WireSize() + m.Fill.WireSize() }
+
+// SyncPush completes the round: the entries the responder's fill vector
+// showed it was missing. No reply is expected.
+type SyncPush struct {
+	Table table.Snapshot
+}
+
+// Type implements Message.
+func (SyncPush) Type() Type { return TSyncPush }
+
+// Big implements Message.
+func (SyncPush) Big() bool { return true }
+
+// WireSize implements Message.
+func (m SyncPush) WireSize() int { return smallHeader + m.Table.WireSize() }

@@ -42,6 +42,7 @@ func (n *Network) FinalizeLeaves() []id.ID {
 	for _, x := range gone {
 		delete(n.machines, x)
 		delete(n.probers, x)
+		delete(n.engines, x)
 		n.removed[x] = true
 	}
 	return gone
@@ -56,6 +57,7 @@ func (n *Network) InjectFailure(x id.ID) error {
 	}
 	delete(n.machines, x)
 	delete(n.probers, x)
+	delete(n.engines, x)
 	n.removed[x] = true
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
@@ -136,6 +137,10 @@ type Config struct {
 	// Liveness attaches a failure detector (internal/liveness) to every
 	// machine; nil disables autonomous failure detection.
 	Liveness *liveness.Config
+	// AntiEntropy attaches a table-audit engine (internal/antientropy)
+	// to every machine, scheduled off the same virtual-clock pump as the
+	// probers; nil disables anti-entropy rounds.
+	AntiEntropy *antientropy.Config
 	// TickInterval is the cadence of the clock pump driving probers and
 	// Machine.Tick during RunFor. Default 50ms.
 	TickInterval time.Duration
@@ -172,6 +177,12 @@ type Network struct {
 	lost        uint64
 	// probers holds each node's failure detector (Config.Liveness).
 	probers map[id.ID]*liveness.Prober
+	// engines holds each node's anti-entropy engine (Config.AntiEntropy).
+	engines map[id.ID]*antientropy.Engine
+	// partition maps nodes to their partition group; messages between
+	// different groups drop in flight (Partition/Heal fault injection).
+	partition        map[id.ID]int
+	partitionDropped uint64
 	// livenessUntil bounds tick-pump rescheduling so Run() can quiesce.
 	livenessUntil time.Duration
 	tickPending   bool
@@ -195,6 +206,7 @@ func New(cfg Config) *Network {
 		joinersInFlight: make(map[id.ID]time.Duration),
 		removed:         make(map[id.ID]bool),
 		probers:         make(map[id.ID]*liveness.Prober),
+		engines:         make(map[id.ID]*antientropy.Engine),
 	}
 	if cfg.Loss != nil {
 		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
@@ -225,6 +237,9 @@ func (n *Network) addMachine(m *core.Machine) {
 	n.machines[m.Self().ID] = m
 	if n.cfg.Liveness != nil {
 		n.probers[m.Self().ID] = liveness.NewProber(*n.cfg.Liveness, m.Self())
+	}
+	if n.cfg.AntiEntropy != nil {
+		n.engines[m.Self().ID] = antientropy.New(*n.cfg.AntiEntropy, m)
 	}
 }
 
@@ -335,6 +350,14 @@ func (n *Network) post(env msg.Envelope, attempt int) {
 		delay += n.cfg.Loss.retryDelay() << (attempt - 2)
 	}
 	n.engine.Schedule(delay, func() {
+		// Partition cut: checked at delivery time so a Heal() scheduled
+		// mid-flight takes effect immediately. The drop is final — no
+		// retransmission reaches across a partition; the senders'
+		// exchange timeouts and the failure detector see the silence.
+		if n.partitionCut(env.From.ID, env.To.ID) {
+			n.partitionDropped++
+			return
+		}
 		if l := n.cfg.Loss; l != nil && n.lossDrop(env) {
 			t := env.Msg.Type()
 			if t == msg.TPing || t == msg.TPong || attempt >= l.maxAttempts() {
@@ -347,6 +370,38 @@ func (n *Network) post(env msg.Envelope, attempt int) {
 		}
 		n.deliver(env)
 	})
+}
+
+// Partition splits the network into disconnected groups: every message
+// between nodes of different groups is dropped in flight until Heal.
+// Nodes not listed in any group keep connectivity to everyone (they
+// model nodes outside the failure domain). Calling Partition again
+// replaces the current grouping.
+func (n *Network) Partition(groups ...[]id.ID) {
+	n.partition = make(map[id.ID]int)
+	for gi, g := range groups {
+		for _, x := range g {
+			n.partition[x] = gi
+		}
+	}
+}
+
+// Heal removes the partition: all pending and future messages deliver
+// normally again.
+func (n *Network) Heal() { n.partition = nil }
+
+// PartitionDropped returns how many messages the partition cut so far.
+func (n *Network) PartitionDropped() uint64 { return n.partitionDropped }
+
+// partitionCut reports whether a message from -> to crosses the current
+// partition boundary.
+func (n *Network) partitionCut(from, to id.ID) bool {
+	if len(n.partition) == 0 {
+		return false
+	}
+	gf, okf := n.partition[from]
+	gt, okt := n.partition[to]
+	return okf && okt && gf != gt
 }
 
 // lossDrop decides whether this transmission is lost. Under Loss.OneWay
@@ -449,7 +504,7 @@ func (n *Network) scheduleTick() {
 	if n.tickPending {
 		return
 	}
-	if n.cfg.Liveness == nil && !n.cfg.Opts.Timeouts.Enabled() {
+	if n.cfg.Liveness == nil && n.cfg.AntiEntropy == nil && !n.cfg.Opts.Timeouts.Enabled() {
 		return
 	}
 	n.tickPending = true
@@ -475,13 +530,19 @@ func (n *Network) tick() {
 		m := n.machines[x]
 		if p := n.probers[x]; p != nil {
 			p.SetTargets(probeTargets(m))
-			out, declared := p.Tick(now)
+			out, declared, unreachable := p.Tick(now)
 			n.transmit(out)
 			for _, ref := range declared {
 				n.transmit(m.DeclareFailed(ref))
 			}
+			for _, ref := range unreachable {
+				n.transmit(m.DropUnreachable(ref))
+			}
 		}
 		n.transmit(m.Tick(now))
+		if e := n.engines[x]; e != nil {
+			n.transmit(e.Tick(now))
+		}
 	}
 }
 
@@ -508,6 +569,33 @@ func (n *Network) LivenessStats() liveness.Stats {
 		total.Suspects += s.Suspects
 		total.Recovered += s.Recovered
 		total.Declared += s.Declared
+		total.PartitionsEntered += s.PartitionsEntered
+		total.PartitionsExited += s.PartitionsExited
+		total.DeclarationsHeld += s.DeclarationsHeld
+	}
+	return total
+}
+
+// PartitionedCount returns how many probers are currently in
+// partitioned mode.
+func (n *Network) PartitionedCount() int {
+	c := 0
+	for _, p := range n.probers {
+		if p.Partitioned() {
+			c++
+		}
+	}
+	return c
+}
+
+// AntiEntropyStats aggregates anti-entropy counters over all live nodes.
+func (n *Network) AntiEntropyStats() antientropy.Stats {
+	var total antientropy.Stats
+	for _, e := range n.engines {
+		s := e.Stats()
+		total.Rounds += s.Rounds
+		total.Pulled += s.Pulled
+		total.Purged += s.Purged
 	}
 	return total
 }
@@ -516,6 +604,18 @@ func (n *Network) LivenessStats() liveness.Stats {
 func (n *Network) Prober(x id.ID) (*liveness.Prober, bool) {
 	p, ok := n.probers[x]
 	return p, ok
+}
+
+// AddEstablished installs an in_system machine wrapping a pre-built
+// table — e.g. one restored from a persisted snapshot — and clears any
+// removed mark for the node, modeling a crashed node restarting from
+// disk. The table is adopted, not copied. The caller re-announces the
+// node via core's StartRejoin so survivors relearn it.
+func (n *Network) AddEstablished(ref table.Ref, tbl *table.Table) *core.Machine {
+	delete(n.removed, ref.ID)
+	m := core.NewEstablished(n.cfg.Params, ref, tbl, n.cfg.Opts)
+	n.addMachine(m)
+	return m
 }
 
 // Delivered returns the total number of messages delivered so far.

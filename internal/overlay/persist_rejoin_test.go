@@ -1,0 +1,68 @@
+package overlay
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hypercube/internal/id"
+	"hypercube/internal/persist"
+)
+
+// TestPersistRestartRejoin is the end-to-end restart story persist
+// exists for: a member dumps its table to disk, crashes, restarts from
+// the snapshot as an established node, and re-announces itself with
+// StartRejoin. The survivors never repaired the crash (the restart is
+// immediate), so their tables still point at the victim; after the
+// re-announce drains, the whole network must pass netcheck.
+func TestPersistRestartRejoin(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	rng := rand.New(rand.NewSource(11))
+	net := New(Config{Params: p})
+	refs := RandomRefs(p, 16, rng, nil)
+	net.BuildDirect(refs, rng)
+	if v := net.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("pre-crash network inconsistent: %v", v[0])
+	}
+
+	// Dump the victim's table through a real file round-trip.
+	victim := refs[3]
+	tbl, ok := net.TableOf(victim.ID)
+	if !ok {
+		t.Fatalf("victim %v has no table", victim.ID)
+	}
+	filled := tbl.FilledCount()
+	path := filepath.Join(t.TempDir(), "victim.json")
+	if err := persist.SaveFile(path, tbl.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := net.InjectFailure(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart from disk: load the dump, materialize the table, and
+	// rejoin through any survivor.
+	snap, err := persist.LoadFile(path, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := persist.Restore(snap)
+	if restored.FilledCount() != filled {
+		t.Fatalf("restored table has %d entries, want %d", restored.FilledCount(), filled)
+	}
+	m := net.AddEstablished(victim, restored)
+	out, err := m.StartRejoin(refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.transmit(out)
+	net.Run()
+
+	if !m.IsSNode() {
+		t.Fatalf("restarted node stuck in %v", m.Status())
+	}
+	if v := net.CheckConsistency(); len(v) != 0 {
+		t.Fatalf("inconsistent after restart+rejoin: %d violations, first: %v", len(v), v[0])
+	}
+}

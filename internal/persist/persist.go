@@ -107,7 +107,16 @@ func Load(r io.Reader, p id.Params) (table.Snapshot, error) {
 	return snap, nil
 }
 
-// SaveFile writes the snapshot atomically (temp file + rename).
+// saveHook, when non-nil, runs after the snapshot bytes are written to
+// the temp file but before it is synced and renamed into place. Tests
+// use it to kill a save midway and prove the previous dump survives.
+var saveHook func(tmp *os.File) error
+
+// SaveFile writes the snapshot atomically: the bytes go to a temp file
+// in the same directory, are fsynced, and only then renamed over path.
+// A crash at any point leaves either the old dump or the new one, never
+// a torn file — the rename is the commit point, and the fsync ensures
+// the data is durable before the name flips to it.
 func SaveFile(path string, snap table.Snapshot) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".table-*.json")
 	if err != nil {
@@ -118,13 +127,36 @@ func SaveFile(path string, snap table.Snapshot) error {
 		tmp.Close()
 		return err
 	}
+	if saveHook != nil {
+		if err := saveHook(tmp); err != nil {
+			tmp.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
+	syncDir(dirOf(path))
 	return nil
+}
+
+// syncDir flushes the directory so the rename itself survives a crash.
+// Best-effort: some filesystems refuse to sync directories, and the
+// data file is already durable at this point.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
 }
 
 // LoadFile reads a snapshot previously written by SaveFile.

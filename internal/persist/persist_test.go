@@ -2,7 +2,9 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -102,6 +104,55 @@ func TestSaveFileLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json"), p164); err == nil {
 		t.Fatal("missing file loaded")
+	}
+}
+
+func TestKilledSaveKeepsPreviousDump(t *testing.T) {
+	// A node that dies mid-dump must not destroy the dump it restarts
+	// from. Write a good file, then kill a second save after a partial
+	// write (the temp file is truncated to half and the save aborts,
+	// before the rename commit point): the original must load intact
+	// and no temp debris may remain.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table.json")
+	tbl := sampleTable(t)
+	if err := SaveFile(path, tbl.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	saveHook = func(tmp *os.File) error {
+		info, err := tmp.Stat()
+		if err != nil {
+			return err
+		}
+		if err := tmp.Truncate(info.Size() / 2); err != nil {
+			return err
+		}
+		return errors.New("killed mid-write")
+	}
+	defer func() { saveHook = nil }()
+	if err := SaveFile(path, tbl.Snapshot()); err == nil {
+		t.Fatal("killed save reported success")
+	}
+
+	back, err := LoadFile(path, p164)
+	if err != nil {
+		t.Fatalf("previous dump lost: %v", err)
+	}
+	if back.Owner() != tbl.Owner() || back.FilledCount() != tbl.FilledCount() {
+		t.Fatalf("previous dump corrupted: owner %v filled %d, want %v / %d",
+			back.Owner(), back.FilledCount(), tbl.Owner(), tbl.FilledCount())
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Name() != "table.json" {
+		names := make([]string, len(files))
+		for i, f := range files {
+			names[i] = f.Name()
+		}
+		t.Fatalf("temp debris left behind: %v", names)
 	}
 }
 

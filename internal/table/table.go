@@ -357,6 +357,30 @@ func (s Snapshot) Filtered(mask BitVector, keepFrom int) Snapshot {
 	return Snapshot{params: s.params, owner: s.owner, lo: s.lo, hi: s.hi, entries: out}
 }
 
+// MissingIn returns a copy of the snapshot containing only the occupants
+// whose canonical entry in peer's table is empty according to peer's fill
+// vector. An occupant u of any entry belongs, in peer's table, at
+// (k, u[k]) with k = |csuf(peer, u)| — computable from the two IDs alone —
+// so the result carries exactly the nodes peer is missing: between two
+// converged tables it is empty, and after a partition heals it shrinks to
+// nothing as the anti-entropy rounds progress.
+func (s Snapshot) MissingIn(peer id.ID, fill BitVector) Snapshot {
+	out := make([]Neighbor, len(s.entries))
+	for i, e := range s.entries {
+		if e.IsZero() || e.ID == peer {
+			continue
+		}
+		k := peer.CommonSuffixLen(e.ID)
+		if k >= s.params.D {
+			continue // e is peer itself under a different address
+		}
+		if !fill.Get(k*s.params.B + e.ID.Digit(k)) {
+			out[i] = e
+		}
+	}
+	return Snapshot{params: s.params, owner: s.owner, lo: s.lo, hi: s.hi, entries: out}
+}
+
 // BitVector is a fixed-size bit set indexed by entry number
 // (level*b + digit), used for the §6.2 message-size reduction.
 type BitVector struct {

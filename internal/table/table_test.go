@@ -573,3 +573,55 @@ func TestBitVectorWordsRoundTrip(t *testing.T) {
 		t.Error("Words exposed internal storage")
 	}
 }
+
+func TestSnapshotMissingIn(t *testing.T) {
+	// Owner 21233's table with occupants at their canonical coordinates;
+	// peer 00233 shares the rightmost three digits with the owner.
+	owner := id.MustParse(p45, "21233")
+	peer := id.MustParse(p45, "00233")
+	tbl := New(p45, owner)
+	tbl.Set(0, 1, nb(t, "33121", StateS)) // csuf(peer)=0, digit 1 -> bit 1
+	tbl.Set(1, 0, nb(t, "00033", StateS)) // csuf(peer)=2, digit 0 -> bit 8... entry key below
+	tbl.Set(3, 0, nb(t, "00233", StateS)) // the peer itself: never shipped
+	tbl.Set(2, 1, nb(t, "01233", StateT)) // csuf(peer)=3, digit 1 -> bit 13
+
+	// An empty digest pulls everything except the peer itself.
+	empty := NewBitVector(p45.D * p45.B)
+	got := tbl.Snapshot().MissingIn(peer, empty)
+	if got.FilledCount() != 3 {
+		t.Fatalf("FilledCount = %d with empty digest, want 3", got.FilledCount())
+	}
+	if !got.Get(3, 0).IsZero() {
+		t.Fatal("peer shipped to itself")
+	}
+	// Entries keep their coordinates in the owner's table.
+	if got.Get(2, 1).ID != id.MustParse(p45, "01233") {
+		t.Fatalf("entry (2,1) = %v, want 01233", got.Get(2, 1).ID)
+	}
+
+	// Mark the slots 33121 and 00033 would land in (computed from the
+	// IDs: level = csuf with the peer, digit = that level's digit) as
+	// already filled: only 01233 still ships.
+	fill := NewBitVector(p45.D * p45.B)
+	for _, s := range []string{"33121", "00033"} {
+		x := id.MustParse(p45, s)
+		k := peer.CommonSuffixLen(x)
+		fill.Set(k*p45.B + x.Digit(k))
+	}
+	got = tbl.Snapshot().MissingIn(peer, fill)
+	if got.FilledCount() != 1 {
+		t.Fatalf("FilledCount = %d with partial digest, want 1", got.FilledCount())
+	}
+	if got.Get(2, 1).IsZero() {
+		t.Fatal("undigested entry was withheld")
+	}
+
+	// Converged steady state: the peer's digest covers every occupant's
+	// peer-canonical slot, so nothing ships.
+	x := id.MustParse(p45, "01233")
+	k := peer.CommonSuffixLen(x)
+	fill.Set(k*p45.B + x.Digit(k))
+	if n := tbl.Snapshot().MissingIn(peer, fill).FilledCount(); n != 0 {
+		t.Fatalf("converged digest still shipped %d entries", n)
+	}
+}

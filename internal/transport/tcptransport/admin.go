@@ -31,29 +31,43 @@ func (n *Node) AdminHandler() http.Handler {
 }
 
 type statusResponse struct {
-	ID       string          `json:"id"`
-	Addr     string          `json:"addr"`
-	Status   string          `json:"status"`
-	B        int             `json:"b"`
-	D        int             `json:"d"`
-	Filled   int             `json:"filledEntries"`
-	Sent     map[string]int  `json:"sent"`
-	Received map[string]int  `json:"received"`
-	Retried  map[string]int  `json:"retried,omitempty"`
-	Dropped  map[string]int  `json:"dropped,omitempty"`
-	Bytes    int             `json:"bytesSent"`
-	Liveness *livenessStatus `json:"liveness,omitempty"`
+	ID          string             `json:"id"`
+	Addr        string             `json:"addr"`
+	Status      string             `json:"status"`
+	B           int                `json:"b"`
+	D           int                `json:"d"`
+	Filled      int                `json:"filledEntries"`
+	Sent        map[string]int     `json:"sent"`
+	Received    map[string]int     `json:"received"`
+	Retried     map[string]int     `json:"retried,omitempty"`
+	Dropped     map[string]int     `json:"dropped,omitempty"`
+	Bytes       int                `json:"bytesSent"`
+	Liveness    *livenessStatus    `json:"liveness,omitempty"`
+	AntiEntropy *antiEntropyStatus `json:"antiEntropy,omitempty"`
 }
 
 // livenessStatus is the failure detector's slice of /status; present
 // only when the node was started with WithLiveness.
 type livenessStatus struct {
-	Targets       int `json:"targets"`
-	ProbesSent    int `json:"probesSent"`
-	IndirectSent  int `json:"indirectSent"`
-	PongsReceived int `json:"pongsReceived"`
-	Suspects      int `json:"suspects"`
-	Declared      int `json:"declared"`
+	Targets           int  `json:"targets"`
+	ProbesSent        int  `json:"probesSent"`
+	IndirectSent      int  `json:"indirectSent"`
+	PongsReceived     int  `json:"pongsReceived"`
+	Suspects          int  `json:"suspects"`
+	Declared          int  `json:"declared"`
+	Partitioned       bool `json:"partitioned"`
+	PartitionsEntered int  `json:"partitionsEntered"`
+	PartitionsExited  int  `json:"partitionsExited"`
+	DeclarationsHeld  int  `json:"declarationsHeld"`
+	Unreachable       int  `json:"unreachable"`
+}
+
+// antiEntropyStatus is the table-repair slice of /status; present only
+// when the node was started with WithAntiEntropy.
+type antiEntropyStatus struct {
+	Rounds int `json:"rounds"`
+	Pulled int `json:"pulled"`
+	Purged int `json:"purged"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -88,14 +102,27 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if stats, suspects, ok := n.LivenessStats(); ok {
 		n.probeMu.Lock()
 		targets := n.prober.TargetCount()
+		partitioned := n.prober.Partitioned()
 		n.probeMu.Unlock()
 		resp.Liveness = &livenessStatus{
-			Targets:       targets,
-			ProbesSent:    stats.ProbesSent,
-			IndirectSent:  stats.IndirectSent,
-			PongsReceived: stats.PongsReceived,
-			Suspects:      suspects,
-			Declared:      stats.Declared,
+			Targets:           targets,
+			ProbesSent:        stats.ProbesSent,
+			IndirectSent:      stats.IndirectSent,
+			PongsReceived:     stats.PongsReceived,
+			Suspects:          suspects,
+			Declared:          stats.Declared,
+			Partitioned:       partitioned,
+			PartitionsEntered: stats.PartitionsEntered,
+			PartitionsExited:  stats.PartitionsExited,
+			DeclarationsHeld:  stats.DeclarationsHeld,
+			Unreachable:       stats.Unreachable,
+		}
+	}
+	if stats, ok := n.AntiEntropyStats(); ok {
+		resp.AntiEntropy = &antiEntropyStatus{
+			Rounds: stats.Rounds,
+			Pulled: stats.Pulled,
+			Purged: stats.Purged,
 		}
 	}
 	writeJSON(w, resp)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hypercube/internal/antientropy"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// failed, and drives Machine.Tick for join timeouts and repair.
 	// Nil disables it.
 	Liveness *liveness.Config
+	// AntiEntropy enables periodic anti-entropy rounds: a background
+	// ticker audits the table and runs push-pull digest exchanges with
+	// rotating neighbors, repairing divergence (e.g. after a partition
+	// heals). Nil disables it.
+	AntiEntropy *antientropy.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +117,12 @@ func WithFaults(f *Faults) Option {
 // WithLiveness enables the failure detector with the given tuning.
 func WithLiveness(lc liveness.Config) Option {
 	return func(c *Config) { c.Liveness = &lc }
+}
+
+// WithAntiEntropy enables periodic anti-entropy rounds with the given
+// tuning.
+func WithAntiEntropy(ac antientropy.Config) Option {
+	return func(c *Config) { c.AntiEntropy = &ac }
 }
 
 // Faults injects failures into the outbound delivery path so the

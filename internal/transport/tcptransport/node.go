@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
@@ -25,8 +26,9 @@ type Node struct {
 	params id.Params
 	cfg    Config
 
-	mu      sync.Mutex // guards machine
+	mu      sync.Mutex // guards machine and engine
 	machine *core.Machine
+	engine  *antientropy.Engine // nil unless Config.AntiEntropy is set
 
 	// probeMu guards prober. It is never held together with mu: the
 	// liveness tick snapshots machine state under mu first, releases it,
@@ -92,6 +94,11 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 		n.prober = liveness.NewProber(*n.cfg.Liveness, ref)
 		n.wg.Add(1)
 		go n.livenessLoop()
+	}
+	if n.cfg.AntiEntropy != nil {
+		n.engine = antientropy.New(*n.cfg.AntiEntropy, n.machine)
+		n.wg.Add(1)
+		go n.antiEntropyLoop()
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -206,7 +213,7 @@ func (n *Node) livenessTick() {
 
 	n.probeMu.Lock()
 	n.prober.SetTargets(targets)
-	probes, declared := n.prober.Tick(now)
+	probes, declared, unreachable := n.prober.Tick(now)
 	n.probeMu.Unlock()
 	_ = n.sendAll(probes)
 
@@ -216,11 +223,54 @@ func (n *Node) livenessTick() {
 		n.mu.Unlock()
 		_ = n.sendAll(out)
 	}
+	for _, gone := range unreachable {
+		n.mu.Lock()
+		out := n.machine.DropUnreachable(gone)
+		n.mu.Unlock()
+		_ = n.sendAll(out)
+	}
 
 	n.mu.Lock()
 	out := n.machine.Tick(now)
 	n.mu.Unlock()
 	_ = n.sendAll(out)
+}
+
+// antiEntropyLoop drives periodic anti-entropy rounds off real time.
+// The engine mutates the machine (audits purge entries, sync replies
+// merge tables), so each tick runs under the machine lock; the
+// resulting traffic is handed to the delivery layer outside it.
+func (n *Node) antiEntropyLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.AntiEntropy.Interval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+			now := time.Since(n.start)
+			n.mu.Lock()
+			out := n.engine.Tick(now)
+			n.mu.Unlock()
+			_ = n.sendAll(out)
+		}
+	}
+}
+
+// AntiEntropyStats returns the anti-entropy engine's counters; ok is
+// false when anti-entropy is disabled.
+func (n *Node) AntiEntropyStats() (stats antientropy.Stats, ok bool) {
+	if n.engine == nil {
+		return antientropy.Stats{}, false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.engine.Stats(), true
 }
 
 // LivenessStats returns the failure detector's counters plus the current

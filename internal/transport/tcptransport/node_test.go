@@ -50,6 +50,9 @@ func TestWireRoundTrip(t *testing.T) {
 		msg.Ping{Seq: 43, Origin: refA, Target: refB},
 		msg.Pong{Seq: 42},
 		msg.FailedNoti{Failed: refB},
+		msg.SyncReq{Fill: fill},
+		msg.SyncRly{Table: snap, Fill: fill},
+		msg.SyncPush{Table: snap},
 	}
 	for _, m := range messages {
 		env := msg.Envelope{From: refA, To: refB, Msg: m}
@@ -115,6 +118,21 @@ func TestWireRoundTrip(t *testing.T) {
 		case msg.FailedNoti:
 			if bm.Failed != refB {
 				t.Fatalf("FailedNoti ref corrupted: %+v", bm.Failed)
+			}
+		case msg.SyncReq:
+			if bm.Fill.Len() != fill.Len() || bm.Fill.Count() != fill.Count() {
+				t.Fatal("SyncReq fill vector corrupted")
+			}
+		case msg.SyncRly:
+			if bm.Table.FilledCount() != snap.FilledCount() {
+				t.Fatal("SyncRly table lost entries")
+			}
+			if bm.Fill.Len() != fill.Len() || bm.Fill.Count() != fill.Count() {
+				t.Fatal("SyncRly fill vector corrupted")
+			}
+		case msg.SyncPush:
+			if bm.Table.FilledCount() != snap.FilledCount() {
+				t.Fatal("SyncPush table lost entries")
 			}
 		}
 	}

@@ -173,6 +173,19 @@ func encodeEnvelope(env msg.Envelope) (wireEnvelope, error) {
 		w.Seq = m.Seq
 	case msg.FailedNoti:
 		w.X = encodeRef(m.Failed)
+	case msg.SyncReq:
+		if m.Fill.Len() > 0 {
+			w.Fill = m.Fill.Words()
+			w.FillLen = m.Fill.Len()
+		}
+	case msg.SyncRly:
+		w.Table, w.HasTable = encodeTable(m.Table)
+		if m.Fill.Len() > 0 {
+			w.Fill = m.Fill.Words()
+			w.FillLen = m.Fill.Len()
+		}
+	case msg.SyncPush:
+		w.Table, w.HasTable = encodeTable(m.Table)
 	default:
 		return wireEnvelope{}, fmt.Errorf("tcptransport: unknown message %T", env.Msg)
 	}
@@ -293,6 +306,20 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 			return msg.Envelope{}, err
 		}
 		env.Msg = msg.FailedNoti{Failed: failed}
+	case msg.TSyncReq:
+		m := msg.SyncReq{}
+		if w.FillLen > 0 {
+			m.Fill = table.BitVectorFromWords(w.Fill, w.FillLen)
+		}
+		env.Msg = m
+	case msg.TSyncRly:
+		m := msg.SyncRly{Table: snap}
+		if w.FillLen > 0 {
+			m.Fill = table.BitVectorFromWords(w.Fill, w.FillLen)
+		}
+		env.Msg = m
+	case msg.TSyncPush:
+		env.Msg = msg.SyncPush{Table: snap}
 	default:
 		return msg.Envelope{}, fmt.Errorf("tcptransport: unknown wire kind %d", w.Kind)
 	}
