@@ -78,7 +78,11 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 
-	// Concurrent graceful leaves.
+	// Concurrent graceful leaves. Clamp to the network size so a small -n
+	// with the default -leaves doesn't index past the member list.
+	if *leaves > len(refs) {
+		*leaves = len(refs)
+	}
 	before := net.Delivered()
 	perm := rng.Perm(len(refs))
 	for i := 0; i < *leaves; i++ {

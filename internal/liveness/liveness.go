@@ -244,8 +244,9 @@ func (p *Prober) distressedCount() int {
 // updatePartitionMode re-evaluates the partitioned flag against the
 // current distressed-target fraction, with hysteresis: enter at
 // PartitionThreshold, exit below half of it (or when the target set
-// shrinks under PartitionMinTargets).
-func (p *Prober) updatePartitionMode() {
+// shrinks under PartitionMinTargets). On exit it restarts every held
+// suspect's confirmation rounds at time now.
+func (p *Prober) updatePartitionMode(now time.Duration) {
 	n := len(p.targets)
 	frac := 0.0
 	if n > 0 {
@@ -266,12 +267,16 @@ func (p *Prober) updatePartitionMode() {
 		p.stats.PartitionsExited++
 		// Evidence gathered while partitioned is tainted: a confirm probe
 		// cut by the split says nothing about its target. Every held
-		// suspect restarts its confirmation rounds against the healed
-		// network, so a declaration now requires ConfirmRounds of fresh
-		// silence — a genuinely dead suspect still falls, just a few
-		// rounds later.
-		for _, t := range p.targets {
-			if t.state != stateSuspect {
+		// suspect therefore restarts its confirmation rounds against the
+		// healed network — old probes are orphaned and a fresh round is
+		// launched immediately (routine probing skips suspects, so nothing
+		// else would ever probe them again). A declaration now requires
+		// ConfirmRounds of fresh silence: a genuinely dead suspect still
+		// falls, just a few rounds later. Iterate in cycle order so probe
+		// sequence numbers stay deterministic.
+		for _, x := range p.cycle {
+			t, ok := p.targets[x]
+			if !ok || t.state != stateSuspect {
 				continue
 			}
 			t.rounds = 0
@@ -281,6 +286,7 @@ func (p *Prober) updatePartitionMode() {
 					delete(p.inflight, seq)
 				}
 			}
+			p.confirmRound(t, now)
 		}
 	}
 }
@@ -406,19 +412,35 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 
 	// Recoveries since the last tick (Observe, pongs) may have lowered
 	// the suspect fraction enough to exit partitioned mode.
-	p.updatePartitionMode()
+	p.updatePartitionMode(now)
 
-	// Expire in-flight probes, collecting misses per target.
-	expired := make([]id.ID, 0, 4)
+	// Expire in-flight probes, collecting misses per target. Each entry
+	// is re-checked against inflight at processing time: a partition-mode
+	// exit mid-sweep orphans held suspects' old probes and launches fresh
+	// rounds, and the orphaned expiries must not be charged against those
+	// fresh rounds.
+	type expiry struct {
+		seq    uint64
+		target id.ID
+	}
+	expired := make([]expiry, 0, 4)
 	for seq, pr := range p.inflight {
 		if pr.deadline <= now {
-			delete(p.inflight, seq)
-			expired = append(expired, pr.target)
+			expired = append(expired, expiry{seq, pr.target})
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i].Less(expired[j]) })
-	for _, x := range expired {
-		t, ok := p.targets[x]
+	sort.Slice(expired, func(i, j int) bool {
+		if expired[i].target != expired[j].target {
+			return expired[i].target.Less(expired[j].target)
+		}
+		return expired[i].seq < expired[j].seq
+	})
+	for _, e := range expired {
+		if _, ok := p.inflight[e.seq]; !ok {
+			continue // orphaned mid-sweep by a partition-mode exit
+		}
+		delete(p.inflight, e.seq)
+		t, ok := p.targets[e.target]
 		if !ok {
 			continue
 		}
@@ -441,7 +463,7 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 				// Suspicions raised earlier in this loop count too: a
 				// partition times out a whole cohort within one expiry
 				// sweep, and the first of them must already be held.
-				p.updatePartitionMode()
+				p.updatePartitionMode(now)
 				if p.partitioned {
 					// Partitioned mode: hold the declaration. The target
 					// stays a suspect and keeps getting confirm rounds so
@@ -449,6 +471,13 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 					// genuinely dead it is declared once the mode exits.
 					p.stats.DeclarationsHeld++
 					p.confirmRound(t, now)
+					continue
+				}
+				if t.rounds < p.cfg.ConfirmRounds {
+					// The call above just exited partitioned mode: it wiped
+					// this suspect's partition-tainted evidence and already
+					// relaunched its confirm rounds, so declaring now would
+					// use exactly the evidence the wipe discarded.
 					continue
 				}
 				if !t.answered {

@@ -366,6 +366,73 @@ func TestPartitionHoldsDeclarationsThenRecovers(t *testing.T) {
 	}
 }
 
+func TestDeadSuspectDeclaredAfterPartitionExit(t *testing.T) {
+	// A suspect that genuinely crashed during the partition never answers
+	// after the heal. The exit wipe discards its partition-tainted
+	// evidence but must relaunch its confirmation rounds — routine probing
+	// skips suspects, so without the relaunch nothing would ever probe it
+	// again and it would stay suspect forever. With the relaunch it falls
+	// after ConfirmRounds of fresh silence against the healed network.
+	self := mkRef(t, "0000")
+	dead := mkRef(t, "1111")
+	live := []table.Ref{mkRef(t, "2222"), mkRef(t, "3333"), mkRef(t, "0011")}
+	all := append([]table.Ref{dead}, live...)
+	p := NewProber(cfgFast(), self)
+	p.SetTargets(all)
+	for _, tgt := range all {
+		p.Observe(tgt.ID) // all alive once, so silence is declarable
+	}
+
+	// Everyone goes silent at once: partition mode, declarations held.
+	declared, unreachable := drive(p, 10*time.Second, nil)
+	if len(declared) != 0 || len(unreachable) != 0 {
+		t.Fatalf("declared %v / dropped %v during partition, want all held", declared, unreachable)
+	}
+	if !p.Partitioned() {
+		t.Fatal("prober did not enter partition mode")
+	}
+
+	// The partition heals; the live peers answer again, dead stays silent.
+	responders := make(map[id.ID]*Prober, len(live))
+	for _, tgt := range live {
+		responders[tgt.ID] = NewProber(cfgFast(), tgt)
+	}
+	var after []table.Ref
+	for now := 10 * time.Second; now <= 40*time.Second; now += 25 * time.Millisecond {
+		out, dec, _ := p.Tick(now)
+		after = append(after, dec...)
+		for len(out) > 0 {
+			var next []msg.Envelope
+			for _, env := range out {
+				switch {
+				case env.To.ID == self.ID:
+					next = append(next, p.HandleMessage(env)...)
+				case env.To.ID == dead.ID:
+					// crashed for real: blackhole
+				default:
+					if r, ok := responders[env.To.ID]; ok {
+						for _, e := range r.HandleMessage(env) {
+							if e.To.ID != dead.ID {
+								next = append(next, e)
+							}
+						}
+					}
+				}
+			}
+			out = next
+		}
+	}
+	if p.Partitioned() {
+		t.Fatal("prober stuck in partition mode after heal")
+	}
+	if len(after) != 1 || after[0].ID != dead.ID {
+		t.Fatalf("declared = %v after heal, want exactly %v (dead suspect stuck unprobed)", after, dead.ID)
+	}
+	if p.TargetCount() != len(live) {
+		t.Fatalf("TargetCount = %d after declaration, want %d", p.TargetCount(), len(live))
+	}
+}
+
 func TestNoPartitionBelowMinTargets(t *testing.T) {
 	// With fewer simultaneously-suspect peers than PartitionMinTargets the
 	// suspect fraction is not evidence of a partition — declarations

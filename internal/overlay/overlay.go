@@ -572,6 +572,7 @@ func (n *Network) LivenessStats() liveness.Stats {
 		total.PartitionsEntered += s.PartitionsEntered
 		total.PartitionsExited += s.PartitionsExited
 		total.DeclarationsHeld += s.DeclarationsHeld
+		total.Unreachable += s.Unreachable
 	}
 	return total
 }
