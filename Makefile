@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt cover experiments
+.PHONY: all build test race bench vet fmt lint cover experiments trace-smoke
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,16 @@ vet:
 fmt:
 	gofmt -l .
 
+# lint fails on unformatted files (gofmt -l prints them; grep turns any
+# output into a non-zero exit) and runs vet with the two analyzers that
+# are off by default in `go vet` but catch real protocol-loop bugs:
+# unreachable code after give-up branches and lost context cancels in
+# the transport.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) vet -unreachable -lostcancel ./...
+
 cover:
 	$(GO) test -cover ./internal/...
 
@@ -40,3 +50,9 @@ experiments:
 	$(GO) run ./cmd/msgsize
 	$(GO) run ./cmd/churn
 	$(GO) run ./cmd/workload -quiet
+
+# trace-smoke proves the tracing pipeline end to end: a 16-node overlay
+# wave writes a JSONL trace and tracestat must parse it cleanly (exit 0).
+trace-smoke:
+	$(GO) run ./cmd/tracewave -n 16 -m 12 -out /tmp/hypercube-trace-smoke.jsonl
+	$(GO) run ./cmd/tracestat /tmp/hypercube-trace-smoke.jsonl

@@ -21,6 +21,7 @@ package hypercube
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"hypercube/internal/baseline"
 	"hypercube/internal/core"
 	"hypercube/internal/id"
+	"hypercube/internal/obs"
 	"hypercube/internal/overlay"
 	"hypercube/internal/table"
 	"hypercube/internal/topology"
@@ -552,4 +554,32 @@ func BenchmarkWorkload(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkJoinWaveTraced is the observability-overhead guardrail: the
+// same 128-node/96-join wave with no sink (the nil fast path every
+// emit site takes by default), with the explicit Nop sink (normalized
+// to nil by SetSink), and with a real JSONL sink writing to io.Discard
+// (full event construction + marshalling). The untraced and nop
+// variants must stay within noise of each other; jsonl-discard bounds
+// the worst-case cost of turning tracing on.
+func BenchmarkJoinWaveTraced(b *testing.B) {
+	run := func(b *testing.B, sink obs.Sink) {
+		for i := 0; i < b.N; i++ {
+			res, err := overlay.RunWave(overlay.WaveConfig{
+				Params: id.Params{B: 16, D: 4}, N: 128, M: 96, Seed: 11, Sink: sink,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.AllSNodes {
+				b.Fatal("wave did not complete")
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, nil) })
+	b.Run("nop", func(b *testing.B) { run(b, obs.Nop) })
+	b.Run("jsonl-discard", func(b *testing.B) {
+		run(b, obs.NewJSONL(io.Discard))
+	})
 }

@@ -20,6 +20,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
+	"hypercube/internal/obs"
 	"hypercube/internal/overlay"
 	"hypercube/internal/table"
 	"hypercube/internal/topology"
@@ -36,6 +37,8 @@ func main() {
 		auto   = flag.Bool("crash", false, "self-healing crash mode: nodes detect and repair crashes themselves (no recovery oracle)")
 		heal   = flag.Duration("heal", 20*time.Second, "virtual healing window per crash in -crash mode")
 
+		trace = flag.String("trace", "", "write every protocol event as JSONL to this file (analyze with tracestat)")
+
 		partition = flag.Bool("partition", false, "partition experiment: split the network into halves, verify declarations are held, heal, and measure anti-entropy reconvergence (replaces the churn phases)")
 		split     = flag.Duration("split", 15*time.Second, "virtual duration of the partition in -partition mode")
 		syncEvery = flag.Duration("sync-interval", time.Second, "anti-entropy round interval in -partition mode")
@@ -49,16 +52,40 @@ func main() {
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
+	// exit flushes the trace (os.Exit skips defers) before terminating.
+	var sink *obs.JSONL
+	exit := func(code int) {
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "churn: trace: %v\n", err)
+				code = 1
+			}
+		}
+		os.Exit(code)
+	}
+	if *trace != "" {
+		var err error
+		if sink, err = obs.NewJSONLFile(*trace); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	topo, err := topology.Generate(topology.Small(*seed))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	tl := overlay.NewTopologyLatency(topo)
 	if *partition {
-		os.Exit(runPartition(p, *n, *joins, *seed, *split, *syncEvery, topo, tl))
+		exit(runPartition(p, *n, *joins, *seed, *split, *syncEvery, topo, tl, sink))
 	}
 	cfg := overlay.Config{Params: p, Latency: tl.Func()}
+	if sink != nil {
+		// Assigning a nil *obs.JSONL directly would make cfg.Sink a
+		// non-nil interface holding nil.
+		cfg.Sink = sink
+	}
 	if *auto {
 		// Self-healing mode: every node runs a failure detector and the
 		// clock-driven repair machinery; crashes below are announced to
@@ -88,7 +115,7 @@ func main() {
 	for i := 0; i < *leaves; i++ {
 		if err := net.ScheduleLeave(refs[perm[i]].ID, 0); err != nil {
 			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	net.Run()
@@ -113,7 +140,7 @@ func main() {
 		dead := survivors[i]
 		if err := net.InjectFailure(dead); err != nil {
 			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		if *auto {
 			net.RunFor(*heal)
@@ -151,7 +178,7 @@ func main() {
 		beforeStretch.P95, afterStretch.P95, violations)
 	if err := w.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 
 	// Survivor-side counters (the leavers' machines are gone, so count
@@ -169,8 +196,9 @@ func main() {
 		if unrepaired != 0 {
 			fmt.Fprintf(os.Stderr, "churn: %d table entries left unrepaired\n", unrepaired)
 		}
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 // partitionJoiner constructs a fresh node ID whose rightmost digit
@@ -232,7 +260,7 @@ func printViolations(v []netcheck.Violation) {
 // rounds until Definition 3.8 consistency returns. Exit status is
 // non-zero if anything was falsely declared dead or the tables never
 // reconverge.
-func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.Duration, topo *topology.Topology, tl *overlay.TopologyLatency) int {
+func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.Duration, topo *topology.Topology, tl *overlay.TopologyLatency, sink *obs.JSONL) int {
 	rng := rand.New(rand.NewSource(seed))
 	cfg := overlay.Config{
 		Params:  p,
@@ -254,6 +282,9 @@ func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.D
 		},
 		AntiEntropy:  &antientropy.Config{Interval: syncEvery},
 		TickInterval: 100 * time.Millisecond,
+	}
+	if sink != nil {
+		cfg.Sink = sink
 	}
 	net := overlay.New(cfg)
 	taken := make(map[id.ID]bool)

@@ -1,8 +1,9 @@
 // Command hypercubed runs a single protocol node over real TCP: the
 // deployable face of the library. A first node seeds a network; further
 // nodes join through any member. Each daemon exposes an HTTP admin
-// endpoint (status, table, join, leave) and departs gracefully on
-// SIGINT/SIGTERM, repairing its holders' tables on the way out.
+// endpoint (status, table, metrics, trace, join, leave, pprof) and
+// departs gracefully on SIGINT/SIGTERM, repairing its holders' tables
+// on the way out.
 //
 // Start a seed, then join two more nodes:
 //
@@ -10,6 +11,13 @@
 //	hypercubed -listen 127.0.0.1:7002 -admin 127.0.0.1:8002 -name beta \
 //	    -join <seedID>@127.0.0.1:7001
 //	curl -s 127.0.0.1:8002/status
+//	curl -s 127.0.0.1:8002/metrics
+//
+// Observability: -trace writes every protocol event as JSONL (analyze
+// with tracestat), -trace-ring keeps the newest N events in memory
+// behind GET /trace, -log-level=debug mirrors events into the log
+// stream, and the admin server serves net/http/pprof under
+// /debug/pprof/.
 package main
 
 import (
@@ -17,7 +25,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +38,7 @@ import (
 	"hypercube/internal/core"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
+	"hypercube/internal/obs"
 	"hypercube/internal/persist"
 	"hypercube/internal/table"
 	"hypercube/internal/transport/tcptransport"
@@ -35,7 +46,7 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "hypercubed: %v\n", err)
+		slog.Error("hypercubed failed", "err", err)
 		os.Exit(1)
 	}
 }
@@ -51,6 +62,11 @@ func run() error {
 		join    = flag.String("join", "", "bootstrap as id@host:port; empty starts a new network (seed)")
 		dump    = flag.String("dump", "", "write the neighbor table to this file on exit")
 		timeout = flag.Duration("timeout", time.Minute, "join/leave completion timeout")
+
+		// Observability knobs.
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug mirrors protocol events)")
+		tracePath = flag.String("trace", "", "write protocol events as JSONL to this file")
+		traceRing = flag.Int("trace-ring", 0, "keep the newest N events in memory behind GET /trace (0 = off)")
 
 		// Reliable-delivery knobs (0 keeps the transport default).
 		attempts = flag.Int("max-attempts", 0, "delivery attempts per message before dead-lettering")
@@ -76,9 +92,38 @@ func run() error {
 		return err
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	nodeID, err := resolveID(p, *idStr, *name, *listen)
 	if err != nil {
 		return err
+	}
+	log = log.With("node", nodeID.String())
+	slog.SetDefault(log)
+
+	// Sink: JSONL trace file and/or debug-level log mirror of every event.
+	var sinks []obs.Sink
+	var traceFile *obs.JSONL
+	if *tracePath != "" {
+		traceFile, err = obs.NewJSONLFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := traceFile.Close(); err != nil {
+				log.Error("trace file", "err", err)
+			} else {
+				log.Info("trace written", "path", *tracePath, "events", traceFile.Emitted())
+			}
+		}()
+		sinks = append(sinks, traceFile)
+	}
+	if level <= slog.LevelDebug {
+		sinks = append(sinks, obs.NewSlogSink(log))
 	}
 
 	options := []tcptransport.Option{tcptransport.WithConfig(tcptransport.Config{
@@ -86,6 +131,8 @@ func run() error {
 		BaseBackoff: *backoff,
 		MaxBackoff:  *maxBack,
 		QueueLimit:  *queue,
+		Sink:        obs.Tee(sinks...),
+		TraceRing:   *traceRing,
 	})}
 	opts := core.Options{}
 	if !*noLive {
@@ -112,17 +159,25 @@ func run() error {
 		return err
 	}
 	defer node.Close()
-	fmt.Printf("node %v listening on %s\n", node.Ref().ID, node.Ref().Addr)
+	log.Info("node listening", "addr", node.Ref().Addr)
 
 	if *admin != "" {
-		srv := &http.Server{Addr: *admin, Handler: node.AdminHandler()}
+		mux := http.NewServeMux()
+		mux.Handle("/", node.AdminHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Addr: *admin, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintf(os.Stderr, "hypercubed: admin: %v\n", err)
+				log.Error("admin server", "err", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("admin endpoint on http://%s (/status /table /join /leave)\n", *admin)
+		log.Info("admin endpoint up", "url", "http://"+*admin,
+			"paths", "/status /table /metrics /trace /join /leave /debug/pprof/")
 	}
 
 	if *join != "" {
@@ -139,24 +194,24 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("joined the network through %v (%d table entries)\n",
-			boot.ID, node.Snapshot().FilledCount())
+		log.Info("joined the network", "bootstrap", boot.ID.String(),
+			"tableEntries", node.Snapshot().FilledCount())
 	}
 
 	// Wait for shutdown, then leave gracefully so holders can repair.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nshutting down: announcing departure...")
+	log.Info("shutting down: announcing departure")
 	if node.Status() == core.StatusInSystem {
 		if err := node.Leave(); err != nil {
-			fmt.Fprintf(os.Stderr, "hypercubed: leave: %v\n", err)
+			log.Error("leave", "err", err)
 		} else {
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 			if err := node.AwaitStatus(ctx, core.StatusLeft); err != nil {
-				fmt.Fprintf(os.Stderr, "hypercubed: %v\n", err)
+				log.Error("departure not acknowledged", "err", err)
 			} else {
-				fmt.Println("departure acknowledged by all holders")
+				log.Info("departure acknowledged by all holders")
 			}
 			cancel()
 		}
@@ -165,7 +220,7 @@ func run() error {
 		if err := persist.SaveFile(*dump, node.Snapshot()); err != nil {
 			return err
 		}
-		fmt.Printf("table written to %s\n", *dump)
+		log.Info("table written", "path", *dump)
 	}
 	return nil
 }

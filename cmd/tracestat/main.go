@@ -1,0 +1,220 @@
+// Command tracestat aggregates a JSONL protocol trace (from hypercubed
+// -trace, tracewave -out, or churn -trace) into the numbers an operator
+// or experimenter actually wants: per-join spans with p50/p90/p99 total
+// and per-phase latencies, the message-class breakdown, and the
+// liveness/repair activity counts. Because the simulator and the live
+// TCP runtime emit the same event schema (virtual vs. wall clock), the
+// same tool reads both.
+//
+//	tracewave -n 256 -m 192 -out wave.jsonl
+//	tracestat wave.jsonl
+//	... | tracestat -        # or stream from stdin
+//
+// The analysis is streaming (one pass, O(nodes) memory), so multi-GB
+// soak traces are fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"hypercube/internal/obs"
+)
+
+// bigMsgs are the table-carrying message types (msg.Message.Big()):
+// their payload scales with the neighbor table, so the big/small split
+// approximates the paper's bandwidth accounting.
+var bigMsgs = map[string]bool{
+	"CpRlyMsg": true, "JoinWaitRlyMsg": true, "JoinNotiMsg": true,
+	"JoinNotiRlyMsg": true, "LeaveMsg": true, "SyncRlyMsg": true,
+	"SyncPushMsg": true,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracestat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracestat [-json] <trace.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var r io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	a := obs.NewAnalyzer()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		a.Feed(e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	sum := a.Summary()
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(report(sum))
+	}
+	printText(os.Stdout, sum)
+	return nil
+}
+
+type phaseStats struct {
+	P50 time.Duration `json:"p50"`
+	P90 time.Duration `json:"p90"`
+	P99 time.Duration `json:"p99"`
+	Max time.Duration `json:"max"`
+}
+
+func stats(ds []time.Duration) phaseStats {
+	return phaseStats{
+		P50: obs.Percentile(ds, 50),
+		P90: obs.Percentile(ds, 90),
+		P99: obs.Percentile(ds, 99),
+		Max: obs.Percentile(ds, 100),
+	}
+}
+
+type jsonReport struct {
+	Events     int                   `json:"events"`
+	Span       time.Duration         `json:"span"`
+	Nodes      int                   `json:"nodes"`
+	Joins      int                   `json:"joins"`
+	Completed  int                   `json:"completed"`
+	Restarts   int                   `json:"restarts"`
+	Total      phaseStats            `json:"total"`
+	Phases     map[string]phaseStats `json:"phases"`
+	Sent       map[string]int        `json:"sent"`
+	Received   map[string]int        `json:"received"`
+	BigSent    int                   `json:"bigSent"`
+	SmallSent  int                   `json:"smallSent"`
+	Retries    int                   `json:"retries"`
+	Drops      int                   `json:"drops"`
+	Resends    int                   `json:"resends"`
+	GiveUps    int                   `json:"giveUps"`
+	Probes     int                   `json:"probes"`
+	ProbeMiss  int                   `json:"probeMisses"`
+	Suspects   int                   `json:"suspects"`
+	Declared   int                   `json:"declared"`
+	Repairs    int                   `json:"repairs"`
+	SyncRounds int                   `json:"syncRounds"`
+}
+
+func report(sum *obs.Summary) jsonReport {
+	completed := sum.Completed()
+	totals := make([]time.Duration, 0, len(completed))
+	copying := make([]time.Duration, 0, len(completed))
+	waiting := make([]time.Duration, 0, len(completed))
+	notifying := make([]time.Duration, 0, len(completed))
+	restarts := 0
+	for _, j := range sum.Joins {
+		restarts += j.Restarts
+	}
+	for _, j := range completed {
+		totals = append(totals, j.Total())
+		copying = append(copying, j.Copying)
+		waiting = append(waiting, j.Waiting)
+		notifying = append(notifying, j.Notifying)
+	}
+	big, small := 0, 0
+	for typ, n := range sum.Sent {
+		if bigMsgs[typ] {
+			big += n
+		} else {
+			small += n
+		}
+	}
+	return jsonReport{
+		Events: sum.Events, Span: sum.Span, Nodes: sum.Nodes,
+		Joins: len(sum.Joins), Completed: len(completed), Restarts: restarts,
+		Total: stats(totals),
+		Phases: map[string]phaseStats{
+			"copying":   stats(copying),
+			"waiting":   stats(waiting),
+			"notifying": stats(notifying),
+		},
+		Sent: sum.Sent, Received: sum.Received, BigSent: big, SmallSent: small,
+		Retries: sum.Retries, Drops: sum.Drops, Resends: sum.Resends,
+		GiveUps: sum.GiveUps, Probes: sum.Probes, ProbeMiss: sum.ProbeMiss,
+		Suspects: sum.Suspects, Declared: sum.Declared,
+		Repairs: sum.Repairs, SyncRounds: sum.SyncRound,
+	}
+}
+
+func printText(w io.Writer, sum *obs.Summary) {
+	rep := report(sum)
+	fmt.Fprintf(w, "trace: %d events over %v from %d nodes\n", rep.Events, rep.Span, rep.Nodes)
+	fmt.Fprintf(w, "joins: %d spans, %d completed, %d restarts\n",
+		rep.Joins, rep.Completed, rep.Restarts)
+	if rep.Completed > 0 {
+		fmt.Fprintf(w, "  %-10s %12s %12s %12s %12s\n", "phase", "p50", "p90", "p99", "max")
+		row := func(name string, s phaseStats) {
+			fmt.Fprintf(w, "  %-10s %12v %12v %12v %12v\n", name, s.P50, s.P90, s.P99, s.Max)
+		}
+		row("total", rep.Total)
+		row("copying", rep.Phases["copying"])
+		row("waiting", rep.Phases["waiting"])
+		row("notifying", rep.Phases["notifying"])
+	}
+
+	if len(sum.Sent) > 0 {
+		fmt.Fprintf(w, "messages sent: %d big (table-carrying), %d small\n", rep.BigSent, rep.SmallSent)
+		types := make([]string, 0, len(sum.Sent))
+		for typ := range sum.Sent {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			class := "small"
+			if bigMsgs[typ] {
+				class = "big"
+			}
+			fmt.Fprintf(w, "  %-16s %8d sent %8d received  (%s)\n",
+				typ, sum.Sent[typ], sum.Received[typ], class)
+		}
+	}
+
+	if rep.Retries+rep.Drops+rep.Resends+rep.GiveUps > 0 {
+		fmt.Fprintf(w, "delivery: %d transport retries, %d drops; %d protocol resends, %d give-ups\n",
+			rep.Retries, rep.Drops, rep.Resends, rep.GiveUps)
+	}
+	if rep.Probes+rep.Suspects+rep.Declared+rep.Repairs+rep.SyncRounds > 0 {
+		fmt.Fprintf(w, "liveness: %d probes (%d missed), %d suspects, %d declared failed\n",
+			rep.Probes, rep.ProbeMiss, rep.Suspects, rep.Declared)
+		fmt.Fprintf(w, "repair: %d repair jobs, %d anti-entropy rounds\n",
+			rep.Repairs, rep.SyncRounds)
+	}
+}

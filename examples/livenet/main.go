@@ -10,6 +10,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
 	"sync"
@@ -23,17 +24,18 @@ import (
 )
 
 func main() {
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	p := id.Params{B: 16, D: 4}
 	if err := runGoroutines(p); err != nil {
-		fmt.Fprintf(os.Stderr, "livenet: %v\n", err)
+		log.Error("goroutine runtime failed", "err", err)
 		os.Exit(1)
 	}
 	if err := runTCP(p); err != nil {
-		fmt.Fprintf(os.Stderr, "livenet: %v\n", err)
+		log.Error("TCP runtime failed", "err", err)
 		os.Exit(1)
 	}
 	if err := runLossyTCP(p); err != nil {
-		fmt.Fprintf(os.Stderr, "livenet: %v\n", err)
+		log.Error("lossy TCP runtime failed", "err", err)
 		os.Exit(1)
 	}
 }

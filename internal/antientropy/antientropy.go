@@ -24,6 +24,7 @@ import (
 
 	"hypercube/internal/core"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 )
 
 // Config tunes the anti-entropy engine. The zero value is usable.
@@ -60,11 +61,27 @@ type Engine struct {
 	cursor  int
 	started bool
 	rounds  int
+
+	// Observability (nil when tracing is off; see SetSink).
+	sink     obs.Sink
+	selfName string
 }
 
 // New creates an engine auditing m.
 func New(cfg Config, m *core.Machine) *Engine {
 	return &Engine{cfg: cfg.withDefaults(), m: m}
+}
+
+// SetSink installs the protocol-event sink; nil or obs.Nop turns tracing
+// off (the default). Wrap with obs.Clocked so the driving runtime stamps
+// Event.T.
+func (e *Engine) SetSink(s obs.Sink) {
+	if obs.IsNop(s) {
+		e.sink = nil
+		return
+	}
+	e.sink = s
+	e.selfName = e.m.Self().ID.String()
 }
 
 // Stats returns the engine's activity counters.
@@ -107,7 +124,10 @@ func (e *Engine) round() []msg.Envelope {
 	if !e.m.IsSNode() {
 		return nil
 	}
-	_, out := e.m.AuditTable()
+	purged, out := e.m.AuditTable()
+	if purged > 0 && e.sink != nil {
+		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindAuditPurge, N: purged})
+	}
 	peers := e.m.SyncPeers()
 	if len(peers) == 0 {
 		return out
@@ -115,5 +135,8 @@ func (e *Engine) round() []msg.Envelope {
 	peer := peers[e.cursor%len(peers)]
 	e.cursor++
 	e.rounds++
+	if e.sink != nil {
+		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSyncRound, Peer: peer.ID.String()})
+	}
 	return append(out, e.m.StartSync(peer)...)
 }

@@ -54,7 +54,7 @@ func (m *Machine) StartLeave() ([]msg.Envelope, error) {
 		return nil, fmt.Errorf("core: StartLeave on node %v in status %v", m.self.ID, m.status)
 	}
 	m.out = m.out[:0]
-	m.status = StatusLeaving
+	m.setStatus(StatusLeaving)
 
 	// Announce to everyone who stores us (reverse set) and everyone we
 	// store (they must forget us as a reverse neighbor). One message per
@@ -75,7 +75,7 @@ func (m *Machine) StartLeave() ([]msg.Envelope, error) {
 		m.send(ref, msg.Leave{Table: snap})
 	}
 	if len(m.leaveAcks) == 0 {
-		m.status = StatusLeft
+		m.setStatus(StatusLeft)
 	}
 	return m.take(), nil
 }
@@ -119,7 +119,7 @@ func (m *Machine) onLeaveRly(from table.Ref) {
 	}
 	delete(m.leaveAcks, from.ID)
 	if len(m.leaveAcks) == 0 {
-		m.status = StatusLeft
+		m.setStatus(StatusLeft)
 		m.trace("%v status -> left", m.self.ID)
 	}
 }

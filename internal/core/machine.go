@@ -21,6 +21,7 @@ import (
 
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 	"hypercube/internal/table"
 )
 
@@ -134,9 +135,36 @@ type Machine struct {
 	counters msg.Counters
 	out      []msg.Envelope
 
+	// Observability (nil when tracing is off; see SetSink). selfName
+	// caches the node's ID string so the emit path never re-renders it.
+	sink     obs.Sink
+	selfName string
+
 	// Trace, when non-nil, receives a line per protocol step; for tests
 	// and debugging only.
 	Trace func(format string, args ...any)
+}
+
+// SetSink installs the protocol-event sink; nil or obs.Nop turns tracing
+// off (the default). The machine never stamps Event.T — wrap the sink
+// with obs.Clocked so the driving runtime's clock does.
+func (m *Machine) SetSink(s obs.Sink) {
+	if obs.IsNop(s) {
+		m.sink = nil
+		return
+	}
+	m.sink = s
+	m.selfName = m.self.ID.String()
+}
+
+// setStatus transitions the protocol status and emits the event every
+// status change must produce; all assignments to m.status (after
+// construction) go through here.
+func (m *Machine) setStatus(s Status) {
+	m.status = s
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindStatus, Detail: s.String()})
+	}
 }
 
 // NewJoiner returns a machine for a node about to join: status copying,
@@ -254,6 +282,9 @@ func (m *Machine) send(to table.Ref, pm msg.Message) {
 	m.counters.CountSent(pm)
 	m.out = append(m.out, msg.Envelope{From: m.self, To: to, Msg: pm})
 	m.trace("%v -> %v: %v", m.self.ID, to.ID, pm.Type())
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindSend, Peer: to.ID.String(), Msg: pm.Type().String()})
+	}
 	m.trackExchange(to, pm)
 }
 
@@ -279,6 +310,10 @@ func (m *Machine) StartJoin(g0 table.Ref) ([]msg.Envelope, error) {
 	}
 	m.out = m.out[:0]
 	m.AddGateways(g0)
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindJoinStart, Peer: g0.ID.String(), N: m.restarts})
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindStatus, Detail: m.status.String()})
+	}
 	m.copyLevel = 0
 	m.copyFrom = g0
 	m.send(g0, msg.CpRst{Level: 0})
@@ -292,6 +327,9 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 		panic(fmt.Sprintf("core: %v delivered envelope for %v", m.self.ID, env.To.ID))
 	}
 	m.counters.CountReceived(env.Msg)
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindRecv, Peer: env.From.ID.String(), Msg: env.Msg.Type().String()})
+	}
 	m.out = m.out[:0]
 	from := env.From
 	m.clearExchange(from, env.Msg)
@@ -415,7 +453,7 @@ func (m *Machine) finishCopying(target table.Ref) {
 	for i := 0; i < m.params.D; i++ {
 		m.tbl.Set(i, m.self.ID.Digit(i), table.Neighbor{ID: m.self.ID, Addr: m.self.Addr, State: table.StateT})
 	}
-	m.status = StatusWaiting
+	m.setStatus(StatusWaiting)
 	m.trace("%v status -> waiting, JoinWait to %v", m.self.ID, target.ID)
 	m.qn[target.ID] = struct{}{}
 	m.qr[target.ID] = struct{}{}
@@ -446,7 +484,7 @@ func (m *Machine) onJoinWaitRly(from table.Ref, pm msg.JoinWaitRly) {
 	m.tbl.SetState(k, from.ID.Digit(k), from.ID, table.StateS)
 	if pm.R == msg.Positive {
 		if m.status == StatusWaiting {
-			m.status = StatusNotifying
+			m.setStatus(StatusNotifying)
 			m.notiLevel = k
 			m.trace("%v status -> notifying at level %d (stored by %v)", m.self.ID, k, from.ID)
 		}
@@ -581,7 +619,7 @@ func (m *Machine) maybeSwitch() {
 	if m.status != StatusNotifying || len(m.qr) != 0 || len(m.qsr) != 0 {
 		return
 	}
-	m.status = StatusInSystem
+	m.setStatus(StatusInSystem)
 	m.trace("%v status -> in_system", m.self.ID)
 	for i := 0; i < m.params.D; i++ {
 		m.tbl.SetState(i, m.self.ID.Digit(i), m.self.ID, table.StateS)

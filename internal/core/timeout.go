@@ -14,13 +14,18 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 	"hypercube/internal/table"
 )
+
+// entryName renders a table coordinate for event details.
+func entryName(level, digit int) string { return fmt.Sprintf("(%d,%d)", level, digit) }
 
 // Timeouts configures the machine's clock-driven retries. The zero value
 // disables request/reply timeouts (Enabled reports false); repair-job
@@ -215,6 +220,9 @@ func (m *Machine) tickExchanges(now time.Duration) {
 		}
 		if ex.attempts >= m.opts.Timeouts.maxAttempts() {
 			m.trace("%v gives up on %v (%v after %d attempts)", m.self.ID, k.peer, ex.env.Msg.Type(), ex.attempts)
+			if m.sink != nil {
+				m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindGiveUp, Peer: k.peer.String(), Msg: ex.env.Msg.Type().String(), N: ex.attempts})
+			}
 			m.giveUp(k)
 			continue
 		}
@@ -225,6 +233,9 @@ func (m *Machine) tickExchanges(now time.Duration) {
 		m.counters.CountSent(ex.env.Msg)
 		m.out = append(m.out, ex.env)
 		m.trace("%v resends %v to %v (attempt %d)", m.self.ID, ex.env.Msg.Type(), k.peer, ex.attempts)
+		if m.sink != nil {
+			m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindResend, Peer: k.peer.String(), Msg: ex.env.Msg.Type().String(), N: ex.attempts})
+		}
 	}
 }
 
@@ -251,7 +262,7 @@ func (m *Machine) giveUp(k xchgKey) {
 	case xLeave:
 		delete(m.leaveAcks, k.peer)
 		if m.status == StatusLeaving && len(m.leaveAcks) == 0 {
-			m.status = StatusLeft
+			m.setStatus(StatusLeft)
 			m.trace("%v status -> left (unacknowledged departure)", m.self.ID)
 		}
 	}
@@ -296,7 +307,10 @@ func (m *Machine) restartJoin(avoid id.ID) {
 // Tick and give-up handling.
 func (m *Machine) startRejoin(g table.Ref) {
 	m.exchanges = nil
-	m.status = StatusCopying
+	m.setStatus(StatusCopying)
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindJoinStart, Peer: g.ID.String(), N: m.restarts})
+	}
 	m.qn = make(map[id.ID]struct{})
 	m.qr = make(map[id.ID]struct{})
 	m.qsn = make(map[id.ID]struct{})
@@ -403,6 +417,9 @@ func (m *Machine) noteFailed(gone table.Ref) {
 		return
 	}
 	m.trace("%v declares %v failed", m.self.ID, gone.ID)
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindFailureNoted, Peer: gone.ID.String()})
+	}
 
 	// Gossip once per failure. Every node that stores the dead node is
 	// either in our table, stores us too (reverse set), or is reached
@@ -465,6 +482,9 @@ func (m *Machine) addRepairJob(e [2]int, avoid id.ID) {
 		return
 	}
 	m.repairs[e] = &repairJob{avoid: avoid, due: m.now}
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindRepairStart, Peer: avoid.String(), Detail: entryName(e[0], e[1])})
+	}
 }
 
 // RepairsPending returns the entries with unresolved repair jobs, sorted.
@@ -506,6 +526,7 @@ func (m *Machine) SettleRepairs() (filled, emptied int) {
 		job := m.repairs[e]
 		if !m.tbl.Get(e[0], e[1]).IsZero() {
 			m.AbandonRepair(e[0], e[1])
+			m.emitRepairDone(e, "filled")
 			filled++
 			continue
 		}
@@ -515,9 +536,11 @@ func (m *Machine) SettleRepairs() (filled, emptied int) {
 		switch m.ResolveRepair(e[0], e[1]) {
 		case RepairFilled:
 			delete(m.repairs, e)
+			m.emitRepairDone(e, "filled")
 			filled++
 		case RepairEmpty:
 			delete(m.repairs, e)
+			m.emitRepairDone(e, "empty")
 			emptied++
 		case RepairBlocked:
 			job.active = false // reissue on the next kick
@@ -526,6 +549,12 @@ func (m *Machine) SettleRepairs() (filled, emptied int) {
 		}
 	}
 	return filled, emptied
+}
+
+func (m *Machine) emitRepairDone(e [2]int, outcome string) {
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindRepairDone, Detail: entryName(e[0], e[1]) + " " + outcome})
+	}
 }
 
 // kickRepairs is the shared repair-trigger loop (autonomous Ticks and
@@ -537,6 +566,7 @@ func (m *Machine) kickRepairs(now time.Duration, force bool) {
 	if m.status == StatusLeaving || m.status == StatusLeft {
 		for _, e := range m.RepairsPending() {
 			m.AbandonRepair(e[0], e[1])
+			m.emitRepairDone(e, "abandoned")
 		}
 		return
 	}
@@ -553,6 +583,7 @@ func (m *Machine) kickRepairs(now time.Duration, force bool) {
 			// Every helper rotation came back blocked or lost: conclude
 			// the suffix died with the crashed node.
 			m.AbandonRepair(e[0], e[1])
+			m.emitRepairDone(e, "abandoned")
 			continue
 		}
 		helper := m.pickRepairHelper(job.avoid, job.attempts)

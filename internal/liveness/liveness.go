@@ -53,6 +53,7 @@ import (
 
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 	"hypercube/internal/table"
 )
 
@@ -185,8 +186,24 @@ type Prober struct {
 
 	partitioned bool
 
+	// Observability (nil when tracing is off; see SetSink).
+	sink     obs.Sink
+	selfName string
+
 	stats Stats
 	out   []msg.Envelope
+}
+
+// SetSink installs the protocol-event sink; nil or obs.Nop turns tracing
+// off (the default). Wrap with obs.Clocked so the driving runtime stamps
+// Event.T.
+func (p *Prober) SetSink(s obs.Sink) {
+	if obs.IsNop(s) {
+		p.sink = nil
+		return
+	}
+	p.sink = s
+	p.selfName = p.self.ID.String()
 }
 
 // NewProber creates a detector for the node self.
@@ -256,6 +273,9 @@ func (p *Prober) updatePartitionMode(now time.Duration) {
 		if n >= p.cfg.PartitionMinTargets && frac >= p.cfg.PartitionThreshold {
 			p.partitioned = true
 			p.stats.PartitionsEntered++
+			if p.sink != nil {
+				p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindPartitionEnter, N: p.distressedCount()})
+			}
 		}
 		return
 	}
@@ -265,6 +285,9 @@ func (p *Prober) updatePartitionMode(now time.Duration) {
 	if n < p.cfg.PartitionMinTargets || frac <= p.cfg.PartitionThreshold/2 {
 		p.partitioned = false
 		p.stats.PartitionsExited++
+		if p.sink != nil {
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindPartitionExit, N: p.distressedCount()})
+		}
 		// Evidence gathered while partitioned is tainted: a confirm probe
 		// cut by the split says nothing about its target. Every held
 		// suspect therefore restarts its confirmation rounds against the
@@ -344,6 +367,9 @@ func (p *Prober) Observe(from id.ID) {
 func (p *Prober) markAlive(t *target) {
 	if t.state == stateSuspect {
 		p.stats.Recovered++
+		if p.sink != nil {
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindRecovered, Peer: t.ref.ID.String()})
+		}
 	}
 	t.answered = true
 	t.state = stateAlive
@@ -373,6 +399,9 @@ func (p *Prober) HandleMessage(env msg.Envelope) []msg.Envelope {
 		}
 		delete(p.inflight, pm.Seq)
 		p.stats.PongsReceived++
+		if p.sink != nil {
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq})
+		}
 		if t, ok := p.targets[pr.target]; ok {
 			p.markAlive(t)
 		}
@@ -445,6 +474,9 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 			continue
 		}
 		t.pending--
+		if p.sink != nil {
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeMiss, Peer: e.target.String(), Seq: e.seq})
+		}
 		switch t.state {
 		case stateAlive:
 			t.missed++
@@ -452,6 +484,9 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 				t.state = stateSuspect
 				t.rounds = 0
 				p.stats.Suspects++
+				if p.sink != nil {
+					p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindSuspect, Peer: e.target.String(), N: t.missed})
+				}
 				p.confirmRound(t, now)
 			}
 		case stateSuspect:
@@ -489,6 +524,9 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 					// and welcome back the moment it answers.
 					delete(p.targets, t.ref.ID)
 					p.stats.Unreachable++
+					if p.sink != nil {
+						p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindUnreachable, Peer: t.ref.ID.String()})
+					}
 					unreachable = append(unreachable, t.ref)
 					p.rebuildCycle()
 					continue
@@ -496,6 +534,9 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 				delete(p.targets, t.ref.ID)
 				p.tombs[t.ref.ID] = true
 				p.stats.Declared++
+				if p.sink != nil {
+					p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindDeclared, Peer: t.ref.ID.String(), N: t.rounds})
+				}
 				declared = append(declared, t.ref)
 				p.rebuildCycle()
 				continue
@@ -588,5 +629,12 @@ func (p *Prober) sendProbe(t *target, via table.Ref, now time.Duration) {
 	}
 	p.inflight[p.seq] = probe{target: t.ref.ID, deadline: now + p.cfg.ProbeTimeout}
 	t.pending++
+	if p.sink != nil {
+		e := obs.Event{Node: p.selfName, Kind: obs.KindProbe, Peer: t.ref.ID.String(), Seq: p.seq}
+		if !via.IsZero() {
+			e.Detail = "indirect"
+		}
+		p.sink.Emit(e)
+	}
 	p.out = append(p.out, msg.Envelope{From: p.self, To: to, Msg: ping})
 }

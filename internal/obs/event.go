@@ -1,0 +1,168 @@
+// Package obs is the protocol observability layer: typed events traced
+// out of every runtime, and a dependency-free metrics registry exported
+// in Prometheus text format.
+//
+// The paper's entire evaluation is cost accounting — join message counts
+// against the Theorem 3–5 bounds, the Figure 15 CDFs — yet aggregate
+// counters cannot answer "why did this join take 4 seconds" or "which
+// phase stalled during the partition soak". Events answer those
+// questions: each protocol-significant step (a status transition, a
+// message send, a probe miss, an anti-entropy round) is emitted as one
+// small typed Event through a Sink. The overlay simulator stamps events
+// with the virtual clock and the TCP runtime with wall time since start,
+// so both produce the same trace schema and the same analysis tooling
+// (cmd/tracestat, Analyzer) works on either.
+//
+// Tracing is off by default and must cost nearly nothing when off: the
+// emitting code holds a Sink field that is nil by default and checks it
+// before constructing an Event, so the hot path pays exactly one
+// nil-check. Nop is the explicit spelling of that default for APIs that
+// want a non-nil Sink value.
+//
+// Sinks used with the TCP runtime must be safe for concurrent use (the
+// machine, the liveness loop, and the delivery layer emit from different
+// goroutines); every sink in this package is. The overlay simulator is
+// single-threaded and has no such requirement.
+package obs
+
+import (
+	"time"
+)
+
+// Kind names the protocol step an Event records. Kinds are stable
+// strings (they appear verbatim in JSONL traces); new kinds may be added
+// but existing ones must not be renamed.
+type Kind string
+
+const (
+	// KindStatus is a protocol-status transition; Detail carries the new
+	// status name (copying, waiting, notifying, in_system, leaving, left).
+	KindStatus Kind = "status"
+	// KindJoinStart is a StartJoin or a timeout-driven join restart; Peer
+	// is the gateway, N the restart count (0 for the first attempt).
+	KindJoinStart Kind = "join_start"
+	// KindSend / KindRecv are message transmissions and deliveries; Msg
+	// carries the message-type name, Peer the other endpoint.
+	KindSend Kind = "send"
+	KindRecv Kind = "recv"
+	// KindRetry is a delivery-layer retry of a failed transmission
+	// attempt; KindDrop a dead-lettered message. Msg carries the type.
+	KindRetry Kind = "retry"
+	KindDrop  Kind = "drop"
+	// KindResend is a core request/reply exchange resent after a timeout
+	// (Msg, Peer, N = attempt); KindGiveUp an exchange abandoned after
+	// exhausting its attempts.
+	KindResend Kind = "resend"
+	KindGiveUp Kind = "give_up"
+	// Failure-detector events. Probes carry Seq so an analyzer can pair
+	// KindProbe with KindProbeAck (RTT) or KindProbeMiss; Detail is
+	// "indirect" for relayed probes.
+	KindProbe       Kind = "probe"
+	KindProbeAck    Kind = "probe_ack"
+	KindProbeMiss   Kind = "probe_miss"
+	KindSuspect     Kind = "suspect"
+	KindRecovered   Kind = "recovered"
+	KindDeclared    Kind = "declared"
+	KindUnreachable Kind = "unreachable"
+	// KindPartitionEnter / KindPartitionExit are the prober's partition-
+	// mode transitions; N carries the distressed-target count.
+	KindPartitionEnter Kind = "partition_enter"
+	KindPartitionExit  Kind = "partition_exit"
+	// KindFailureNoted is the machine recording a crash (its own
+	// detector's declaration or FailedNoti gossip); Peer is the dead node.
+	KindFailureNoted Kind = "failure_noted"
+	// KindSyncRound is one anti-entropy round initiated with Peer;
+	// KindAuditPurge a table audit that purged N entries.
+	KindSyncRound  Kind = "sync_round"
+	KindAuditPurge Kind = "audit_purge"
+	// KindRepairStart / KindRepairDone bracket one crash-emptied table
+	// entry's autonomous repair; Detail carries "(level,digit)" plus, on
+	// done, the outcome (filled, empty, abandoned).
+	KindRepairStart Kind = "repair_start"
+	KindRepairDone  Kind = "repair_done"
+)
+
+// Event is one traced protocol step. The zero value of every field but
+// Node and Kind is "not applicable"; emitters fill only what the Kind
+// documents. T is the time since the run started — virtual time in the
+// simulator, wall time in the TCP runtime — stamped by the runtime's
+// clock (see Clocked), not by the emitter.
+type Event struct {
+	T      time.Duration `json:"t"`
+	Node   string        `json:"node"`
+	Kind   Kind          `json:"kind"`
+	Peer   string        `json:"peer,omitempty"`
+	Msg    string        `json:"msg,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+	Seq    uint64        `json:"seq,omitempty"`
+	N      int           `json:"n,omitempty"`
+}
+
+// Sink consumes emitted events. Emit must not retain e past the call
+// when it can avoid it; sinks that buffer (Ring, JSONL) copy the value.
+type Sink interface {
+	Emit(Event)
+}
+
+type nopSink struct{}
+
+func (nopSink) Emit(Event) {}
+
+// Nop is the zero-cost discarding sink. Components treat it as
+// equivalent to "no sink": their SetSink methods normalize Nop to nil so
+// the hot path's nil-check short-circuits before any Event is built —
+// tracing off costs one comparison, zero allocations.
+var Nop Sink = nopSink{}
+
+// IsNop reports whether s is nil or the Nop sink; component SetSink
+// implementations use it to normalize "tracing off" to a nil field.
+func IsNop(s Sink) bool { return s == nil || s == Nop }
+
+type clockedSink struct {
+	next  Sink
+	clock func() time.Duration
+}
+
+func (c clockedSink) Emit(e Event) {
+	e.T = c.clock()
+	c.next.Emit(e)
+}
+
+// Clocked wraps next so every event is stamped with clock() at emit
+// time. Runtimes install it between the emitters and the user's sink:
+// the overlay passes its discrete-event engine's Now, the TCP runtime a
+// monotonic time-since-start. Returns nil if next is nil or Nop.
+func Clocked(next Sink, clock func() time.Duration) Sink {
+	if IsNop(next) {
+		return nil
+	}
+	return clockedSink{next: next, clock: clock}
+}
+
+type teeSink struct {
+	sinks []Sink
+}
+
+func (t teeSink) Emit(e Event) {
+	for _, s := range t.sinks {
+		s.Emit(e)
+	}
+}
+
+// Tee fans every event out to all given sinks. Nil and Nop entries are
+// dropped; Tee of zero live sinks returns nil.
+func Tee(sinks ...Sink) Sink {
+	live := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if !IsNop(s) {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeSink{sinks: live}
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a dependency-free metrics registry: counters, gauges, and
+// fixed-bucket histograms, exported in the Prometheus text exposition
+// format. All instruments are safe for concurrent use (lock-free atomics
+// on the update path); registration takes a lock and should happen at
+// startup. Registering the same name twice returns the existing
+// instrument, so packages can share a registry without coordination —
+// but the kinds must match, which panics otherwise (a programming
+// error, like a duplicate expvar).
+type Registry struct {
+	mu    sync.Mutex
+	named map[string]any
+	order []metricEntry
+}
+
+type metricEntry struct {
+	name, help string
+	kind       string // "counter", "gauge", "histogram"
+	collect    func(w io.Writer, name string)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{named: make(map[string]any)}
+}
+
+func (r *Registry) register(name, help, kind string, m any, collect func(io.Writer, string)) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.named[name]; ok {
+		for _, e := range r.order {
+			if e.name == name && e.kind != kind {
+				panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, e.kind))
+			}
+		}
+		return existing
+	}
+	r.named[name] = m
+	r.order = append(r.order, metricEntry{name: name, help: help, kind: kind, collect: collect})
+	return m
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; negative deltas are ignored).
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Counter registers (or fetches) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	return r.register(name, help, "counter", c, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, c.Value())
+	}).(*Counter)
+}
+
+// CounterVec is a family of counters split by one label.
+type CounterVec struct {
+	label string
+	mu    sync.RWMutex
+	by    map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.by[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.by[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.by[value] = c
+	return c
+}
+
+// CounterVec registers (or fetches) the named counter family with a
+// single label dimension.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{label: label, by: make(map[string]*Counter)}
+	return r.register(name, help, "counter", v, func(w io.Writer, n string) {
+		v.mu.RLock()
+		values := make([]string, 0, len(v.by))
+		for val := range v.by {
+			values = append(values, val)
+		}
+		sort.Strings(values)
+		for _, val := range values {
+			fmt.Fprintf(w, "%s{%s=%q} %d\n", n, v.label, val, v.by[val].Value())
+		}
+		v.mu.RUnlock()
+	}).(*CounterVec)
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge registers (or fetches) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	return r.register(name, help, "gauge", g, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %s\n", n, formatFloat(g.Value()))
+	}).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// the right shape for instantaneous facts like queue depths or uptime.
+// fn must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", fn, func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %s\n", n, formatFloat(fn()))
+	})
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: observation counts per upper bound, plus sum and count.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	count  atomic.Uint64
+	sumBit atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBit.Load()) }
+
+// Histogram registers (or fetches) the named histogram with the given
+// bucket upper bounds (sorted ascending; +Inf is appended implicitly).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return r.register(name, help, "histogram", h, func(w io.Writer, n string) {
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, formatFloat(ub), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", n, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count())
+	}).(*Histogram)
+}
+
+// ExpBuckets returns n bucket bounds growing geometrically from start by
+// factor — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	v := start
+	for i := 0; i < n; i++ {
+		out = append(out, v)
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is a general-purpose seconds scale: 1ms to ~65s.
+func LatencyBuckets() []float64 { return ExpBuckets(0.001, 2, 17) }
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	entries := append([]metricEntry(nil), r.order...)
+	r.mu.Unlock()
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind)
+		e.collect(w, e.name)
+	}
+}
+
+// Handler returns the GET /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	want := []Event{
+		{T: time.Second, Node: "0123", Kind: KindJoinStart, Peer: "4567"},
+		{T: 2 * time.Second, Node: "0123", Kind: KindStatus, Detail: "copying"},
+		{T: 3 * time.Second, Node: "0123", Kind: KindSend, Peer: "4567", Msg: "CpRstMsg", Seq: 7, N: 2},
+	}
+	for _, e := range want {
+		s.Emit(e)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := s.Emitted(); got != len(want) {
+		t.Fatalf("emitted = %d, want %d", got, len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadJSONLBadLine(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader("{\"kind\":\"send\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestRingOverflowDrain(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{Seq: uint64(i)})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	ev := r.Drain()
+	if len(ev) != 4 {
+		t.Fatalf("drained %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Seq != want {
+			t.Errorf("drain[%d].Seq = %d, want %d (oldest-first)", i, e.Seq, want)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after drain")
+	}
+	if ev := r.Drain(); len(ev) != 0 {
+		t.Fatalf("second drain returned %d events", len(ev))
+	}
+}
+
+func TestNopNormalization(t *testing.T) {
+	if !IsNop(nil) || !IsNop(Nop) {
+		t.Fatal("nil and Nop must both be nop")
+	}
+	if IsNop(NewRing(1)) {
+		t.Fatal("a real sink is not nop")
+	}
+	if Clocked(Nop, func() time.Duration { return 0 }) != nil {
+		t.Fatal("Clocked(Nop) should collapse to nil")
+	}
+	if Tee(nil, Nop) != nil {
+		t.Fatal("Tee of only nops should collapse to nil")
+	}
+	r := NewRing(1)
+	if Tee(nil, r, Nop) != Sink(r) {
+		t.Fatal("Tee with one live sink should return it directly")
+	}
+}
+
+func TestClockedStamps(t *testing.T) {
+	r := NewRing(8)
+	now := 5 * time.Second
+	c := Clocked(r, func() time.Duration { return now })
+	c.Emit(Event{Node: "x", Kind: KindSend})
+	now = 9 * time.Second
+	c.Emit(Event{Node: "x", Kind: KindRecv})
+	ev := r.Drain()
+	if ev[0].T != 5*time.Second || ev[1].T != 9*time.Second {
+		t.Fatalf("stamps = %v, %v", ev[0].T, ev[1].T)
+	}
+}
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "a counter")
+	c.Add(3)
+	v := reg.CounterVec("test_by_type_total", "a vec", "type")
+	v.With("b").Inc()
+	v.With("a").Add(2)
+	g := reg.Gauge("test_depth", "a gauge")
+	g.Set(1.5)
+	reg.GaugeFunc("test_uptime_seconds", "computed", func() float64 { return 42 })
+	h := reg.Histogram("test_latency_seconds", "a histogram", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"# HELP test_total a counter",
+		"# TYPE test_total counter",
+		"test_total 3",
+		"test_by_type_total{type=\"a\"} 2",
+		"test_by_type_total{type=\"b\"} 1",
+		"# TYPE test_depth gauge",
+		"test_depth 1.5",
+		"test_uptime_seconds 42",
+		"# TYPE test_latency_seconds histogram",
+		"test_latency_seconds_bucket{le=\"0.1\"} 1",
+		"test_latency_seconds_bucket{le=\"1\"} 2",
+		"test_latency_seconds_bucket{le=\"10\"} 2",
+		"test_latency_seconds_bucket{le=\"+Inf\"} 3",
+		"test_latency_seconds_sum 99.55",
+		"test_latency_seconds_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("missing %q in:\n%s", want, body)
+		}
+	}
+	// Label values are sorted, so scrapes are deterministic.
+	if strings.Index(body, `type="a"`) > strings.Index(body, `type="b"`) {
+		t.Error("vec label values not sorted")
+	}
+}
+
+func TestRegistryReregisterReturnsSame(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("dup_total", "x")
+	b := reg.Counter("dup_total", "x")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the original")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("aliases out of sync")
+	}
+}
+
+// TestRegistryConcurrent hammers every instrument kind from concurrent
+// goroutines while a scraper renders the registry; run under -race this
+// is the registry's data-race proof.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("conc_total", "")
+	v := reg.CounterVec("conc_by_type_total", "", "type")
+	g := reg.Gauge("conc_gauge", "")
+	h := reg.Histogram("conc_hist", "", LatencyBuckets())
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			label := fmt.Sprintf("t%d", w%3)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				v.With(label).Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i) * 0.001)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			reg.WritePrometheus(&buf)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestAnalyzerJoinSpans(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	events := []Event{
+		// Node A: clean join with all three phases.
+		{T: ms(0), Node: "A", Kind: KindJoinStart, Peer: "G"},
+		{T: ms(0), Node: "A", Kind: KindStatus, Detail: "copying"},
+		{T: ms(10), Node: "A", Kind: KindStatus, Detail: "waiting"},
+		{T: ms(30), Node: "A", Kind: KindStatus, Detail: "notifying"},
+		{T: ms(70), Node: "A", Kind: KindStatus, Detail: "in_system"},
+		// Node B: one restart, never completes.
+		{T: ms(5), Node: "B", Kind: KindJoinStart, Peer: "G"},
+		{T: ms(5), Node: "B", Kind: KindStatus, Detail: "copying"},
+		{T: ms(50), Node: "B", Kind: KindJoinStart, Peer: "G", N: 1},
+		// Node G: seed, only ever in_system — not a join.
+		{T: ms(0), Node: "G", Kind: KindStatus, Detail: "in_system"},
+		// Traffic.
+		{T: ms(2), Node: "A", Kind: KindSend, Peer: "G", Msg: "CpRstMsg"},
+		{T: ms(3), Node: "G", Kind: KindRecv, Peer: "A", Msg: "CpRstMsg"},
+		{T: ms(4), Node: "A", Kind: KindResend, Peer: "G", Msg: "CpRstMsg", N: 1},
+	}
+	sum := Analyze(events)
+	if sum.Events != len(events) {
+		t.Fatalf("events = %d", sum.Events)
+	}
+	if len(sum.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2 (seed must not count)", len(sum.Joins))
+	}
+	a := sum.Joins[0]
+	if a.Node != "A" || !a.Completed {
+		t.Fatalf("first join = %+v", a)
+	}
+	if a.Total() != ms(70) {
+		t.Errorf("A total = %v, want 70ms", a.Total())
+	}
+	if a.Copying != ms(10) || a.Waiting != ms(20) || a.Notifying != ms(40) {
+		t.Errorf("A phases = %v/%v/%v, want 10ms/20ms/40ms", a.Copying, a.Waiting, a.Notifying)
+	}
+	b := sum.Joins[1]
+	if b.Node != "B" || b.Completed || b.Restarts != 1 {
+		t.Fatalf("second join = %+v", b)
+	}
+	if b.Total() != 0 {
+		t.Errorf("incomplete join Total = %v, want 0", b.Total())
+	}
+	comp := sum.Completed()
+	if len(comp) != 1 || comp[0].Node != "A" {
+		t.Fatalf("completed = %+v", comp)
+	}
+	if sum.Sent["CpRstMsg"] != 1 || sum.Received["CpRstMsg"] != 1 || sum.Resends != 1 {
+		t.Errorf("traffic counts wrong: %+v", sum)
+	}
+	if sum.Span != ms(70) {
+		t.Errorf("span = %v", sum.Span)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{4, 1, 3, 2, 5}
+	if got := Percentile(ds, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := Percentile(ds, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(ds, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	// Input must not be mutated.
+	if ds[0] != 4 {
+		t.Error("Percentile sorted its input in place")
+	}
+}

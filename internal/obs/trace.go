@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// JoinSpan is one node's join attempt reconstructed from a trace: from
+// its first join_start (or first copying transition, whichever arrives
+// first) to its in_system transition. Phase durations follow the
+// paper's lifecycle: copying (neighbor-table construction via CpRstMsg
+// walks), waiting (JoinWaitMsg sent, blocked on the gateway's notify
+// grant), notifying (JoinNotiMsg flood until the last reply).
+type JoinSpan struct {
+	Node      string
+	Start     time.Duration // first join activity observed
+	End       time.Duration // in_system transition; zero if !Completed
+	Copying   time.Duration
+	Waiting   time.Duration
+	Notifying time.Duration
+	Restarts  int  // timeout-driven join restarts (join_start with N>0)
+	Completed bool // reached in_system
+}
+
+// Total returns the full join latency, zero if the join never finished.
+func (s JoinSpan) Total() time.Duration {
+	if !s.Completed {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Summary is the aggregate view of one trace.
+type Summary struct {
+	Events    int
+	Nodes     int
+	Joins     []JoinSpan     // completed and incomplete, by start time
+	Sent      map[string]int // message-type name -> send count
+	Received  map[string]int
+	Retries   int
+	Drops     int
+	Resends   int
+	GiveUps   int
+	Probes    int
+	ProbeMiss int
+	Suspects  int
+	Declared  int
+	Repairs   int // repair_start events
+	SyncRound int
+	Span      time.Duration // time of the last event
+}
+
+// Completed returns only the joins that reached in_system.
+func (s *Summary) Completed() []JoinSpan {
+	out := make([]JoinSpan, 0, len(s.Joins))
+	for _, j := range s.Joins {
+		if j.Completed {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+type joinState struct {
+	span      JoinSpan
+	started   bool
+	phase     string // current status
+	phaseAt   time.Duration
+	everJoins bool // saw a join_start (distinguishes joiners from seeds)
+}
+
+// Analyzer consumes a stream of events (in trace order) and reduces it
+// to a Summary. Feed events with Feed, then call Summary once. It is
+// streaming — memory is O(nodes + message types), not O(events) — so
+// large soak traces analyze in one pass.
+type Analyzer struct {
+	joins map[string]*joinState
+	sum   Summary
+}
+
+// NewAnalyzer creates an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		joins: make(map[string]*joinState),
+		sum: Summary{
+			Sent:     make(map[string]int),
+			Received: make(map[string]int),
+		},
+	}
+}
+
+func (a *Analyzer) node(name string) *joinState {
+	js, ok := a.joins[name]
+	if !ok {
+		js = &joinState{span: JoinSpan{Node: name}}
+		a.joins[name] = js
+	}
+	return js
+}
+
+// Feed processes one event.
+func (a *Analyzer) Feed(e Event) {
+	a.sum.Events++
+	if e.T > a.sum.Span {
+		a.sum.Span = e.T
+	}
+	switch e.Kind {
+	case KindJoinStart:
+		js := a.node(e.Node)
+		js.everJoins = true
+		if !js.started {
+			js.started = true
+			js.span.Start = e.T
+		}
+		if e.N > 0 {
+			js.span.Restarts++
+		}
+	case KindStatus:
+		js := a.node(e.Node)
+		if e.Detail == "copying" && !js.started {
+			js.started = true
+			js.span.Start = e.T
+		}
+		if js.started && !js.span.Completed && js.phase != "" {
+			d := e.T - js.phaseAt
+			switch js.phase {
+			case "copying":
+				js.span.Copying += d
+			case "waiting":
+				js.span.Waiting += d
+			case "notifying":
+				js.span.Notifying += d
+			}
+		}
+		if e.Detail == "in_system" && js.started && !js.span.Completed {
+			js.span.Completed = true
+			js.span.End = e.T
+		}
+		js.phase = e.Detail
+		js.phaseAt = e.T
+	case KindSend:
+		a.sum.Sent[e.Msg]++
+	case KindRecv:
+		a.sum.Received[e.Msg]++
+	case KindRetry:
+		a.sum.Retries++
+	case KindDrop:
+		a.sum.Drops++
+	case KindResend:
+		a.sum.Resends++
+	case KindGiveUp:
+		a.sum.GiveUps++
+	case KindProbe:
+		a.sum.Probes++
+	case KindProbeMiss:
+		a.sum.ProbeMiss++
+	case KindSuspect:
+		a.sum.Suspects++
+	case KindDeclared:
+		a.sum.Declared++
+	case KindRepairStart:
+		a.sum.Repairs++
+	case KindSyncRound:
+		a.sum.SyncRound++
+	}
+}
+
+// Summary finalizes and returns the aggregate. Nodes that only ever
+// appear as in_system (wave seeds booted directly into the table, no
+// join_start and no copying transition) are not counted as joins.
+func (a *Analyzer) Summary() *Summary {
+	a.sum.Nodes = len(a.joins)
+	a.sum.Joins = a.sum.Joins[:0]
+	for _, js := range a.joins {
+		if js.started {
+			a.sum.Joins = append(a.sum.Joins, js.span)
+		}
+	}
+	sort.Slice(a.sum.Joins, func(i, j int) bool {
+		if a.sum.Joins[i].Start != a.sum.Joins[j].Start {
+			return a.sum.Joins[i].Start < a.sum.Joins[j].Start
+		}
+		return a.sum.Joins[i].Node < a.sum.Joins[j].Node
+	})
+	return &a.sum
+}
+
+// Analyze is the one-shot form: feed every event, return the summary.
+func Analyze(events []Event) *Summary {
+	a := NewAnalyzer()
+	for _, e := range events {
+		a.Feed(e)
+	}
+	return a.Summary()
+}
+
+// Percentile returns the p-th percentile (0..100, nearest-rank) of the
+// given durations; zero if empty. Used by cmd/tracestat for the Figure
+// 15-style join-latency distribution.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(float64(len(sorted))*p/100 + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -9,6 +9,7 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
+	"hypercube/internal/obs"
 	"hypercube/internal/topology"
 )
 
@@ -32,6 +33,10 @@ type WaveConfig struct {
 	// instead of starting all joins at exactly t=0 (the paper starts all
 	// joins at the same time; staggering is an ablation).
 	Stagger time.Duration
+
+	// Sink, when non-nil, receives every protocol event of the wave
+	// stamped with the virtual clock (see Config.Sink).
+	Sink obs.Sink
 }
 
 // WaveResult collects the outcome and the §5.2 cost metrics of one wave.
@@ -99,7 +104,7 @@ func RunWave(cfg WaveConfig) (*WaveResult, error) {
 		latency = HashedUniformLatency(5*time.Millisecond, 120*time.Millisecond, cfg.Seed)
 	}
 
-	net := New(Config{Params: cfg.Params, Opts: cfg.Opts, Latency: latency})
+	net := New(Config{Params: cfg.Params, Opts: cfg.Opts, Latency: latency, Sink: cfg.Sink})
 	net.BuildDirect(existing, rng)
 
 	machines := make([]*core.Machine, 0, cfg.M)

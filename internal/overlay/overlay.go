@@ -22,6 +22,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
+	"hypercube/internal/obs"
 	"hypercube/internal/sim"
 	"hypercube/internal/table"
 	"hypercube/internal/topology"
@@ -144,6 +145,11 @@ type Config struct {
 	// TickInterval is the cadence of the clock pump driving probers and
 	// Machine.Tick during RunFor. Default 50ms.
 	TickInterval time.Duration
+	// Sink, when non-nil, receives every protocol event from every
+	// machine, prober, and anti-entropy engine, stamped with the virtual
+	// clock — the same trace schema live TCP runs produce, so
+	// cmd/tracestat works on either.
+	Sink obs.Sink
 }
 
 // JoinRecord captures one node's completed join.
@@ -186,6 +192,8 @@ type Network struct {
 	// livenessUntil bounds tick-pump rescheduling so Run() can quiesce.
 	livenessUntil time.Duration
 	tickPending   bool
+	// sink is Config.Sink wrapped with the virtual clock (nil when off).
+	sink obs.Sink
 }
 
 // New creates an empty network.
@@ -211,6 +219,7 @@ func New(cfg Config) *Network {
 	if cfg.Loss != nil {
 		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
 	}
+	n.sink = obs.Clocked(cfg.Sink, n.engine.Now)
 	return n
 }
 
@@ -235,11 +244,16 @@ func (n *Network) addMachine(m *core.Machine) {
 		panic(fmt.Sprintf("overlay: duplicate node %v", m.Self().ID))
 	}
 	n.machines[m.Self().ID] = m
+	m.SetSink(n.sink)
 	if n.cfg.Liveness != nil {
-		n.probers[m.Self().ID] = liveness.NewProber(*n.cfg.Liveness, m.Self())
+		p := liveness.NewProber(*n.cfg.Liveness, m.Self())
+		p.SetSink(n.sink)
+		n.probers[m.Self().ID] = p
 	}
 	if n.cfg.AntiEntropy != nil {
-		n.engines[m.Self().ID] = antientropy.New(*n.cfg.AntiEntropy, m)
+		e := antientropy.New(*n.cfg.AntiEntropy, m)
+		e.SetSink(n.sink)
+		n.engines[m.Self().ID] = e
 	}
 }
 

@@ -4,18 +4,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"hypercube/internal/core"
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 	"hypercube/internal/table"
 )
 
 // AdminHandler exposes a node's state and lifecycle over HTTP for
 // operators:
 //
-//	GET  /status  — identity, protocol status, message counters
+//	GET  /status  — identity, protocol status, uptime, message counters,
+//	                per-peer outbound queue depths
 //	GET  /table   — the neighbor table as JSON
+//	GET  /metrics — Prometheus text-format metrics (counters, gauges,
+//	                join-latency/probe-RTT/anti-entropy histograms)
+//	GET  /trace   — drain the in-memory event ring (requires
+//	                WithTraceRing; 404 otherwise)
 //	POST /join    — body {"id":"...", "addr":"host:port"}: join via bootstrap
 //	POST /leave   — start a graceful departure
 //
@@ -25,23 +32,33 @@ func (n *Node) AdminHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /status", n.handleStatus)
 	mux.HandleFunc("GET /table", n.handleTable)
+	mux.Handle("GET /metrics", n.MetricsHandler())
+	mux.HandleFunc("GET /trace", n.handleTrace)
 	mux.HandleFunc("POST /join", n.handleJoin)
 	mux.HandleFunc("POST /leave", n.handleLeave)
 	return mux
 }
 
 type statusResponse struct {
-	ID          string             `json:"id"`
-	Addr        string             `json:"addr"`
-	Status      string             `json:"status"`
-	B           int                `json:"b"`
-	D           int                `json:"d"`
-	Filled      int                `json:"filledEntries"`
-	Sent        map[string]int     `json:"sent"`
-	Received    map[string]int     `json:"received"`
-	Retried     map[string]int     `json:"retried,omitempty"`
-	Dropped     map[string]int     `json:"dropped,omitempty"`
-	Bytes       int                `json:"bytesSent"`
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+	Status string `json:"status"`
+	B      int    `json:"b"`
+	D      int    `json:"d"`
+	Filled int    `json:"filledEntries"`
+	// UptimeSeconds is how long the node has been running; LastTransition
+	// is the wall-clock time of the most recent protocol-status change
+	// (absent before the first one).
+	UptimeSeconds  float64        `json:"uptimeSeconds"`
+	LastTransition string         `json:"lastTransition,omitempty"`
+	Sent           map[string]int `json:"sent"`
+	Received       map[string]int `json:"received"`
+	Retried        map[string]int `json:"retried,omitempty"`
+	Dropped        map[string]int `json:"dropped,omitempty"`
+	Bytes          int            `json:"bytesSent"`
+	// Queues maps peer address to outbound queue depth — a persistently
+	// deep queue is the signature of a wedged or unreachable peer.
+	Queues      map[string]int     `json:"queues,omitempty"`
 	Liveness    *livenessStatus    `json:"liveness,omitempty"`
 	AntiEntropy *antiEntropyStatus `json:"antiEntropy,omitempty"`
 }
@@ -73,17 +90,22 @@ type antiEntropyStatus struct {
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 	c := n.Counters()
 	resp := statusResponse{
-		ID:       n.Ref().ID.String(),
-		Addr:     n.Ref().Addr,
-		Status:   n.Status().String(),
-		B:        n.params.B,
-		D:        n.params.D,
-		Filled:   n.Snapshot().FilledCount(),
-		Sent:     make(map[string]int),
-		Received: make(map[string]int),
-		Retried:  make(map[string]int),
-		Dropped:  make(map[string]int),
-		Bytes:    c.BytesSent,
+		ID:            n.Ref().ID.String(),
+		Addr:          n.Ref().Addr,
+		Status:        n.Status().String(),
+		B:             n.params.B,
+		D:             n.params.D,
+		Filled:        n.Snapshot().FilledCount(),
+		UptimeSeconds: n.Uptime().Seconds(),
+		Sent:          make(map[string]int),
+		Received:      make(map[string]int),
+		Retried:       make(map[string]int),
+		Dropped:       make(map[string]int),
+		Bytes:         c.BytesSent,
+		Queues:        n.QueueDepths(),
+	}
+	if at, status := n.tobs.last(); !at.IsZero() {
+		resp.LastTransition = fmt.Sprintf("%s (-> %s)", at.UTC().Format(time.RFC3339Nano), status)
 	}
 	for _, typ := range msg.Types() {
 		if v := c.SentOf(typ); v > 0 {
@@ -175,6 +197,18 @@ func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]string{"result": "joining"})
+}
+
+func (n *Node) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events, ok := n.DrainTrace()
+	if !ok {
+		http.Error(w, "trace ring not enabled (start the node with WithTraceRing)", http.StatusNotFound)
+		return
+	}
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(w, map[string]any{"events": events})
 }
 
 func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {

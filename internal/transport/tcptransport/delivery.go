@@ -11,6 +11,7 @@ import (
 	"hypercube/internal/antientropy"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 )
 
 // Config tunes the reliable-delivery layer. The zero value is usable:
@@ -52,6 +53,15 @@ type Config struct {
 	// rotating neighbors, repairing divergence (e.g. after a partition
 	// heals). Nil disables it.
 	AntiEntropy *antientropy.Config
+	// Sink, when non-nil, receives every protocol event the node emits,
+	// stamped with wall time since node start (e.g. an obs.JSONL trace
+	// file). Metrics are collected regardless; the sink is for traces.
+	// The sink must be safe for concurrent use.
+	Sink obs.Sink
+	// TraceRing, when positive, keeps the newest TraceRing events in an
+	// in-memory ring drained via Node.DrainTrace and GET /trace on the
+	// admin API. 0 disables the ring.
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +133,18 @@ func WithLiveness(lc liveness.Config) Option {
 // tuning.
 func WithAntiEntropy(ac antientropy.Config) Option {
 	return func(c *Config) { c.AntiEntropy = &ac }
+}
+
+// WithSink streams every protocol event the node emits to s (e.g. an
+// obs.JSONL trace file). s must be safe for concurrent use.
+func WithSink(s obs.Sink) Option {
+	return func(c *Config) { c.Sink = s }
+}
+
+// WithTraceRing keeps the newest capacity events in memory, drained via
+// Node.DrainTrace or GET /trace on the admin API.
+func WithTraceRing(capacity int) Option {
+	return func(c *Config) { c.TraceRing = capacity }
 }
 
 // Faults injects failures into the outbound delivery path so the
@@ -237,6 +259,13 @@ func (pq *peerQueue) pop() (msg.Envelope, bool) {
 	env := pq.queue[0]
 	pq.queue = pq.queue[1:]
 	return env, true
+}
+
+// depth returns how many envelopes are waiting in the queue.
+func (pq *peerQueue) depth() int {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	return len(pq.queue)
 }
 
 // close shuts the queue and its connection; pending envelopes are
@@ -446,10 +475,12 @@ func (n *Node) countRetried(t msg.Type) {
 	n.mu.Lock()
 	n.machine.Counters().CountRetried(t)
 	n.mu.Unlock()
+	n.emitTransport(obs.KindRetry, t.String())
 }
 
 func (n *Node) countDropped(t msg.Type) {
 	n.mu.Lock()
 	n.machine.Counters().CountDropped(t)
 	n.mu.Unlock()
+	n.emitTransport(obs.KindDrop, t.String())
 }

@@ -15,6 +15,7 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
+	"hypercube/internal/obs"
 	"hypercube/internal/table"
 )
 
@@ -37,6 +38,14 @@ type Node struct {
 	probeMu sync.Mutex
 	prober  *liveness.Prober
 	start   time.Time
+
+	// Observability (see obs.go): the always-on per-node hub and
+	// registry, the clocked sink protocol components emit through, and
+	// the optional in-memory trace ring (Config.TraceRing).
+	tobs     *nodeObs
+	sink     obs.Sink
+	ring     *obs.Ring
+	selfName string
 
 	ln net.Listener
 
@@ -90,13 +99,17 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	ref := table.Ref{ID: nodeID, Addr: ln.Addr().String()}
 	n.machine = mk(ref)
 	n.start = time.Now()
+	n.setupObs()
+	n.machine.SetSink(n.sink)
 	if n.cfg.Liveness != nil {
 		n.prober = liveness.NewProber(*n.cfg.Liveness, ref)
+		n.prober.SetSink(n.sink)
 		n.wg.Add(1)
 		go n.livenessLoop()
 	}
 	if n.cfg.AntiEntropy != nil {
 		n.engine = antientropy.New(*n.cfg.AntiEntropy, n.machine)
+		n.engine.SetSink(n.sink)
 		n.wg.Add(1)
 		go n.antiEntropyLoop()
 	}
@@ -257,6 +270,9 @@ func (n *Node) antiEntropyLoop() {
 			n.mu.Lock()
 			out := n.engine.Tick(now)
 			n.mu.Unlock()
+			// Round duration is the real time one engine tick held the
+			// machine lock — the metric operators watch for audit cost.
+			n.tobs.syncDur.Observe((time.Since(n.start) - now).Seconds())
 			_ = n.sendAll(out)
 		}
 	}
