@@ -1,8 +1,9 @@
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build test race bench vet fmt lint cover experiments trace-smoke
+.PHONY: all build test race bench vet fmt lint cover experiments trace-smoke fuzz-smoke
 
-all: build lint test
+all: build lint test fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -50,6 +51,16 @@ experiments:
 	$(GO) run ./cmd/msgsize
 	$(GO) run ./cmd/churn
 	$(GO) run ./cmd/workload -quiet
+
+# fuzz-smoke gives each hostile-input fuzz target a short budget
+# (override with FUZZTIME=5m for a real hunt): ID/suffix parsing, the
+# wire decoder behind the TCP transport, and the protocol machine's
+# Deliver path. Any crasher fails the build.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/id
+	$(GO) test -run '^$$' -fuzz FuzzParseSuffix -fuzztime $(FUZZTIME) ./internal/id
+	$(GO) test -run '^$$' -fuzz FuzzDecodeWire -fuzztime $(FUZZTIME) ./internal/transport/tcptransport
+	$(GO) test -run '^$$' -fuzz FuzzMachineDeliver -fuzztime $(FUZZTIME) ./internal/core
 
 # trace-smoke proves the tracing pipeline end to end: a 16-node overlay
 # wave writes a JSONL trace and tracestat must parse it cleanly (exit 0).

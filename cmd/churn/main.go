@@ -16,6 +16,7 @@ import (
 
 	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
+	"hypercube/internal/guard"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
@@ -41,8 +42,13 @@ func main() {
 
 		partition = flag.Bool("partition", false, "partition experiment: split the network into halves, verify declarations are held, heal, and measure anti-entropy reconvergence (replaces the churn phases)")
 		split     = flag.Duration("split", 15*time.Second, "virtual duration of the partition in -partition mode")
-		syncEvery = flag.Duration("sync-interval", time.Second, "anti-entropy round interval in -partition mode")
-		joins     = flag.Int("joins", 2, "nodes joining through one side while split in -partition mode (drives table divergence)")
+		syncEvery = flag.Duration("sync-interval", time.Second, "anti-entropy round interval in -partition and -byzantine modes")
+		joins     = flag.Int("joins", 2, "nodes joining mid-experiment in -partition and -byzantine modes")
+
+		byzantine = flag.Bool("byzantine", false, "byzantine experiment: a fraction of members mutate, withhold, and replay their outgoing messages under 10% loss; the guard layer must absorb it and the network must stay consistent (replaces the churn phases)")
+		byzFrac   = flag.Float64("byz-fraction", 0.1, "fraction of established members marked byzantine in -byzantine mode")
+		byzRate   = flag.Float64("byz-corrupt", 0.25, "per-envelope corruption probability of a byzantine sender in -byzantine mode")
+		byzWindow = flag.Duration("byz-window", 60*time.Second, "virtual run length of -byzantine mode")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -79,6 +85,9 @@ func main() {
 	tl := overlay.NewTopologyLatency(topo)
 	if *partition {
 		exit(runPartition(p, *n, *joins, *seed, *split, *syncEvery, topo, tl, sink))
+	}
+	if *byzantine {
+		exit(runByzantine(p, *n, *joins, *seed, *byzFrac, *byzRate, *byzWindow, *syncEvery, topo, tl, sink))
 	}
 	cfg := overlay.Config{Params: p, Latency: tl.Func()}
 	if sink != nil {
@@ -184,21 +193,36 @@ func main() {
 	// Survivor-side counters (the leavers' machines are gone, so count
 	// receipts rather than sends).
 	traffic := net.AggregateTraffic()
+	fmt.Printf("\n%d LeaveMsg received, %d FindMsg sent in total\n",
+		traffic.ReceivedOf(msg.TLeave), traffic.SentOf(msg.TFind))
+	if unrepaired != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d table entries left unrepaired\n", unrepaired)
+	}
+	exit(reportFinal(net, unrepaired != 0))
+}
+
+// reportFinal prints the end-of-run summary every mode shares — node
+// count, Definition 3.8 consistency, and the guard layer's rejection and
+// quarantine counters — and returns the process exit code: non-zero when
+// the network ends inconsistent or the mode flagged an earlier failure.
+// Routing every mode through this one path keeps the exit semantics of
+// plain churn runs, -partition, and -byzantine identical.
+func reportFinal(net *overlay.Network, earlierFailure bool) int {
 	final := net.CheckConsistency()
 	state := "consistent"
 	if len(final) != 0 {
 		state = fmt.Sprintf("%d violations", len(final))
 	}
-	fmt.Printf("\nfinal network: %d nodes, %s; %d LeaveMsg received, %d FindMsg sent in total\n",
-		net.Size(), state, traffic.ReceivedOf(msg.TLeave), traffic.SentOf(msg.TFind))
-	if len(final) != 0 || unrepaired != 0 {
+	gs := net.GuardStats()
+	fmt.Printf("\nfinal network: %d nodes, %s; guard: %d rejected, %d unknown dropped, %d quarantines (%d active), %d released, %d ingress-dropped, %d busy-deferred\n",
+		net.Size(), state, gs.Rejected, gs.UnknownDropped,
+		gs.Scorer.Quarantines, gs.Scorer.Quarantined, gs.Scorer.Releases,
+		gs.IngressDropped, gs.BusyDeferred)
+	if len(final) != 0 || earlierFailure {
 		printViolations(final)
-		if unrepaired != 0 {
-			fmt.Fprintf(os.Stderr, "churn: %d table entries left unrepaired\n", unrepaired)
-		}
-		exit(1)
+		return 1
 	}
-	exit(0)
+	return 0
 }
 
 // partitionJoiner constructs a fresh node ID whose rightmost digit
@@ -370,16 +394,102 @@ func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.D
 	// Settle: let the restored pongs clear the held suspicions so every
 	// prober leaves partition mode before the final audit.
 	net.RunFor(3 * time.Second)
-	final := net.CheckConsistency()
 	st = net.LivenessStats()
-	fmt.Printf("\nfinal network: %d nodes, %d violations, %d declared (want 0), partition mode entered %d / exited %d\n",
-		net.Size(), len(final), st.Declared, st.PartitionsEntered, st.PartitionsExited)
-	if len(final) != 0 || st.Declared != 0 || net.PartitionedCount() != 0 {
-		printViolations(final)
-		if net.PartitionedCount() != 0 {
-			fmt.Fprintf(os.Stderr, "churn: %d probers still in partition mode after heal\n", net.PartitionedCount())
-		}
-		return 1
+	fmt.Printf("\n%d declared (want 0), partition mode entered %d / exited %d\n",
+		st.Declared, st.PartitionsEntered, st.PartitionsExited)
+	if net.PartitionedCount() != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d probers still in partition mode after heal\n", net.PartitionedCount())
 	}
-	return 0
+	return reportFinal(net, st.Declared != 0 || net.PartitionedCount() != 0)
+}
+
+// runByzantine is the -byzantine experiment: an established network in
+// which a fraction of members corrupt their outgoing traffic (on top of
+// 10% message loss) while honest nodes join through a wave. The guard
+// layer must reject and charge every hostile envelope, the wave must
+// complete, and the network must end Definition 3.8 consistent — all
+// with zero false failure declarations.
+func runByzantine(p id.Params, n, joins int, seed int64, frac, corrupt float64, window, syncEvery time.Duration, topo *topology.Topology, tl *overlay.TopologyLatency, sink *obs.JSONL) int {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := overlay.Config{
+		Params:  p,
+		Latency: tl.Func(),
+		Opts: core.Options{
+			Timeouts: core.Timeouts{
+				RetryAfter:  500 * time.Millisecond,
+				MaxAttempts: 4,
+				RepairAfter: 600 * time.Millisecond,
+			},
+			Guard: &guard.Policy{},
+		},
+		Loss: &overlay.Loss{Rate: 0.10, Seed: seed},
+		Liveness: &liveness.Config{
+			// Topology latencies stack up over the four hops of an indirect
+			// probe, and 10% symmetric loss eats confirmation rounds;
+			// tolerate both, since nothing in this experiment ever crashes.
+			ProbeInterval:  100 * time.Millisecond,
+			ProbeTimeout:   time.Second,
+			SuspectAfter:   4,
+			IndirectProbes: 3,
+			ConfirmRounds:  4,
+		},
+		AntiEntropy:  &antientropy.Config{Interval: syncEvery},
+		TickInterval: 100 * time.Millisecond,
+		Byzantine:    &overlay.Byzantine{Fraction: frac, CorruptRate: corrupt, Seed: seed},
+	}
+	if sink != nil {
+		cfg.Sink = sink
+	}
+	net := overlay.New(cfg)
+	taken := make(map[id.ID]bool)
+	refs := overlay.RandomRefs(p, n, rng, taken)
+	hosts := topo.AttachHosts(len(refs), rng)
+	for i, ref := range refs {
+		tl.Bind(ref.ID, hosts[i])
+	}
+	net.BuildDirect(refs, rng)
+	byz := net.SelectByzantine(refs)
+	byzSet := make(map[id.ID]bool, len(byz))
+	for _, x := range byz {
+		byzSet[x] = true
+	}
+	// Joiners bootstrap through honest members: trusting an adversarial
+	// gateway is the bootstrap-trust problem, out of scope here.
+	honest := make([]table.Ref, 0, len(refs)-len(byz))
+	for _, r := range refs {
+		if !byzSet[r.ID] {
+			honest = append(honest, r)
+		}
+	}
+	fmt.Printf("byzantine experiment: %d nodes (b=%d, d=%d), %d byzantine (%.0f%%), corrupt rate %.2f, 10%% loss, %d joins, %v window\n\n",
+		net.Size(), p.B, p.D, len(byz), 100*frac, corrupt, joins, window)
+
+	joiners := overlay.RandomRefs(p, joins, rng, taken)
+	jhosts := topo.AttachHosts(len(joiners), rng)
+	jms := make([]*core.Machine, 0, len(joiners))
+	for i, j := range joiners {
+		tl.Bind(j.ID, jhosts[i])
+		g := honest[rng.Intn(len(honest))]
+		jms = append(jms, net.ScheduleJoin(j, g, time.Second, honest[0], honest[1]))
+	}
+	net.RunFor(window)
+
+	stuck := 0
+	for i, jm := range jms {
+		if !jm.IsSNode() {
+			fmt.Fprintf(os.Stderr, "churn: joiner %v stuck in %v under byzantine noise\n", joiners[i].ID, jm.Status())
+			stuck++
+		}
+	}
+	bz := net.ByzantineStats()
+	st := net.LivenessStats()
+	fmt.Printf("fault model: %d envelopes mutated, %d withheld, %d replayed\n", bz.Mutated, bz.Withheld, bz.Replayed)
+	fmt.Printf("liveness: %d declared (want 0), %d suspects, %d recovered\n", st.Declared, st.Suspects, st.Recovered)
+	if st.Declared != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d live nodes declared failed under byzantine noise\n", st.Declared)
+	}
+	if bz.Mutated == 0 {
+		fmt.Fprintf(os.Stderr, "churn: fault model never engaged — nothing was tested\n")
+	}
+	return reportFinal(net, stuck != 0 || st.Declared != 0 || bz.Mutated == 0)
 }

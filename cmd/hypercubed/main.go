@@ -18,6 +18,14 @@
 // behind GET /trace, -log-level=debug mirrors events into the log
 // stream, and the admin server serves net/http/pprof under
 // /debug/pprof/.
+//
+// Hostile-input hardening is on by default: inbound frames are bounded
+// (-max-frame), malformed frames are budgeted per connection
+// (-decode-budget), inbound envelopes are rate-limited (-inbound-rate,
+// -inbound-burst), and a per-peer misbehavior scorer quarantines repeat
+// offenders (-guard-threshold, -guard-decay, -guard-cooldown; disable
+// scoring with -no-guard). Guard counters appear on /status and
+// /metrics.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
+	"hypercube/internal/guard"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
 	"hypercube/internal/obs"
@@ -73,6 +82,20 @@ func run() error {
 		backoff  = flag.Duration("backoff", 0, "base retry backoff (doubles per retry)")
 		maxBack  = flag.Duration("max-backoff", 0, "retry backoff cap")
 		queue    = flag.Int("queue-limit", 0, "per-peer outbound queue bound")
+
+		// Hostile-input hardening knobs (0 keeps the transport default).
+		maxFrame     = flag.Int("max-frame", 0, "largest accepted inbound wire frame in bytes")
+		decodeBudget = flag.Int("decode-budget", 0, "malformed frames tolerated per connection before disconnect")
+		inRate       = flag.Float64("inbound-rate", 0, "per-connection inbound envelopes per second")
+		inBurst      = flag.Int("inbound-burst", 0, "token-bucket depth for -inbound-rate")
+		readIdle     = flag.Duration("read-idle-timeout", 0, "idle inbound connection deadline")
+		writeTimeout = flag.Duration("write-timeout", 0, "outbound frame write deadline")
+
+		// Misbehavior-scorer knobs (0 keeps the guard default).
+		noGuard       = flag.Bool("no-guard", false, "disable the per-peer misbehavior scorer (validation stays on)")
+		guardScore    = flag.Float64("guard-threshold", 0, "misbehavior score that quarantines a peer")
+		guardDecay    = flag.Duration("guard-decay", 0, "time for one unit of misbehavior score to drain")
+		guardCooldown = flag.Duration("guard-cooldown", 0, "how long a quarantined peer's traffic is dropped")
 
 		// Failure-detection knobs (0 keeps the liveness default).
 		noLive       = flag.Bool("no-liveness", false, "disable failure detection and self-healing")
@@ -127,14 +150,27 @@ func run() error {
 	}
 
 	options := []tcptransport.Option{tcptransport.WithConfig(tcptransport.Config{
-		MaxAttempts: *attempts,
-		BaseBackoff: *backoff,
-		MaxBackoff:  *maxBack,
-		QueueLimit:  *queue,
-		Sink:        obs.Tee(sinks...),
-		TraceRing:   *traceRing,
+		MaxAttempts:       *attempts,
+		BaseBackoff:       *backoff,
+		MaxBackoff:        *maxBack,
+		QueueLimit:        *queue,
+		MaxFrameBytes:     *maxFrame,
+		DecodeErrorBudget: *decodeBudget,
+		InboundRate:       *inRate,
+		InboundBurst:      *inBurst,
+		ReadIdleTimeout:   *readIdle,
+		WriteTimeout:      *writeTimeout,
+		Sink:              obs.Tee(sinks...),
+		TraceRing:         *traceRing,
 	})}
 	opts := core.Options{}
+	if !*noGuard {
+		opts.Guard = &guard.Policy{
+			Threshold: *guardScore,
+			Decay:     *guardDecay,
+			Cooldown:  *guardCooldown,
+		}
+	}
 	if !*noLive {
 		options = append(options, tcptransport.WithLiveness(liveness.Config{
 			ProbeInterval:  *probeEvery,

@@ -131,6 +131,11 @@ type jsonReport struct {
 	Declared   int                   `json:"declared"`
 	Repairs    int                   `json:"repairs"`
 	SyncRounds int                   `json:"syncRounds"`
+	Rejects    int                   `json:"guardRejects"`
+	GuardDrops int                   `json:"guardDrops"`
+	Quarantine int                   `json:"quarantines"`
+	Releases   int                   `json:"quarantineReleases"`
+	Busy       int                   `json:"busyDeferrals"`
 }
 
 func report(sum *obs.Summary) jsonReport {
@@ -171,6 +176,8 @@ func report(sum *obs.Summary) jsonReport {
 		GiveUps: sum.GiveUps, Probes: sum.Probes, ProbeMiss: sum.ProbeMiss,
 		Suspects: sum.Suspects, Declared: sum.Declared,
 		Repairs: sum.Repairs, SyncRounds: sum.SyncRound,
+		Rejects: sum.GuardRejects, GuardDrops: sum.GuardDrops,
+		Quarantine: sum.Quarantines, Releases: sum.Releases, Busy: sum.Busy,
 	}
 }
 
@@ -216,5 +223,9 @@ func printText(w io.Writer, sum *obs.Summary) {
 			rep.Probes, rep.ProbeMiss, rep.Suspects, rep.Declared)
 		fmt.Fprintf(w, "repair: %d repair jobs, %d anti-entropy rounds\n",
 			rep.Repairs, rep.SyncRounds)
+	}
+	if rep.Rejects+rep.GuardDrops+rep.Quarantine+rep.Busy > 0 {
+		fmt.Fprintf(w, "guard: %d rejected, %d dropped unvalidated, %d quarantines (%d released), %d busy deferrals\n",
+			rep.Rejects, rep.GuardDrops, rep.Quarantine, rep.Releases, rep.Busy)
 	}
 }

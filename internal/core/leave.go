@@ -430,8 +430,14 @@ func (m *Machine) onFind(pm msg.Find) {
 		return
 	}
 	k := m.self.ID.SuffixMatch(pm.Want)
-	// k == |Want| is impossible here (HasSuffix would have matched), so
-	// entry (k, Want[k]) exists; its desired suffix is Want[k..0].
+	if k >= pm.Want.Len() || k >= m.params.D {
+		// We carry the whole wanted suffix but are the avoided node (the
+		// HasSuffix branch above did not answer): we cannot vouch for
+		// another carrier, and entry (k, Want[k]) does not exist to route
+		// on. Report Blocked so the origin retries elsewhere.
+		m.send(pm.Origin, msg.FindRly{Want: pm.Want, Blocked: true})
+		return
+	}
 	next := m.tbl.Get(k, pm.Want.Digit(k))
 	switch {
 	case next.IsZero() && m.inRepair[[2]int{k, pm.Want.Digit(k)}]:

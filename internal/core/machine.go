@@ -19,6 +19,7 @@ import (
 	"sort"
 	"time"
 
+	"hypercube/internal/guard"
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
@@ -75,6 +76,63 @@ type Options struct {
 	// Machine.Tick); the zero value keeps the paper's purely
 	// message-driven behavior.
 	Timeouts Timeouts
+	// Guard, when non-nil, enables the misbehavior scorer: peers whose
+	// messages repeatedly fail validation are quarantined under the given
+	// policy (traffic dropped at ingress, never installed or gossiped
+	// about, released after a cooldown). Semantic validation itself is
+	// always on — a nil Guard only disables scoring.
+	Guard *guard.Policy
+	// Budgets bounds the join-protocol bookkeeping a node accepts on
+	// behalf of other nodes; zero fields select the documented defaults.
+	Budgets Budgets
+}
+
+// Budgets caps the state an established node holds for peers, so a flood
+// of (possibly spoofed) joiners costs bounded memory. Requests beyond a
+// budget are shed — the protocol's timeout resends are the retry path.
+type Budgets struct {
+	// MaxDeferredJoins caps Qj, the JoinWait requests a T-node parks
+	// until it switches to in_system. Default 1024.
+	MaxDeferredJoins int
+	// MaxSpeNoti caps Qsn/Qsr, the special-notification exchanges a
+	// joiner tracks (Figure 10). Default 4096.
+	MaxSpeNoti int
+	// MaxReverse caps the reverse-neighbor set. Default 4096.
+	MaxReverse int
+}
+
+func (b Budgets) withDefaults() Budgets {
+	if b.MaxDeferredJoins <= 0 {
+		b.MaxDeferredJoins = 1024
+	}
+	if b.MaxSpeNoti <= 0 {
+		b.MaxSpeNoti = 4096
+	}
+	if b.MaxReverse <= 0 {
+		b.MaxReverse = 4096
+	}
+	return b
+}
+
+// GuardStats are a machine's hostile-input counters: envelopes rejected
+// by semantic validation, unknown-type drops, ingress drops of
+// quarantined senders, budget-shed requests, and the scorer's own
+// lifecycle counters.
+type GuardStats struct {
+	Rejected       int
+	UnknownDropped int
+	IngressDropped int
+	BusyDeferred   int
+	Scorer         guard.Stats
+}
+
+// Add accumulates other into g.
+func (g *GuardStats) Add(other GuardStats) {
+	g.Rejected += other.Rejected
+	g.UnknownDropped += other.UnknownDropped
+	g.IngressDropped += other.IngressDropped
+	g.BusyDeferred += other.BusyDeferred
+	g.Scorer.Add(other.Scorer)
 }
 
 // Machine is the protocol state machine for a single node.
@@ -131,6 +189,14 @@ type Machine struct {
 	// sync replies/pushes and entries purged by table audits.
 	syncPulled  int
 	auditPurged int
+
+	// Hostile-input defenses: resolved budgets, the optional misbehavior
+	// scorer, its counters, and an optional runtime clock for quarantine
+	// timing (clockNow falls back to the Tick-advanced m.now).
+	budgets Budgets
+	scorer  *guard.Scorer
+	gstats  GuardStats
+	clock   func() time.Duration
 
 	counters msg.Counters
 	out      []msg.Envelope
@@ -200,12 +266,13 @@ func newMachine(p id.Params, self table.Ref, status Status, opts Options) *Machi
 	if err := p.Validate(); err != nil {
 		panic(fmt.Sprintf("core: invalid params: %v", err))
 	}
-	return &Machine{
+	m := &Machine{
 		params:  p,
 		self:    self,
 		status:  status,
 		tbl:     table.New(p, self.ID),
 		opts:    opts,
+		budgets: opts.Budgets.withDefaults(),
 		reverse: make(map[id.ID]table.Ref),
 		qr:      make(map[id.ID]struct{}),
 		qn:      make(map[id.ID]struct{}),
@@ -213,6 +280,33 @@ func newMachine(p id.Params, self table.Ref, status Status, opts Options) *Machi
 		qsn:     make(map[id.ID]struct{}),
 		qsr:     make(map[id.ID]struct{}),
 	}
+	if opts.Guard != nil {
+		m.scorer = guard.NewScorer(*opts.Guard)
+	}
+	return m
+}
+
+// SetClock supplies the driving runtime's monotonic clock (duration since
+// the run started) for quarantine timing. Without one the machine falls
+// back to its Tick-advanced notion of now, so quarantines only age while
+// the runtime ticks.
+func (m *Machine) SetClock(f func() time.Duration) { m.clock = f }
+
+func (m *Machine) clockNow() time.Duration {
+	if m.clock != nil {
+		return m.clock()
+	}
+	return m.now
+}
+
+// GuardStats returns the machine's hostile-input counters, including the
+// scorer's (zero when no Guard policy is configured).
+func (m *Machine) GuardStats() GuardStats {
+	gs := m.gstats
+	if m.scorer != nil {
+		gs.Scorer = m.scorer.Stats()
+	}
+	return gs
 }
 
 // Self returns the node's own reference.
@@ -247,7 +341,7 @@ func (m *Machine) Counters() *msg.Counters { return &m.counters }
 // being complete.
 func (m *Machine) AddReverseNeighbor(w table.Ref) {
 	if w.ID != m.self.ID {
-		m.reverse[w.ID] = w
+		m.addReverse(w)
 	}
 }
 
@@ -321,16 +415,35 @@ func (m *Machine) StartJoin(g0 table.Ref) ([]msg.Envelope, error) {
 }
 
 // Deliver processes one incoming message and returns the messages to
-// transmit in response.
+// transmit in response. Hostile input never panics: envelopes failing
+// semantic validation (internal/guard) are rejected and counted, unknown
+// types are dropped and counted, and traffic from quarantined senders is
+// dropped at ingress.
 func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
-	if env.To.ID != m.self.ID {
-		panic(fmt.Sprintf("core: %v delivered envelope for %v", m.self.ID, env.To.ID))
+	m.out = m.out[:0]
+	now := m.clockNow()
+	if m.scorer != nil && !env.From.IsZero() {
+		before := m.scorer.Stats().Releases
+		q := m.scorer.Quarantined(env.From.ID, now)
+		if m.scorer.Stats().Releases > before && m.sink != nil {
+			m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindQuarantineRelease, Peer: env.From.ID.String()})
+		}
+		if q {
+			m.gstats.IngressDropped++
+			if m.sink != nil {
+				m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindGuardDrop, Peer: env.From.ID.String(), Detail: "quarantined"})
+			}
+			return nil
+		}
+	}
+	if err := guard.Check(m.params, m.self.ID, env); err != nil {
+		m.reject(env, err, now)
+		return nil
 	}
 	m.counters.CountReceived(env.Msg)
 	if m.sink != nil {
 		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindRecv, Peer: env.From.ID.String(), Msg: env.Msg.Type().String()})
 	}
-	m.out = m.out[:0]
 	from := env.From
 	m.clearExchange(from, env.Msg)
 	switch pm := env.Msg.(type) {
@@ -378,9 +491,64 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 	case msg.SyncPush:
 		m.onSyncPush(pm)
 	default:
-		panic(fmt.Sprintf("core: unknown message %T", env.Msg))
+		// Unreachable when guard.Check and this switch cover the same
+		// types; kept as a counted drop so a future type added to one but
+		// not the other degrades to noise instead of a crash.
+		m.gstats.UnknownDropped++
+		m.counters.CountRejected(env.Msg.Type())
+		if m.sink != nil {
+			m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindGuardDrop, Peer: from.ID.String(), Detail: fmt.Sprintf("unknown message type %T", env.Msg)})
+		}
 	}
 	return m.take()
+}
+
+// reject counts and reports an envelope that failed semantic validation,
+// charging the sender's misbehavior score when scoring is enabled.
+func (m *Machine) reject(env msg.Envelope, err error, now time.Duration) {
+	var t msg.Type
+	if env.Msg != nil {
+		t = env.Msg.Type()
+	}
+	m.counters.CountRejected(t)
+	m.gstats.Rejected++
+	peer := ""
+	if !env.From.IsZero() {
+		peer = env.From.ID.String()
+	}
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindGuardReject, Peer: peer, Msg: t.String(), Detail: err.Error()})
+	}
+	m.trace("%v rejected %v from %v: %v", m.self.ID, t, peer, err)
+	if m.scorer != nil && !env.From.IsZero() && env.From.ID != m.self.ID {
+		if m.scorer.Charge(env.From.ID, 1, now) {
+			if m.sink != nil {
+				m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindQuarantine, Peer: peer})
+			}
+		}
+	}
+}
+
+// busy sheds a request that would exceed a resource budget. The protocol
+// has no busy reply; dropping the request leaves the sender's timeout
+// resend (or its next join restart) as the retry path.
+func (m *Machine) busy(what string, from table.Ref) {
+	m.gstats.BusyDeferred++
+	if m.sink != nil {
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindBusy, Peer: from.ID.String(), Detail: what})
+	}
+	m.trace("%v shed %s request from %v (budget)", m.self.ID, what, from.ID)
+}
+
+// addReverse records a reverse neighbor, holding the set to its budget.
+// Beyond MaxReverse the registration is shed: the peer still stores us in
+// its table; we only lose one InSysNoti/leave-ack fan-out edge to it.
+func (m *Machine) addReverse(r table.Ref) {
+	if _, ok := m.reverse[r.ID]; !ok && len(m.reverse) >= m.budgets.MaxReverse {
+		m.busy("reverse neighbors", r)
+		return
+	}
+	m.reverse[r.ID] = r
 }
 
 func (m *Machine) take() []msg.Envelope {
@@ -463,6 +631,10 @@ func (m *Machine) finishCopying(target table.Ref) {
 // onJoinWait implements Figure 6.
 func (m *Machine) onJoinWait(from table.Ref) {
 	if m.status != StatusInSystem {
+		if _, ok := m.qj[from.ID]; !ok && len(m.qj) >= m.budgets.MaxDeferredJoins {
+			m.busy("deferred joins", from)
+			return
+		}
 		m.qj[from.ID] = from // delay the reply until we are an S-node
 		return
 	}
@@ -488,7 +660,7 @@ func (m *Machine) onJoinWaitRly(from table.Ref, pm msg.JoinWaitRly) {
 			m.notiLevel = k
 			m.trace("%v status -> notifying at level %d (stored by %v)", m.self.ID, k, from.ID)
 		}
-		m.reverse[from.ID] = from
+		m.addReverse(from)
 	} else {
 		u := pm.U
 		m.qn[u.ID] = struct{}{}
@@ -576,15 +748,19 @@ func (m *Machine) onJoinNotiRly(from table.Ref, pm msg.JoinNotiRly) {
 	delete(m.qr, from.ID)
 	k := m.self.ID.CommonSuffixLen(from.ID)
 	if pm.R == msg.Positive {
-		m.reverse[from.ID] = from
+		m.addReverse(from)
 	}
 	if pm.F && k > m.notiLevel {
 		if _, seen := m.qsn[from.ID]; !seen {
 			target := m.tbl.Get(k, from.ID.Digit(k))
 			if !target.IsZero() && target.ID != from.ID {
-				m.qsn[from.ID] = struct{}{}
-				m.qsr[from.ID] = struct{}{}
-				m.send(target.Ref(), msg.SpeNoti{X: m.self, Y: from})
+				if len(m.qsn) >= m.budgets.MaxSpeNoti {
+					m.busy("special notifications", from)
+				} else {
+					m.qsn[from.ID] = struct{}{}
+					m.qsr[from.ID] = struct{}{}
+					m.send(target.Ref(), msg.SpeNoti{X: m.self, Y: from})
+				}
 			}
 		}
 	}
@@ -679,7 +855,7 @@ func (m *Machine) onRvNghNoti(from table.Ref, pm msg.RvNghNoti) {
 		// would leave our own future departure waiting for its ack.
 		return
 	}
-	m.reverse[from.ID] = from
+	m.addReverse(from)
 	switch {
 	case pm.State == table.StateT && m.status == StatusInSystem:
 		m.send(from, msg.RvNghNotiRly{Level: pm.Level, Digit: pm.Digit, State: table.StateS})

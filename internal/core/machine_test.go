@@ -534,17 +534,19 @@ func TestStartJoinErrors(t *testing.T) {
 	pp.requireConsistent()
 }
 
-func TestDeliverWrongRecipientPanics(t *testing.T) {
+func TestDeliverWrongRecipientRejected(t *testing.T) {
 	p := id.Params{B: 4, D: 4}
 	seed := core.NewSeed(p, ref(p, "3210"), core.Options{})
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("Deliver to wrong recipient did not panic")
-			}
-		}()
-		seed.Deliver(msg.Envelope{From: ref(p, "0123"), To: ref(p, "1111"), Msg: msg.JoinWait{}})
-	}()
+	out := seed.Deliver(msg.Envelope{From: ref(p, "0123"), To: ref(p, "1111"), Msg: msg.JoinWait{}})
+	if len(out) != 0 {
+		t.Errorf("misaddressed envelope produced %d messages, want 0", len(out))
+	}
+	if got := seed.GuardStats().Rejected; got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+	if got := seed.Counters().RejectedOf(msg.TJoinWait); got != 1 {
+		t.Errorf("RejectedOf(JoinWait) = %d, want 1", got)
+	}
 }
 
 // Property-style sweep: many small random networks, arbitrary concurrent

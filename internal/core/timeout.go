@@ -363,8 +363,13 @@ func (m *Machine) knownBad(x id.ID) bool {
 	if _, f := m.failed[x]; f {
 		return true
 	}
-	_, d := m.departed[x]
-	return d
+	if _, d := m.departed[x]; d {
+		return true
+	}
+	// A quarantined peer is bad for the quarantine's duration: it is not
+	// installed from harvested tables, not accepted from Find replies,
+	// and not gossiped about in FailedNoti fan-outs.
+	return m.scorer != nil && m.scorer.Quarantined(x, m.clockNow())
 }
 
 // DeclareFailed records that the failure detector declared gone crashed,

@@ -1,0 +1,223 @@
+package guard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+var tp = id.Params{B: 4, D: 4}
+
+func ref(t *testing.T, s string) table.Ref {
+	t.Helper()
+	return table.Ref{ID: id.MustParse(tp, s), Addr: "sim://" + s}
+}
+
+// snapOf builds a minimal valid snapshot owned by owner: just the
+// owner's diagonal entries, like a fresh seed table.
+func snapOf(t *testing.T, owner table.Ref) table.Snapshot {
+	t.Helper()
+	tbl := table.New(tp, owner.ID)
+	for i := 0; i < tp.D; i++ {
+		tbl.Set(i, owner.ID.Digit(i), table.Neighbor{ID: owner.ID, Addr: owner.Addr, State: table.StateS})
+	}
+	return tbl.Snapshot()
+}
+
+// TestCheckValidMessages asserts Check accepts one well-formed envelope
+// of every message type — the guard must never reject honest traffic.
+func TestCheckValidMessages(t *testing.T) {
+	self := ref(t, "0321")
+	from := ref(t, "1201")
+	snap := snapOf(t, from)
+	fill := table.NewBitVector(tp.D * tp.B)
+	valid := []msg.Message{
+		msg.CpRst{Level: 2},
+		msg.CpRly{Table: snap},
+		msg.JoinWait{},
+		msg.JoinWaitRly{R: msg.Positive, U: self, Table: snap},
+		msg.JoinNoti{Table: snap, NotiLevel: 1, FillVector: fill},
+		msg.JoinNotiRly{R: msg.Negative, Table: snap, F: true},
+		msg.InSysNoti{},
+		msg.SpeNoti{X: from, Y: ref(t, "2211")},
+		msg.SpeNotiRly{X: self, Y: ref(t, "2211")},
+		msg.RvNghNoti{Level: 0, Digit: self.ID.Digit(0), State: table.StateS},
+		msg.RvNghNotiRly{Level: 1, Digit: 2, State: table.StateT},
+		msg.Leave{Table: snap},
+		msg.LeaveRly{},
+		msg.Find{Want: id.MustParseSuffix(tp, "21"), Origin: from},
+		msg.FindRly{Want: id.MustParseSuffix(tp, "21"), Found: table.Neighbor{ID: id.MustParse(tp, "3021"), State: table.StateS}},
+		msg.Ping{Seq: 7, Origin: from, Target: ref(t, "2211")},
+		msg.Pong{Seq: 7},
+		msg.FailedNoti{Failed: ref(t, "2211")},
+		msg.SyncReq{Fill: fill},
+		msg.SyncRly{Table: snap, Fill: fill},
+		msg.SyncPush{Table: snap},
+	}
+	if len(valid) != len(msg.Types()) {
+		t.Fatalf("valid list covers %d types, want %d", len(valid), len(msg.Types()))
+	}
+	seen := make(map[msg.Type]bool)
+	for _, m := range valid {
+		seen[m.Type()] = true
+		env := msg.Envelope{From: from, To: self, Msg: m}
+		if err := Check(tp, self.ID, env); err != nil {
+			t.Errorf("Check rejected valid %v: %v", m.Type(), err)
+		}
+	}
+	if len(seen) != len(msg.Types()) {
+		t.Errorf("valid list covers %d distinct types, want %d", len(seen), len(msg.Types()))
+	}
+}
+
+type unknownMsg struct{}
+
+func (unknownMsg) Type() msg.Type { return msg.Type(99) }
+func (unknownMsg) Big() bool      { return false }
+func (unknownMsg) WireSize() int  { return 1 }
+
+// TestCheckRejectsMalformed drives one malformed variant of every attack
+// class through Check; each must be rejected with a descriptive error.
+func TestCheckRejectsMalformed(t *testing.T) {
+	self := ref(t, "0321")
+	from := ref(t, "1201")
+	other := ref(t, "2211")
+	snap := snapOf(t, from)
+	shortID := id.MustParse(id.Params{B: 4, D: 2}, "31")
+	outOfBase := id.MustParse(id.Params{B: 8, D: 4}, "7777")
+
+	// A snapshot whose entry occupant lacks the entry's desired suffix.
+	badTbl := table.New(tp, from.ID)
+	badTbl.Set(2, 3, table.Neighbor{ID: other.ID, State: table.StateS}) // other "2211" lacks suffix "301"
+	// A snapshot with an out-of-range state.
+	badState := table.New(tp, from.ID)
+	badState.Set(0, from.ID.Digit(0), table.Neighbor{ID: from.ID, State: table.State(9)})
+
+	longWant := id.MustParseSuffix(tp, "0321").Extend(1) // 5 digits > d
+
+	cases := []struct {
+		name string
+		env  msg.Envelope
+		want string // substring of the expected error
+	}{
+		{"misaddressed", msg.Envelope{From: from, To: other, Msg: msg.JoinWait{}}, "misaddressed"},
+		{"nil message", msg.Envelope{From: from, To: self}, "nil message"},
+		{"zero sender", msg.Envelope{To: self, Msg: msg.JoinWait{}}, "bad sender"},
+		{"self sender", msg.Envelope{From: self, To: self, Msg: msg.JoinWait{}}, "from self"},
+		{"short sender id", msg.Envelope{From: table.Ref{ID: shortID}, To: self, Msg: msg.JoinWait{}}, "digits"},
+		{"out-of-base sender id", msg.Envelope{From: table.Ref{ID: outOfBase}, To: self, Msg: msg.JoinWait{}}, "out of base"},
+		{"oversized addr", msg.Envelope{From: table.Ref{ID: from.ID, Addr: strings.Repeat("a", 300)}, To: self, Msg: msg.JoinWait{}}, "address"},
+		{"unknown type", msg.Envelope{From: from, To: self, Msg: unknownMsg{}}, "unknown message"},
+		{"CpRst level high", msg.Envelope{From: from, To: self, Msg: msg.CpRst{Level: tp.D}}, "level"},
+		{"CpRst level negative", msg.Envelope{From: from, To: self, Msg: msg.CpRst{Level: -1}}, "level"},
+		{"table wrong owner", msg.Envelope{From: from, To: self, Msg: msg.CpRly{Table: snapOf(t, other)}}, "owned by"},
+		{"table wrong suffix", msg.Envelope{From: from, To: self, Msg: msg.CpRly{Table: badTbl.Snapshot()}}, "suffix"},
+		{"table bad state", msg.Envelope{From: from, To: self, Msg: msg.Leave{Table: badState.Snapshot()}}, "state"},
+		{"JoinWaitRly bad result", msg.Envelope{From: from, To: self, Msg: msg.JoinWaitRly{R: 9, U: self, Table: snap}}, "result"},
+		{"JoinWaitRly zero U", msg.Envelope{From: from, To: self, Msg: msg.JoinWaitRly{R: msg.Positive, Table: snap}}, "null ref"},
+		{"JoinWaitRly self redirect", msg.Envelope{From: from, To: self, Msg: msg.JoinWaitRly{R: msg.Negative, U: self, Table: snap}}, "redirects to self"},
+		{"JoinNoti bad noti level", msg.Envelope{From: from, To: self, Msg: msg.JoinNoti{Table: snap, NotiLevel: -2}}, "noti_level"},
+		{"JoinNoti huge fill", msg.Envelope{From: from, To: self, Msg: msg.JoinNoti{Table: snap, FillVector: table.NewBitVector(1 << 16)}}, "fill vector"},
+		{"JoinNotiRly bad result", msg.Envelope{From: from, To: self, Msg: msg.JoinNotiRly{R: 0, Table: snap}}, "result"},
+		{"SpeNoti zero X", msg.Envelope{From: from, To: self, Msg: msg.SpeNoti{Y: other}}, "X"},
+		{"SpeNoti self Y", msg.Envelope{From: from, To: self, Msg: msg.SpeNoti{X: from, Y: self}}, "receiver to itself"},
+		{"RvNghNoti level out", msg.Envelope{From: from, To: self, Msg: msg.RvNghNoti{Level: 99, Digit: 0, State: table.StateS}}, "level"},
+		{"RvNghNoti digit out", msg.Envelope{From: from, To: self, Msg: msg.RvNghNoti{Level: 0, Digit: -1, State: table.StateS}}, "digit"},
+		{"RvNghNoti bad state", msg.Envelope{From: from, To: self, Msg: msg.RvNghNoti{Level: 0, Digit: self.ID.Digit(0), State: 7}}, "state"},
+		{"RvNghNoti wrong suffix", msg.Envelope{From: from, To: self, Msg: msg.RvNghNoti{Level: 2, Digit: 0, State: table.StateS}}, "qualify"},
+		{"RvNghNotiRly level out", msg.Envelope{From: from, To: self, Msg: msg.RvNghNotiRly{Level: -3, Digit: 0, State: table.StateS}}, "level"},
+		{"Find empty want", msg.Envelope{From: from, To: self, Msg: msg.Find{Origin: from}}, "empty suffix"},
+		{"Find long want", msg.Envelope{From: from, To: self, Msg: msg.Find{Want: longWant, Origin: from}}, "exceeds"},
+		{"Find zero origin", msg.Envelope{From: from, To: self, Msg: msg.Find{Want: id.MustParseSuffix(tp, "1")}}, "origin"},
+		{"Find short avoid", msg.Envelope{From: from, To: self, Msg: msg.Find{Want: id.MustParseSuffix(tp, "1"), Origin: from, Avoid: shortID}}, "avoid"},
+		{"FindRly wrong suffix", msg.Envelope{From: from, To: self, Msg: msg.FindRly{Want: id.MustParseSuffix(tp, "3"), Found: table.Neighbor{ID: other.ID, State: table.StateS}}}, "suffix"},
+		{"FindRly bad state", msg.Envelope{From: from, To: self, Msg: msg.FindRly{Want: id.MustParseSuffix(tp, "1"), Found: table.Neighbor{ID: id.MustParse(tp, "3021"), State: 5}}}, "state"},
+		{"FailedNoti zero", msg.Envelope{From: from, To: self, Msg: msg.FailedNoti{}}, "failed"},
+		{"SyncReq huge fill", msg.Envelope{From: from, To: self, Msg: msg.SyncReq{Fill: table.NewBitVector(17)}}, "fill vector"},
+		{"SyncRly wrong owner", msg.Envelope{From: from, To: self, Msg: msg.SyncRly{Table: snapOf(t, other)}}, "owned by"},
+		{"SyncPush wrong owner", msg.Envelope{From: from, To: self, Msg: msg.SyncPush{Table: snapOf(t, other)}}, "owned by"},
+	}
+	for _, tc := range cases {
+		err := Check(tp, self.ID, tc.env)
+		if err == nil {
+			t.Errorf("%s: Check accepted malformed envelope", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestScorerQuarantineLifecycle walks the full lifecycle: charges
+// accumulate to the threshold, the peer is quarantined for the
+// cooldown, then released with a clean score.
+func TestScorerQuarantineLifecycle(t *testing.T) {
+	s := NewScorer(Policy{Threshold: 3, Decay: time.Second, Cooldown: 10 * time.Second})
+	x := id.MustParse(tp, "1201")
+	now := time.Duration(0)
+
+	if s.Quarantined(x, now) {
+		t.Fatal("fresh peer quarantined")
+	}
+	if s.Charge(x, 1, now) || s.Charge(x, 1, now) {
+		t.Fatal("quarantined below threshold")
+	}
+	if !s.Charge(x, 1, now) {
+		t.Fatal("third charge should quarantine (threshold 3)")
+	}
+	if !s.Quarantined(x, now) {
+		t.Fatal("peer not quarantined after crossing threshold")
+	}
+	// Mid-cooldown: still quarantined; further charges don't extend it.
+	mid := 5 * time.Second
+	s.Charge(x, 1, mid)
+	if !s.Quarantined(x, mid) {
+		t.Fatal("peer released mid-cooldown")
+	}
+	// After the cooldown: released, score reset.
+	after := 10 * time.Second
+	if s.Quarantined(x, after) {
+		t.Fatal("peer still quarantined after cooldown")
+	}
+	if s.Charge(x, 1, after) {
+		t.Fatal("released peer re-quarantined by a single charge")
+	}
+	st := s.Stats()
+	if st.Quarantines != 1 || st.Releases != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats = %+v, want 1 quarantine, 1 release, 0 active", st)
+	}
+}
+
+// TestScorerDecay: a slow trickle of violations below 1/Decay never
+// quarantines — the score drains between charges.
+func TestScorerDecay(t *testing.T) {
+	s := NewScorer(Policy{Threshold: 3, Decay: time.Second, Cooldown: 10 * time.Second})
+	x := id.MustParse(tp, "1201")
+	for i := 0; i < 100; i++ {
+		now := time.Duration(i) * 2 * time.Second // one charge per 2 decay units
+		if s.Charge(x, 1, now) {
+			t.Fatalf("slow offender quarantined at charge %d", i)
+		}
+	}
+}
+
+// TestScorerEviction: the tracked-peer map is bounded; rotating spoofed
+// IDs cannot grow it past MaxPeers.
+func TestScorerEviction(t *testing.T) {
+	s := NewScorer(Policy{Threshold: 100, MaxPeers: 8})
+	for i := 0; i < 64; i++ {
+		x := id.FromName(tp, string(rune('a'+i)))
+		s.Charge(x, 1, 0)
+	}
+	if len(s.peers) > 8 {
+		t.Fatalf("scorer tracks %d peers, want <= 8", len(s.peers))
+	}
+	if s.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}

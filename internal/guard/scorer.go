@@ -1,0 +1,184 @@
+package guard
+
+import (
+	"time"
+
+	"hypercube/internal/id"
+)
+
+// Policy tunes the misbehavior scorer. The zero value selects the
+// defaults documented per field, so &Policy{} enables scoring with
+// sensible behavior.
+type Policy struct {
+	// Threshold is the score at which a peer is quarantined. Each
+	// violation charges one unit (callers may weight differently), so the
+	// default 8 quarantines after 8 violations inside the decay window.
+	Threshold float64
+	// Decay is the time for one unit of score to drain away; a peer that
+	// stops misbehaving is forgiven at rate 1/Decay. Default 5s.
+	Decay time.Duration
+	// Cooldown is how long a quarantined peer's traffic is dropped at
+	// ingress before it is released (score reset). Default 30s.
+	Cooldown time.Duration
+	// MaxPeers bounds the tracked-peer map; when full, the lowest-scored
+	// tracked peer is evicted to admit a new offender, so an attacker
+	// rotating spoofed IDs costs bounded memory. Default 1024.
+	MaxPeers int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Threshold <= 0 {
+		p.Threshold = 8
+	}
+	if p.Decay <= 0 {
+		p.Decay = 5 * time.Second
+	}
+	if p.Cooldown <= 0 {
+		p.Cooldown = 30 * time.Second
+	}
+	if p.MaxPeers <= 0 {
+		p.MaxPeers = 1024
+	}
+	return p
+}
+
+// Stats are the scorer's lifetime counters plus the current quarantine
+// population.
+type Stats struct {
+	// Charges counts violations charged; Quarantines peers that crossed
+	// the threshold; Releases quarantines that expired; Evictions tracked
+	// peers displaced by the MaxPeers bound.
+	Charges     int
+	Quarantines int
+	Releases    int
+	Evictions   int
+	// Quarantined is how many peers are quarantined right now (as of the
+	// last Charge/Quarantined call that observed them).
+	Quarantined int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Charges += other.Charges
+	s.Quarantines += other.Quarantines
+	s.Releases += other.Releases
+	s.Evictions += other.Evictions
+	s.Quarantined += other.Quarantined
+}
+
+type peerScore struct {
+	score float64
+	last  time.Duration // when score was last updated
+	until time.Duration // quarantined until; 0 = not quarantined
+}
+
+// Scorer tracks per-peer misbehavior with linear decay and quarantine.
+// It is not safe for concurrent use; drive it from the same goroutine
+// (or under the same lock) as the protocol machine it protects. Time is
+// supplied by the caller as a duration since the run started, matching
+// the clocks of both runtimes (virtual in the simulator, wall in TCP).
+type Scorer struct {
+	pol   Policy
+	peers map[id.ID]*peerScore
+	stats Stats
+}
+
+// NewScorer creates a scorer under the given policy.
+func NewScorer(pol Policy) *Scorer {
+	return &Scorer{pol: pol.withDefaults(), peers: make(map[id.ID]*peerScore)}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (s *Scorer) Policy() Policy { return s.pol }
+
+// Charge records one violation of the given weight by peer x at time
+// now. It returns true when the charge pushed the peer over the
+// threshold — the moment it entered quarantine.
+func (s *Scorer) Charge(x id.ID, weight float64, now time.Duration) bool {
+	s.stats.Charges++
+	ps := s.peers[x]
+	if ps == nil {
+		if len(s.peers) >= s.pol.MaxPeers {
+			s.evict()
+		}
+		ps = &peerScore{last: now}
+		s.peers[x] = ps
+	}
+	s.expire(ps, now)
+	if ps.until > 0 {
+		return false // already quarantined; the clock keeps running
+	}
+	ps.score = s.decayed(ps, now) + weight
+	ps.last = now
+	if ps.score >= s.pol.Threshold {
+		ps.until = now + s.pol.Cooldown
+		s.stats.Quarantines++
+		s.stats.Quarantined++
+		return true
+	}
+	return false
+}
+
+// Quarantined reports whether peer x is quarantined at time now,
+// releasing it first if its cooldown expired.
+func (s *Scorer) Quarantined(x id.ID, now time.Duration) bool {
+	ps := s.peers[x]
+	if ps == nil {
+		return false
+	}
+	s.expire(ps, now)
+	return ps.until > 0
+}
+
+// expire releases a quarantine whose cooldown has passed, resetting the
+// peer's score so it restarts with a clean slate.
+func (s *Scorer) expire(ps *peerScore, now time.Duration) {
+	if ps.until > 0 && now >= ps.until {
+		ps.until = 0
+		ps.score = 0
+		ps.last = now
+		s.stats.Releases++
+		s.stats.Quarantined--
+	}
+}
+
+// decayed returns the peer's score after linear decay since last update.
+func (s *Scorer) decayed(ps *peerScore, now time.Duration) float64 {
+	if now <= ps.last {
+		return ps.score
+	}
+	drained := float64(now-ps.last) / float64(s.pol.Decay)
+	if drained >= ps.score {
+		return 0
+	}
+	return ps.score - drained
+}
+
+// evict removes the lowest-scored non-quarantined tracked peer (or the
+// quarantined peer with the earliest release if all are quarantined).
+func (s *Scorer) evict() {
+	var victim id.ID
+	best := -1.0
+	found := false
+	for x, ps := range s.peers {
+		score := ps.score
+		if ps.until > 0 {
+			// Keep quarantined peers tracked in preference to scored
+			// ones: forgetting a quarantine would lift it early.
+			score = s.pol.Threshold + float64(ps.until)
+		}
+		if !found || score < best {
+			victim, best, found = x, score, true
+		}
+	}
+	if found {
+		if s.peers[victim].until > 0 {
+			s.stats.Quarantined--
+		}
+		delete(s.peers, victim)
+		s.stats.Evictions++
+	}
+}
+
+// Stats returns a copy of the scorer's counters.
+func (s *Scorer) Stats() Stats { return s.stats }

@@ -369,6 +369,10 @@ type Counters struct {
 	Received [numTypes + 1]int
 	Retried  [numTypes + 1]int
 	Dropped  [numTypes + 1]int
+	// Rejected counts messages the guard layer refused at ingress:
+	// semantic validation failures, unknown types, and traffic from
+	// quarantined peers. Index 0 holds rejects whose type is unknown.
+	Rejected [numTypes + 1]int
 	// BytesSent accumulates WireSize over sent messages.
 	BytesSent int
 }
@@ -395,6 +399,34 @@ func (c *Counters) CountRetried(t Type) {
 // overflowed).
 func (c *Counters) CountDropped(t Type) {
 	c.Dropped[t]++
+}
+
+// CountRejected records a message of type t refused by the guard layer.
+// Types outside the known range (including 0 for "unknown") land in
+// bucket 0, so a hostile type value can never index out of bounds.
+func (c *Counters) CountRejected(t Type) {
+	if int(t) > numTypes {
+		t = 0
+	}
+	c.Rejected[t]++
+}
+
+// RejectedOf returns the number of guard-rejected messages of type t.
+func (c *Counters) RejectedOf(t Type) int {
+	if int(t) > numTypes {
+		t = 0
+	}
+	return c.Rejected[t]
+}
+
+// TotalRejected returns the number of guard-rejected messages across all
+// types (including unknown-type rejects in bucket 0).
+func (c *Counters) TotalRejected() int {
+	total := 0
+	for _, n := range c.Rejected {
+		total += n
+	}
+	return total
 }
 
 // SentOf returns the number of sent messages of type t.
@@ -450,6 +482,7 @@ func (c *Counters) Add(other *Counters) {
 		c.Received[i] += other.Received[i]
 		c.Retried[i] += other.Retried[i]
 		c.Dropped[i] += other.Dropped[i]
+		c.Rejected[i] += other.Rejected[i]
 	}
 	c.BytesSent += other.BytesSent
 }

@@ -80,6 +80,22 @@ const (
 	// done, the outcome (filled, empty, abandoned).
 	KindRepairStart Kind = "repair_start"
 	KindRepairDone  Kind = "repair_done"
+	// Guard-layer events (hostile-input hardening). KindGuardReject is a
+	// message that failed semantic validation (Msg the type, Peer the
+	// sender, Detail the reason); KindGuardDrop a message dropped without
+	// validation — an unknown type, a quarantined sender's traffic, or a
+	// transport frame the codec could not decode (Detail says which).
+	KindGuardReject Kind = "guard_reject"
+	KindGuardDrop   Kind = "guard_drop"
+	// KindQuarantine / KindQuarantineRelease bracket a peer's quarantine:
+	// its misbehavior score crossed the threshold, and the cooldown later
+	// expired. Peer identifies the quarantined node.
+	KindQuarantine        Kind = "quarantine"
+	KindQuarantineRelease Kind = "quarantine_release"
+	// KindBusy is a budget-exceeded deferral: the node shed work (a
+	// deferred join, a reverse-neighbor registration) instead of growing
+	// a bounded set; Detail names the set.
+	KindBusy Kind = "busy"
 )
 
 // Event is one traced protocol step. The zero value of every field but

@@ -47,7 +47,13 @@ type Summary struct {
 	Declared  int
 	Repairs   int // repair_start events
 	SyncRound int
-	Span      time.Duration // time of the last event
+	// Guard-layer activity (hostile-input hardening).
+	GuardRejects int           // semantically invalid messages rejected
+	GuardDrops   int           // unvalidated drops: unknown types, quarantined senders
+	Quarantines  int           // peers quarantined for repeated misbehavior
+	Releases     int           // quarantines released after cooldown
+	Busy         int           // budget-exceeded deferrals
+	Span         time.Duration // time of the last event
 }
 
 // Completed returns only the joins that reached in_system.
@@ -162,6 +168,16 @@ func (a *Analyzer) Feed(e Event) {
 		a.sum.Repairs++
 	case KindSyncRound:
 		a.sum.SyncRound++
+	case KindGuardReject:
+		a.sum.GuardRejects++
+	case KindGuardDrop:
+		a.sum.GuardDrops++
+	case KindQuarantine:
+		a.sum.Quarantines++
+	case KindQuarantineRelease:
+		a.sum.Releases++
+	case KindBusy:
+		a.sum.Busy++
 	}
 }
 

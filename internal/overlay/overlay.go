@@ -145,6 +145,11 @@ type Config struct {
 	// TickInterval is the cadence of the clock pump driving probers and
 	// Machine.Tick during RunFor. Default 50ms.
 	TickInterval time.Duration
+	// Byzantine enables the adversarial fault model: members marked via
+	// MarkByzantine/SelectByzantine have their outgoing protocol traffic
+	// randomly mutated, withheld, or replayed (see Byzantine). Nil keeps
+	// every member honest.
+	Byzantine *Byzantine
 	// Sink, when non-nil, receives every protocol event from every
 	// machine, prober, and anti-entropy engine, stamped with the virtual
 	// clock — the same trace schema live TCP runs produce, so
@@ -189,6 +194,15 @@ type Network struct {
 	// different groups drop in flight (Partition/Heal fault injection).
 	partition        map[id.ID]int
 	partitionDropped uint64
+	// byz marks byzantine members (Config.Byzantine); byzHistory is the
+	// bounded replay ring of recently sent honest envelopes.
+	byz            map[id.ID]bool
+	byzRng         *rand.Rand
+	byzHistory     []msg.Envelope
+	byzHistoryNext int
+	byzMutated     uint64
+	byzWithheld    uint64
+	byzReplayed    uint64
 	// livenessUntil bounds tick-pump rescheduling so Run() can quiesce.
 	livenessUntil time.Duration
 	tickPending   bool
@@ -219,6 +233,10 @@ func New(cfg Config) *Network {
 	if cfg.Loss != nil {
 		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
 	}
+	if cfg.Byzantine != nil {
+		n.byz = make(map[id.ID]bool)
+		n.byzRng = rand.New(rand.NewSource(cfg.Byzantine.Seed))
+	}
 	n.sink = obs.Clocked(cfg.Sink, n.engine.Now)
 	return n
 }
@@ -245,6 +263,8 @@ func (n *Network) addMachine(m *core.Machine) {
 	}
 	n.machines[m.Self().ID] = m
 	m.SetSink(n.sink)
+	// Quarantine cooldowns age on the virtual clock.
+	m.SetClock(n.engine.Now)
 	if n.cfg.Liveness != nil {
 		p := liveness.NewProber(*n.cfg.Liveness, m.Self())
 		p.SetSink(n.sink)
@@ -346,8 +366,17 @@ func (n *Network) ScheduleJoin(ref table.Ref, g0 table.Ref, at time.Duration, fa
 }
 
 // transmit schedules delivery of each envelope after its pair latency.
+// Envelopes leaving a byzantine member pass through the fault model
+// first (see byzantine.go); honest traffic feeds the replay history.
 func (n *Network) transmit(envs []msg.Envelope) {
 	for _, env := range envs {
+		if n.cfg.Byzantine != nil && n.byz[env.From.ID] {
+			for _, e := range n.corruptOutgoing(env) {
+				n.post(e, 1)
+			}
+			continue
+		}
+		n.recordHistory(env)
 		n.post(env, 1)
 	}
 }
@@ -601,6 +630,25 @@ func (n *Network) PartitionedCount() int {
 		}
 	}
 	return c
+}
+
+// GuardStats aggregates the machines' hostile-input counters over all
+// live nodes: rejections, quarantine activity, budget deferrals.
+func (n *Network) GuardStats() core.GuardStats {
+	var total core.GuardStats
+	for _, m := range n.machines {
+		g := m.GuardStats()
+		total.Rejected += g.Rejected
+		total.UnknownDropped += g.UnknownDropped
+		total.IngressDropped += g.IngressDropped
+		total.BusyDeferred += g.BusyDeferred
+		total.Scorer.Charges += g.Scorer.Charges
+		total.Scorer.Quarantines += g.Scorer.Quarantines
+		total.Scorer.Releases += g.Scorer.Releases
+		total.Scorer.Evictions += g.Scorer.Evictions
+		total.Scorer.Quarantined += g.Scorer.Quarantined
+	}
+	return total
 }
 
 // AntiEntropyStats aggregates anti-entropy counters over all live nodes.

@@ -285,6 +285,35 @@ func NewSnapshot(p id.Params, owner id.ID, lo, hi int, entries map[[2]int]Neighb
 	return Snapshot{params: p, owner: owner, lo: lo, hi: hi, entries: out}, nil
 }
 
+// Validate checks the invariants a snapshot received from an untrusted
+// peer must satisfy before any entry of it is harvested: every occupant's
+// state is T or S, its ID has exactly d digits, and it carries the
+// entry's desired suffix — digit · owner[level-1..0] (§2.1). NewSnapshot
+// already enforces coordinate ranges; Validate covers the semantic rest.
+// The zero snapshot (no table attached) is valid.
+func (s Snapshot) Validate() error {
+	if s.IsZero() {
+		return nil
+	}
+	var bad error
+	s.ForEach(func(level, digit int, n Neighbor) {
+		if bad != nil {
+			return
+		}
+		switch {
+		case n.State != StateT && n.State != StateS:
+			bad = fmt.Errorf("table: entry (%d,%d) has invalid state %d", level, digit, n.State)
+		case n.ID.Len() != s.params.D:
+			bad = fmt.Errorf("table: entry (%d,%d) occupant %v has %d digits, want %d",
+				level, digit, n.ID, n.ID.Len(), s.params.D)
+		case !n.ID.HasSuffix(s.owner.Suffix(level).Extend(digit)):
+			bad = fmt.Errorf("table: entry (%d,%d) occupant %v lacks suffix %v",
+				level, digit, n.ID, s.owner.Suffix(level).Extend(digit))
+		}
+	})
+	return bad
+}
+
 // Params returns the ID-space parameters of the snapshot.
 func (s Snapshot) Params() id.Params { return s.params }
 

@@ -61,6 +61,27 @@ type statusResponse struct {
 	Queues      map[string]int     `json:"queues,omitempty"`
 	Liveness    *livenessStatus    `json:"liveness,omitempty"`
 	AntiEntropy *antiEntropyStatus `json:"antiEntropy,omitempty"`
+	Guard       *guardStatus       `json:"guard,omitempty"`
+}
+
+// guardStatus is the hostile-input slice of /status: the machine's
+// semantic-validation and quarantine counters plus the transport's
+// inbound-connection hardening counters. Always present — validation
+// is always on.
+type guardStatus struct {
+	Rejected       int `json:"rejected"`
+	UnknownDropped int `json:"unknownDropped"`
+	IngressDropped int `json:"ingressDropped"`
+	BusyDeferred   int `json:"busyDeferred"`
+	Charges        int `json:"charges"`
+	Quarantines    int `json:"quarantines"`
+	Releases       int `json:"releases"`
+	Quarantined    int `json:"quarantined"`
+
+	DecodeErrors     int64 `json:"decodeErrors"`
+	OversizedFrames  int64 `json:"oversizedFrames"`
+	ThrottledInbound int64 `json:"throttledInbound"`
+	Disconnects      int64 `json:"disconnects"`
 }
 
 // livenessStatus is the failure detector's slice of /status; present
@@ -146,6 +167,22 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Pulled: stats.Pulled,
 			Purged: stats.Purged,
 		}
+	}
+	gs := n.GuardStats()
+	ts := n.TransportGuardStats()
+	resp.Guard = &guardStatus{
+		Rejected:         gs.Rejected,
+		UnknownDropped:   gs.UnknownDropped,
+		IngressDropped:   gs.IngressDropped,
+		BusyDeferred:     gs.BusyDeferred,
+		Charges:          gs.Scorer.Charges,
+		Quarantines:      gs.Scorer.Quarantines,
+		Releases:         gs.Scorer.Releases,
+		Quarantined:      gs.Scorer.Quarantined,
+		DecodeErrors:     ts.DecodeErrors,
+		OversizedFrames:  ts.OversizedFrames,
+		ThrottledInbound: ts.ThrottledInbound,
+		Disconnects:      ts.Disconnects,
 	}
 	writeJSON(w, resp)
 }

@@ -1,7 +1,6 @@
 package tcptransport
 
 import (
-	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
@@ -40,6 +39,28 @@ type Config struct {
 	QueueLimit int
 	// PollInterval is AwaitStatus's polling period. Default 20ms.
 	PollInterval time.Duration
+	// MaxFrameBytes bounds the payload of one inbound wire frame; a peer
+	// declaring a bigger frame is disconnected before the payload is
+	// read. Default 1 MiB.
+	MaxFrameBytes int
+	// ReadIdleTimeout bounds how long an inbound connection may sit
+	// without completing a frame before it is closed (the remote writer
+	// redials on demand). Default 2m.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write; a stalled peer
+	// fails the attempt into the normal retry path instead of wedging
+	// the writer goroutine. Default 10s.
+	WriteTimeout time.Duration
+	// DecodeErrorBudget is how many malformed frames one inbound
+	// connection may deliver before it is disconnected. Default 8.
+	DecodeErrorBudget int
+	// InboundRate caps envelopes accepted per second on one inbound
+	// connection (token bucket; excess reads stall, letting TCP
+	// backpressure the sender). Default 2000.
+	InboundRate float64
+	// InboundBurst is the token-bucket depth for InboundRate.
+	// Default 4000.
+	InboundBurst int
 	// Faults optionally injects transport failures (tests and
 	// experiments). Nil disables injection.
 	Faults *Faults
@@ -82,6 +103,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 20 * time.Millisecond
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 1 << 20
+	}
+	if c.ReadIdleTimeout <= 0 {
+		c.ReadIdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.DecodeErrorBudget <= 0 {
+		c.DecodeErrorBudget = 8
+	}
+	if c.InboundRate <= 0 {
+		c.InboundRate = 2000
+	}
+	if c.InboundBurst <= 0 {
+		c.InboundBurst = 4000
 	}
 	return c
 }
@@ -145,6 +184,33 @@ func WithSink(s obs.Sink) Option {
 // Node.DrainTrace or GET /trace on the admin API.
 func WithTraceRing(capacity int) Option {
 	return func(c *Config) { c.TraceRing = capacity }
+}
+
+// WithMaxFrameBytes bounds inbound wire-frame payloads.
+func WithMaxFrameBytes(n int) Option {
+	return func(c *Config) { c.MaxFrameBytes = n }
+}
+
+// WithReadIdleTimeout bounds how long an inbound connection may idle.
+func WithReadIdleTimeout(d time.Duration) Option {
+	return func(c *Config) { c.ReadIdleTimeout = d }
+}
+
+// WithWriteTimeout bounds each outbound frame write.
+func WithWriteTimeout(d time.Duration) Option {
+	return func(c *Config) { c.WriteTimeout = d }
+}
+
+// WithDecodeErrorBudget sets how many malformed frames one inbound
+// connection may deliver before disconnection.
+func WithDecodeErrorBudget(n int) Option {
+	return func(c *Config) { c.DecodeErrorBudget = n }
+}
+
+// WithInboundRate caps per-connection inbound envelopes per second (with
+// the given token-bucket burst).
+func WithInboundRate(rate float64, burst int) Option {
+	return func(c *Config) { c.InboundRate, c.InboundBurst = rate, burst }
 }
 
 // Faults injects failures into the outbound delivery path so the
@@ -213,8 +279,8 @@ func (f *Faults) nextWrite() (drop, kill bool, delay time.Duration) {
 }
 
 // peerQueue is one peer's outbound mailbox plus the connection its
-// writer goroutine currently holds. The writer owns conn/enc; other
-// goroutines may only nil-and-close them under mu (connection kill),
+// writer goroutine currently holds. The writer owns conn; other
+// goroutines may only nil-and-close it under mu (connection kill),
 // which the writer observes as a failed write and repairs by
 // redialing.
 type peerQueue struct {
@@ -225,7 +291,6 @@ type peerQueue struct {
 	queue  []msg.Envelope
 	closed bool
 	conn   net.Conn
-	enc    *gob.Encoder
 }
 
 func newPeerQueue(addr string) *peerQueue {
@@ -276,7 +341,7 @@ func (pq *peerQueue) close() []msg.Envelope {
 	pq.closed = true
 	if pq.conn != nil {
 		pq.conn.Close()
-		pq.conn, pq.enc = nil, nil
+		pq.conn = nil
 	}
 	pending := pq.queue
 	pq.queue = nil
@@ -296,36 +361,34 @@ func (pq *peerQueue) killConn() bool {
 		return false
 	}
 	pq.conn.Close()
-	pq.conn, pq.enc = nil, nil
+	pq.conn = nil
 	return true
 }
 
-// current returns the connection/encoder pair the writer should use,
-// or nil if it must dial first.
-func (pq *peerQueue) current() (net.Conn, *gob.Encoder) {
+// current returns the connection the writer should use, or nil if it
+// must dial first.
+func (pq *peerQueue) current() net.Conn {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
-	return pq.conn, pq.enc
+	return pq.conn
 }
 
 // install stores a freshly dialed connection, closing any connection it
 // displaces (so a redial can never leak the old socket). It reports
 // false — and closes conn — if the queue already closed.
-func (pq *peerQueue) install(conn net.Conn) (*gob.Encoder, bool) {
+func (pq *peerQueue) install(conn net.Conn) bool {
 	pq.mu.Lock()
 	if pq.closed {
 		pq.mu.Unlock()
 		conn.Close()
-		return nil, false
+		return false
 	}
 	if pq.conn != nil && pq.conn != conn {
 		pq.conn.Close()
 	}
 	pq.conn = conn
-	pq.enc = gob.NewEncoder(conn)
-	enc := pq.enc
 	pq.mu.Unlock()
-	return enc, true
+	return true
 }
 
 // writeLoop drains one peer's queue for the life of the node.
@@ -351,6 +414,11 @@ func (n *Node) deliver(pq *peerQueue, env msg.Envelope) {
 		n.countDropped(env.Msg.Type())
 		return
 	}
+	frame, err := encodeFrame(w)
+	if err != nil {
+		n.countDropped(env.Msg.Type())
+		return
+	}
 	for attempt := 1; attempt <= n.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			n.countRetried(env.Msg.Type())
@@ -358,7 +426,7 @@ func (n *Node) deliver(pq *peerQueue, env msg.Envelope) {
 				break // node shutting down
 			}
 		}
-		if n.writeOnce(pq, &w) {
+		if n.writeOnce(pq, frame) {
 			return
 		}
 	}
@@ -392,19 +460,20 @@ func (n *Node) sleep(d time.Duration) bool {
 }
 
 // writeOnce performs one delivery attempt: ensure a connection, apply
-// fault injection, encode. It reports success; on failure the
-// connection is torn down so the next attempt redials.
-func (n *Node) writeOnce(pq *peerQueue, w *wireEnvelope) bool {
-	conn, enc := pq.current()
+// fault injection, write the frame under the write deadline. It reports
+// success; on failure the connection is torn down so the next attempt
+// redials.
+func (n *Node) writeOnce(pq *peerQueue, frame []byte) bool {
+	conn := pq.current()
 	if conn == nil {
 		c, err := net.DialTimeout("tcp", pq.addr, n.cfg.DialTimeout)
 		if err != nil {
 			return false
 		}
-		var ok bool
-		if enc, ok = pq.install(c); !ok {
+		if !pq.install(c) {
 			return false
 		}
+		conn = c
 	}
 	if f := n.cfg.Faults; f != nil {
 		drop, kill, delay := f.nextWrite()
@@ -420,7 +489,7 @@ func (n *Node) writeOnce(pq *peerQueue, w *wireEnvelope) bool {
 			defer pq.killConn()
 		}
 	}
-	if err := enc.Encode(w); err != nil {
+	if err := writeFrame(conn, frame, n.cfg.WriteTimeout); err != nil {
 		pq.killConn()
 		return false
 	}

@@ -2,7 +2,6 @@ package tcptransport
 
 import (
 	"context"
-	"encoding/gob"
 	"math/rand"
 	"net"
 	"sync"
@@ -48,10 +47,12 @@ func newEnvelopeSink(t *testing.T) *envelopeSink {
 				defer s.wg.Done()
 				defer s.live.Add(-1)
 				defer conn.Close()
-				dec := gob.NewDecoder(conn)
 				for {
-					var w wireEnvelope
-					if err := dec.Decode(&w); err != nil {
+					payload, err := readFrame(conn, 1<<20, 0)
+					if err != nil {
+						return
+					}
+					if _, err := decodeFrame(payload); err != nil {
 						return
 					}
 					s.received.Add(1)
@@ -171,7 +172,6 @@ func TestReadLoopSurvivesOutboundFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	enc := gob.NewEncoder(conn)
 
 	// From-ref advertises an address nobody listens on, so the seed's
 	// CpRly reply cannot be delivered.
@@ -180,7 +180,11 @@ func TestReadLoopSurvivesOutboundFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := enc.Encode(&rst); err != nil {
+	frame, err := encodeFrame(rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
 		t.Fatal(err)
 	}
 	awaitInt64(t, "first CpRst received", func() int64 {
@@ -195,7 +199,7 @@ func TestReadLoopSurvivesOutboundFailure(t *testing.T) {
 	}, 1)
 
 	// The same inbound connection must still be read from.
-	if err := enc.Encode(&rst); err != nil {
+	if _, err := conn.Write(frame); err != nil {
 		t.Fatalf("inbound connection torn down by unrelated send failure: %v", err)
 	}
 	awaitInt64(t, "second CpRst received", func() int64 {
@@ -375,10 +379,12 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 			}
 			go func() {
 				defer c.Close()
-				dec := gob.NewDecoder(c)
 				for {
-					var w wireEnvelope
-					if err := dec.Decode(&w); err != nil {
+					payload, err := readFrame(c, 1<<20, 0)
+					if err != nil {
+						return
+					}
+					if _, err := decodeFrame(payload); err != nil {
 						return
 					}
 					got.Add(1)

@@ -1,0 +1,87 @@
+package tcptransport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Connections carry length-prefixed frames — a 4-byte big-endian payload
+// length followed by one gob-encoded wireEnvelope — instead of a single
+// long-lived gob stream. Framing is what makes the inbound path
+// defensible: the reader knows a frame's size before decoding it (so an
+// oversized frame is rejected for the cost of 4 bytes), one undecodable
+// payload no longer poisons the whole stream (the next frame starts at a
+// known boundary, so malformed frames can be counted against a budget
+// instead of silently killing the connection), and read deadlines bound
+// how long a peer may stall mid-frame.
+
+// frameHeaderLen is the size of the length prefix.
+const frameHeaderLen = 4
+
+// errFrameTooBig marks a frame whose declared payload exceeds the
+// configured maximum: the reader disconnects without reading the payload.
+var errFrameTooBig = errors.New("tcptransport: frame exceeds size limit")
+
+// encodeFrame renders env as one wire frame, ready to write.
+func encodeFrame(env wireEnvelope) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen))
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return nil, fmt.Errorf("tcptransport: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:frameHeaderLen], uint32(len(b)-frameHeaderLen))
+	return b, nil
+}
+
+// writeFrame writes one pre-encoded frame under a write deadline (0
+// disables the deadline).
+func writeFrame(conn net.Conn, frame []byte, timeout time.Duration) error {
+	if timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+			return err
+		}
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	_, err := conn.Write(frame)
+	return err
+}
+
+// readFrame reads one frame payload, enforcing the size limit and an
+// idle deadline covering the whole frame (0 disables the deadline).
+// Oversized frames return errFrameTooBig without reading the payload.
+func readFrame(conn net.Conn, maxBytes int, idle time.Duration) ([]byte, error) {
+	if idle > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int64(n) > int64(maxBytes) {
+		return nil, errFrameTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// decodeFrame parses one frame payload back into a wireEnvelope.
+func decodeFrame(payload []byte) (wireEnvelope, error) {
+	var w wireEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&w); err != nil {
+		return wireEnvelope{}, fmt.Errorf("tcptransport: decode frame: %w", err)
+	}
+	return w, nil
+}

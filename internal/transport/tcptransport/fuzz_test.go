@@ -26,6 +26,34 @@ func FuzzDecodeWire(f *testing.F) {
 			f.Add(buf.Bytes())
 		}
 	}
+	// Seed the malformed classes the decoder must reject: out-of-range
+	// table coordinates and states, arbitrary Lo/Hi, hostile fill-vector
+	// lengths, oversized addresses, and an out-of-space ref.
+	hostile := []wireEnvelope{
+		{Kind: 2, From: wireRef{ID: "21233", Addr: "a"}, To: wireRef{ID: "33121", Addr: "b"},
+			HasTable: true, Table: wireTable{Owner: "21233", Lo: 0, Hi: 4,
+				Filled: []wireEntry{{Level: 99, Digit: 0, ID: "33121", State: 2}}}},
+		{Kind: 2, From: wireRef{ID: "21233"}, To: wireRef{ID: "33121"},
+			HasTable: true, Table: wireTable{Owner: "21233", Lo: 0, Hi: 4,
+				Filled: []wireEntry{{Level: 0, Digit: -3, ID: "33121", State: 2}}}},
+		{Kind: 2, From: wireRef{ID: "21233"}, To: wireRef{ID: "33121"},
+			HasTable: true, Table: wireTable{Owner: "21233", Lo: 0, Hi: 4,
+				Filled: []wireEntry{{Level: 0, Digit: 0, ID: "33121", State: 9}}}},
+		{Kind: 2, From: wireRef{ID: "21233"}, To: wireRef{ID: "33121"},
+			HasTable: true, Table: wireTable{Owner: "21233", Lo: -5, Hi: 700}},
+		{Kind: 5, From: wireRef{ID: "21233"}, To: wireRef{ID: "33121"},
+			Fill: []uint64{1, 2, 3}, FillLen: 1 << 30},
+		{Kind: 19, From: wireRef{ID: "21233"}, To: wireRef{ID: "33121"},
+			Fill: []uint64{1}, FillLen: -40},
+		{Kind: 1, From: wireRef{ID: "21233", Addr: string(make([]byte, 5000))}, To: wireRef{ID: "33121"}},
+		{Kind: 1, From: wireRef{ID: "99999"}, To: wireRef{ID: "33121"}},
+	}
+	for _, w := range hostile {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&w); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var w wireEnvelope
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {

@@ -2,7 +2,6 @@ package tcptransport
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -55,6 +54,15 @@ type Node struct {
 
 	statusPolls atomic.Int64 // diagnostic: Status() call count
 
+	// Inbound hardening counters (see readLoop): malformed frames,
+	// frames over the size limit, envelopes stalled by the inbound rate
+	// limiter, and connections dropped for exhausting the decode-error
+	// budget or declaring an oversized frame.
+	decodeErrors     atomic.Int64
+	oversizedFrames  atomic.Int64
+	throttledInbound atomic.Int64
+	guardDisconnects atomic.Int64
+
 	wg     sync.WaitGroup
 	done   chan struct{}
 	closed bool
@@ -101,6 +109,8 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	n.start = time.Now()
 	n.setupObs()
 	n.machine.SetSink(n.sink)
+	// Quarantine cooldowns age on wall time, not just liveness ticks.
+	n.machine.SetClock(func() time.Duration { return time.Since(n.start) })
 	if n.cfg.Liveness != nil {
 		n.prober = liveness.NewProber(*n.cfg.Liveness, ref)
 		n.prober.SetSink(n.sink)
@@ -142,6 +152,36 @@ func (n *Node) Counters() msg.Counters {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return *n.machine.Counters()
+}
+
+// GuardStats returns the machine's hostile-input counters (rejections,
+// quarantines, budget deferrals).
+func (n *Node) GuardStats() core.GuardStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.machine.GuardStats()
+}
+
+// TransportGuardStats are the inbound connection-hardening counters.
+type TransportGuardStats struct {
+	// DecodeErrors counts malformed frames; OversizedFrames frames over
+	// MaxFrameBytes; ThrottledInbound envelopes stalled by the inbound
+	// rate limiter; Disconnects connections dropped for exhausting the
+	// decode-error budget or declaring an oversized frame.
+	DecodeErrors     int64
+	OversizedFrames  int64
+	ThrottledInbound int64
+	Disconnects      int64
+}
+
+// TransportGuardStats returns the inbound hardening counters.
+func (n *Node) TransportGuardStats() TransportGuardStats {
+	return TransportGuardStats{
+		DecodeErrors:     n.decodeErrors.Load(),
+		OversizedFrames:  n.oversizedFrames.Load(),
+		ThrottledInbound: n.throttledInbound.Load(),
+		Disconnects:      n.guardDisconnects.Load(),
+	}
 }
 
 // Join starts the join protocol through the given bootstrap node. The
@@ -336,15 +376,55 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.peersMu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	budget := n.cfg.DecodeErrorBudget
+	// Per-connection token bucket: a peer pushing envelopes faster than
+	// InboundRate stalls here, which backpressures it through TCP instead
+	// of letting it monopolize the machine lock.
+	tokens := float64(n.cfg.InboundBurst)
+	last := time.Now()
 	for {
-		var w wireEnvelope
-		if err := dec.Decode(&w); err != nil {
-			return // connection closed or corrupted; peer will redial
-		}
-		env, err := decodeEnvelope(n.params, w)
+		payload, err := readFrame(conn, n.cfg.MaxFrameBytes, n.cfg.ReadIdleTimeout)
 		if err != nil {
-			return
+			if errors.Is(err, errFrameTooBig) {
+				n.oversizedFrames.Add(1)
+				n.guardDisconnects.Add(1)
+				n.emitTransport(obs.KindGuardDrop, "oversized frame")
+			}
+			return // closed, idle-timed-out, or oversized; peer redials
+		}
+		now := time.Now()
+		tokens += now.Sub(last).Seconds() * n.cfg.InboundRate
+		if max := float64(n.cfg.InboundBurst); tokens > max {
+			tokens = max
+		}
+		last = now
+		if tokens < 1 {
+			n.throttledInbound.Add(1)
+			wait := time.Duration((1 - tokens) / n.cfg.InboundRate * float64(time.Second))
+			if !n.sleep(wait) {
+				return
+			}
+			tokens = 1
+			last = time.Now()
+		}
+		tokens--
+		var env msg.Envelope
+		w, err := decodeFrame(payload)
+		if err == nil {
+			env, err = decodeEnvelope(n.params, w)
+		}
+		if err != nil {
+			// Frame boundaries survive a malformed payload, so charge the
+			// budget and keep reading instead of tearing down on the
+			// first bad frame.
+			n.decodeErrors.Add(1)
+			n.emitTransport(obs.KindGuardReject, "decode error")
+			if budget--; budget <= 0 {
+				n.guardDisconnects.Add(1)
+				n.emitTransport(obs.KindGuardDrop, "decode-error budget exhausted")
+				return
+			}
+			continue
 		}
 		if n.prober != nil {
 			t := env.Msg.Type()

@@ -200,4 +200,19 @@ func (n *Node) setupObs() {
 			}
 			return float64(total)
 		})
+	n.tobs.reg.GaugeFunc("hypercube_guard_rejected_total",
+		"Envelopes rejected by semantic validation.",
+		func() float64 { return float64(n.GuardStats().Rejected) })
+	n.tobs.reg.GaugeFunc("hypercube_guard_quarantined",
+		"Peers currently quarantined by the misbehavior scorer.",
+		func() float64 { return float64(n.GuardStats().Scorer.Quarantined) })
+	n.tobs.reg.GaugeFunc("hypercube_inbound_decode_errors_total",
+		"Malformed inbound frames (counted against the per-connection budget).",
+		func() float64 { return float64(n.decodeErrors.Load()) })
+	n.tobs.reg.GaugeFunc("hypercube_inbound_throttled_total",
+		"Inbound envelopes stalled by the per-connection rate limiter.",
+		func() float64 { return float64(n.throttledInbound.Load()) })
+	n.tobs.reg.GaugeFunc("hypercube_guard_disconnects_total",
+		"Inbound connections dropped for oversized frames or exhausted decode budgets.",
+		func() float64 { return float64(n.guardDisconnects.Load()) })
 }

@@ -26,6 +26,10 @@ func encodeRef(r table.Ref) wireRef {
 	return wireRef{ID: r.ID.String(), Addr: r.Addr}
 }
 
+// maxWireAddr bounds any transport address accepted off the wire;
+// addresses are host:port strings, so anything longer is hostile.
+const maxWireAddr = 256
+
 func decodeRef(p id.Params, w wireRef) (table.Ref, error) {
 	if w.ID == "" {
 		return table.Ref{}, nil
@@ -33,6 +37,9 @@ func decodeRef(p id.Params, w wireRef) (table.Ref, error) {
 	x, err := id.Parse(p, w.ID)
 	if err != nil {
 		return table.Ref{}, fmt.Errorf("tcptransport: bad ref: %w", err)
+	}
+	if len(w.Addr) > maxWireAddr {
+		return table.Ref{}, fmt.Errorf("tcptransport: ref address of %d bytes exceeds %d", len(w.Addr), maxWireAddr)
 	}
 	return table.Ref{ID: x, Addr: w.Addr}, nil
 }
@@ -71,8 +78,20 @@ func decodeTable(p id.Params, w wireTable) (table.Snapshot, error) {
 	if err != nil {
 		return table.Snapshot{}, fmt.Errorf("tcptransport: bad table owner: %w", err)
 	}
+	if len(w.Filled) > p.D*p.B {
+		return table.Snapshot{}, fmt.Errorf("tcptransport: table with %d entries exceeds %d", len(w.Filled), p.D*p.B)
+	}
 	entries := make(map[[2]int]table.Neighbor, len(w.Filled))
 	for _, e := range w.Filled {
+		if e.Level < 0 || e.Level >= p.D || e.Digit < 0 || e.Digit >= p.B {
+			return table.Snapshot{}, fmt.Errorf("tcptransport: table entry (%d,%d) out of range", e.Level, e.Digit)
+		}
+		if s := table.State(e.State); s != table.StateT && s != table.StateS {
+			return table.Snapshot{}, fmt.Errorf("tcptransport: table entry (%d,%d) has invalid state %d", e.Level, e.Digit, e.State)
+		}
+		if len(e.Addr) > maxWireAddr {
+			return table.Snapshot{}, fmt.Errorf("tcptransport: table entry (%d,%d) address of %d bytes exceeds %d", e.Level, e.Digit, len(e.Addr), maxWireAddr)
+		}
 		x, err := id.Parse(p, e.ID)
 		if err != nil {
 			return table.Snapshot{}, fmt.Errorf("tcptransport: bad table entry: %w", err)
@@ -80,6 +99,22 @@ func decodeTable(p id.Params, w wireTable) (table.Snapshot, error) {
 		entries[[2]int{e.Level, e.Digit}] = table.Neighbor{ID: x, Addr: e.Addr, State: table.State(e.State)}
 	}
 	return table.NewSnapshot(p, owner, w.Lo, w.Hi, entries)
+}
+
+// decodeFill validates a wire bit vector: a hostile FillLen would
+// otherwise size an allocation, and a fill vector is only ever the d×b
+// table-fill bitmap.
+func decodeFill(p id.Params, words []uint64, n int) (table.BitVector, error) {
+	if n <= 0 {
+		return table.BitVector{}, nil
+	}
+	if n > p.D*p.B {
+		return table.BitVector{}, fmt.Errorf("tcptransport: fill vector of %d bits exceeds %d", n, p.D*p.B)
+	}
+	if want := (n + 63) / 64; len(words) > want {
+		return table.BitVector{}, fmt.Errorf("tcptransport: fill vector carries %d words, want at most %d", len(words), want)
+	}
+	return table.BitVectorFromWords(words, n), nil
 }
 
 // wireEnvelope is the single frame type exchanged on connections.
@@ -226,8 +261,8 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 		env.Msg = msg.JoinWaitRly{R: msg.Result(w.R), U: u, Table: snap}
 	case msg.TJoinNoti:
 		m := msg.JoinNoti{Table: snap, NotiLevel: w.NotiLevel}
-		if w.FillLen > 0 {
-			m.FillVector = table.BitVectorFromWords(w.Fill, w.FillLen)
+		if m.FillVector, err = decodeFill(p, w.Fill, w.FillLen); err != nil {
+			return msg.Envelope{}, err
 		}
 		env.Msg = m
 	case msg.TJoinNotiRly:
@@ -308,14 +343,14 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 		env.Msg = msg.FailedNoti{Failed: failed}
 	case msg.TSyncReq:
 		m := msg.SyncReq{}
-		if w.FillLen > 0 {
-			m.Fill = table.BitVectorFromWords(w.Fill, w.FillLen)
+		if m.Fill, err = decodeFill(p, w.Fill, w.FillLen); err != nil {
+			return msg.Envelope{}, err
 		}
 		env.Msg = m
 	case msg.TSyncRly:
 		m := msg.SyncRly{Table: snap}
-		if w.FillLen > 0 {
-			m.Fill = table.BitVectorFromWords(w.Fill, w.FillLen)
+		if m.Fill, err = decodeFill(p, w.Fill, w.FillLen); err != nil {
+			return msg.Envelope{}, err
 		}
 		env.Msg = m
 	case msg.TSyncPush:
