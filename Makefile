@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench vet fmt lint cover experiments trace-smoke fuzz-smoke
+.PHONY: all build test race bench bench-wire vet fmt lint cover experiments trace-smoke fuzz-smoke
 
 all: build lint test fuzz-smoke
 
@@ -20,6 +20,14 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# bench-wire pins the wire-codec suite (binary vs gob encode/decode plus
+# frame coalescing) and records ns/op, B/op, allocs/op, and bytes-on-wire
+# into BENCH_wire.json for regression comparison across PRs.
+bench-wire:
+	$(GO) test -run '^$$' -bench 'BenchmarkWire|BenchmarkFrame' -benchmem \
+		./internal/transport/tcptransport | tee /tmp/bench_wire.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_wire.txt > BENCH_wire.json
 
 vet:
 	$(GO) vet ./...
@@ -60,6 +68,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse$$ -fuzztime $(FUZZTIME) ./internal/id
 	$(GO) test -run '^$$' -fuzz FuzzParseSuffix -fuzztime $(FUZZTIME) ./internal/id
 	$(GO) test -run '^$$' -fuzz FuzzDecodeWire -fuzztime $(FUZZTIME) ./internal/transport/tcptransport
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/transport/tcptransport
+	$(GO) test -run '^$$' -fuzz FuzzBinaryDecode -fuzztime $(FUZZTIME) ./internal/wire
 	$(GO) test -run '^$$' -fuzz FuzzMachineDeliver -fuzztime $(FUZZTIME) ./internal/core
 
 # trace-smoke proves the tracing pipeline end to end: a 16-node overlay

@@ -84,6 +84,9 @@ func run() error {
 		queue    = flag.Int("queue-limit", 0, "per-peer outbound queue bound")
 
 		// Hostile-input hardening knobs (0 keeps the transport default).
+		codecName  = flag.String("codec", "binary", "outbound frame codec: binary or gob (inbound auto-detects; gob is a one-release fallback)")
+		flushDelay = flag.Duration("flush-delay", 0, "how long a peer's writer lingers to coalesce envelopes into one frame (0 = flush immediately)")
+
 		maxFrame     = flag.Int("max-frame", 0, "largest accepted inbound wire frame in bytes")
 		decodeBudget = flag.Int("decode-budget", 0, "malformed frames tolerated per connection before disconnect")
 		inRate       = flag.Float64("inbound-rate", 0, "per-connection inbound envelopes per second")
@@ -149,7 +152,19 @@ func run() error {
 		sinks = append(sinks, obs.NewSlogSink(log))
 	}
 
+	var codec tcptransport.Codec
+	switch *codecName {
+	case "binary":
+		codec = tcptransport.CodecBinary
+	case "gob":
+		codec = tcptransport.CodecGob
+	default:
+		return fmt.Errorf("-codec: unknown codec %q (want binary or gob)", *codecName)
+	}
+
 	options := []tcptransport.Option{tcptransport.WithConfig(tcptransport.Config{
+		Codec:             codec,
+		FlushDelay:        *flushDelay,
 		MaxAttempts:       *attempts,
 		BaseBackoff:       *backoff,
 		MaxBackoff:        *maxBack,

@@ -314,6 +314,56 @@ func MustParseSuffix(p Params, s string) Suffix {
 	return sf
 }
 
+// AppendRawDigits appends the ID's raw digit bytes to dst (index 0 =
+// rightmost digit, one byte per digit, values in [0,b)) and returns the
+// extended slice. It is the allocation-free wire form used by the binary
+// codec; FromRawDigits is its inverse. The null ID appends nothing.
+func (x ID) AppendRawDigits(dst []byte) []byte {
+	return append(dst, x.digits...)
+}
+
+// FromRawDigits rebuilds an ID from the raw digit bytes produced by
+// AppendRawDigits, validating length and digit range against p. Unlike
+// Parse it works on wire-order digits (index 0 = rightmost) and never
+// touches the printable form.
+func FromRawDigits(p Params, raw []byte) (ID, error) {
+	if err := p.Validate(); err != nil {
+		return Null, err
+	}
+	if len(raw) != p.D {
+		return Null, fmt.Errorf("%w: %d raw digits, want %d", errParse, len(raw), p.D)
+	}
+	for i, v := range raw {
+		if int(v) >= p.B {
+			return Null, fmt.Errorf("%w: raw digit %d at index %d out of range for base %d", errParse, v, i, p.B)
+		}
+	}
+	return ID{digits: string(raw)}, nil
+}
+
+// AppendRawDigits appends the suffix's raw digit bytes to dst (index 0 =
+// rightmost digit), the wire form inverted by SuffixFromRawDigits.
+func (s Suffix) AppendRawDigits(dst []byte) []byte {
+	return append(dst, s.digits...)
+}
+
+// SuffixFromRawDigits rebuilds a Suffix from raw wire-order digit bytes,
+// validating length (at most D) and digit range against p.
+func SuffixFromRawDigits(p Params, raw []byte) (Suffix, error) {
+	if err := p.Validate(); err != nil {
+		return EmptySuffix, err
+	}
+	if len(raw) > p.D {
+		return EmptySuffix, fmt.Errorf("%w: suffix of %d raw digits longer than %d", errParse, len(raw), p.D)
+	}
+	for i, v := range raw {
+		if int(v) >= p.B {
+			return EmptySuffix, fmt.Errorf("%w: raw suffix digit %d at index %d out of range for base %d", errParse, v, i, p.B)
+		}
+	}
+	return Suffix{digits: string(raw)}, nil
+}
+
 // FromDigits builds an ID from a digit slice with index 0 = rightmost
 // digit. The slice is copied; it must have exactly D digits in range.
 func FromDigits(p Params, digits []int) (ID, error) {

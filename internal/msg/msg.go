@@ -73,6 +73,10 @@ const (
 	numTypes = int(TSyncPush)
 )
 
+// NumTypes is the number of defined message types; valid Type values are
+// 1..NumTypes. Codecs use it to bound kind bytes read off the wire.
+const NumTypes = numTypes
+
 var typeNames = [...]string{
 	TCpRst:        "CpRstMsg",
 	TCpRly:        "CpRlyMsg",

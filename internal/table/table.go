@@ -438,6 +438,27 @@ func (v BitVector) Words() []uint64 {
 	return out
 }
 
+// WordCount returns the number of 64-bit words backing the vector,
+// always ⌈Len/64⌉. With Word it gives codecs allocation-free access to
+// the wire representation (Words copies).
+func (v BitVector) WordCount() int { return len(v.bits) }
+
+// Word returns the i-th backing word (bits 64i..64i+63, LSB first).
+func (v BitVector) Word(i int) uint64 { return v.bits[i] }
+
+// SetWord stores the i-th backing word, the decode-side counterpart of
+// Word. Bits beyond Len in the final word are masked off so a hostile
+// word can never make a vector carry phantom bits.
+func (v BitVector) SetWord(i int, w uint64) {
+	if i < 0 || i >= len(v.bits) {
+		panic(fmt.Sprintf("table: word %d out of range %d", i, len(v.bits)))
+	}
+	if i == len(v.bits)-1 && v.n%64 != 0 {
+		w &= (1 << (v.n % 64)) - 1
+	}
+	v.bits[i] = w
+}
+
 // Len returns the number of bits.
 func (v BitVector) Len() int { return v.n }
 

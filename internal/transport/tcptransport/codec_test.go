@@ -1,0 +1,321 @@
+package tcptransport
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+	"hypercube/internal/wire"
+)
+
+// codecSampleEnvelopes builds one envelope per message kind (plus edge
+// shapes) under p85, for differential gob-vs-binary testing.
+var p85 = id.Params{B: 8, D: 5}
+
+func codecSampleEnvelopes(t testing.TB) []msg.Envelope {
+	t.Helper()
+	p := p85
+	owner := id.MustParse(p, "21233")
+	tbl := table.New(p, owner)
+	tbl.Set(0, 1, table.Neighbor{ID: id.MustParse(p, "33121"), Addr: "127.0.0.1:9", State: table.StateS})
+	tbl.Set(3, 0, table.Neighbor{ID: id.MustParse(p, "40233"), Addr: "127.0.0.1:8", State: table.StateT})
+	snap := tbl.Snapshot()
+	refA := table.Ref{ID: owner, Addr: "127.0.0.1:1"}
+	refB := table.Ref{ID: id.MustParse(p, "33121"), Addr: "127.0.0.1:2"}
+	fill := tbl.FillVector()
+
+	messages := []msg.Message{
+		msg.CpRst{Level: 3},
+		msg.CpRly{Table: snap},
+		msg.JoinWait{},
+		msg.JoinWaitRly{R: msg.Negative, U: refB, Table: snap},
+		msg.JoinNoti{Table: snap, NotiLevel: 2, FillVector: fill},
+		msg.JoinNoti{Table: snap},
+		msg.JoinNotiRly{R: msg.Positive, F: true, Table: snap},
+		msg.InSysNoti{},
+		msg.SpeNoti{X: refA, Y: refB},
+		msg.SpeNotiRly{X: refA, Y: refB},
+		msg.RvNghNoti{Level: 2, Digit: 5, State: table.StateT},
+		msg.RvNghNotiRly{Level: 2, Digit: 5, State: table.StateS},
+		msg.Leave{Table: snap},
+		msg.LeaveRly{},
+		msg.Find{Want: id.MustParseSuffix(p, "233"), Origin: refA, Avoid: id.MustParse(p, "40233")},
+		msg.Find{Want: id.EmptySuffix, Origin: refA},
+		msg.FindRly{Want: id.MustParseSuffix(p, "233"), Found: table.Neighbor{ID: id.MustParse(p, "40233"), Addr: "a:1", State: table.StateS}},
+		msg.FindRly{Want: id.MustParseSuffix(p, "233"), Blocked: true},
+		msg.Ping{Seq: 42, Origin: refA},
+		msg.Ping{Seq: 43, Origin: refA, Target: refB},
+		msg.Pong{Seq: 42},
+		msg.FailedNoti{Failed: refB},
+		msg.SyncReq{Fill: fill},
+		msg.SyncReq{},
+		msg.SyncRly{Table: snap, Fill: fill},
+		msg.SyncPush{Table: snap},
+	}
+	envs := make([]msg.Envelope, len(messages))
+	for i, m := range messages {
+		envs[i] = msg.Envelope{From: refA, To: refB, Msg: m}
+	}
+	return envs
+}
+
+// The binary codec must decode every envelope to exactly the value the
+// gob codec decodes it to: same refs, same message, same table contents.
+// This is the differential guarantee that swapping codecs cannot change
+// protocol behavior.
+func TestCodecGobBinaryEquivalence(t *testing.T) {
+	for _, env := range codecSampleEnvelopes(t) {
+		gobPayload, err := EncodeGobPayload(env)
+		if err != nil {
+			t.Fatalf("%v: gob encode: %v", env.Msg.Type(), err)
+		}
+		viaGob, err := DecodeGobPayload(p85, gobPayload)
+		if err != nil {
+			t.Fatalf("%v: gob decode: %v", env.Msg.Type(), err)
+		}
+		binPayload, err := wire.EncodePayload(p85, env)
+		if err != nil {
+			t.Fatalf("%v: binary encode: %v", env.Msg.Type(), err)
+		}
+		viaBin, err := wire.DecodeOne(p85, binPayload)
+		if err != nil {
+			t.Fatalf("%v: binary decode: %v", env.Msg.Type(), err)
+		}
+		if !reflect.DeepEqual(viaGob, viaBin) {
+			t.Errorf("%v: codecs disagree\n gob: %#v\n bin: %#v", env.Msg.Type(), viaGob, viaBin)
+		}
+	}
+}
+
+// Regression: a fill vector carrying fewer words than its bit length
+// requires was silently zero-extended, so a truncated (or hostile)
+// bitmap decoded as "mostly empty". The gob boundary must demand the
+// exact word count.
+func TestDecodeFillExactWordCount(t *testing.T) {
+	base := wireEnvelope{
+		Kind: uint8(msg.TSyncReq),
+		From: wireRef{ID: "21233", Addr: "a"},
+		To:   wireRef{ID: "33121", Addr: "b"},
+	}
+	under := base
+	under.Fill, under.FillLen = nil, 40 // needs 1 word, carries none
+	if _, err := decodeEnvelope(p85, under); err == nil {
+		t.Error("under-length fill vector accepted")
+	}
+	over := base
+	over.Fill, over.FillLen = []uint64{1, 2}, 40 // needs 1 word
+	if _, err := decodeEnvelope(p85, over); err == nil {
+		t.Error("over-length fill vector accepted")
+	}
+	exact := base
+	exact.Fill, exact.FillLen = []uint64{5}, 40
+	env, err := decodeEnvelope(p85, exact)
+	if err != nil {
+		t.Fatalf("exact fill vector rejected: %v", err)
+	}
+	if got := env.Msg.(msg.SyncReq).Fill; got.Len() != 40 || got.Count() != 2 {
+		t.Fatalf("fill vector corrupted: len=%d count=%d", got.Len(), got.Count())
+	}
+}
+
+// Regression: FindRly.Found skipped the address-length and state checks
+// every other wire neighbor gets, letting a hostile peer plant an
+// unbounded address or invalid state via the find path.
+func TestDecodeFindRlyValidatesFound(t *testing.T) {
+	base := wireEnvelope{
+		Kind: uint8(msg.TFindRly),
+		From: wireRef{ID: "21233", Addr: "a"},
+		To:   wireRef{ID: "33121", Addr: "b"},
+		Want: "233",
+	}
+	huge := base
+	huge.Found = wireEntry{ID: "40233", Addr: strings.Repeat("x", maxWireAddr+1), State: uint8(table.StateS)}
+	if _, err := decodeEnvelope(p85, huge); err == nil {
+		t.Error("oversized found address accepted")
+	}
+	badState := base
+	badState.Found = wireEntry{ID: "40233", Addr: "a:1", State: 9}
+	if _, err := decodeEnvelope(p85, badState); err == nil {
+		t.Error("invalid found state accepted")
+	}
+	good := base
+	good.Found = wireEntry{ID: "40233", Addr: "a:1", State: uint8(table.StateS)}
+	if _, err := decodeEnvelope(p85, good); err != nil {
+		t.Errorf("valid found entry rejected: %v", err)
+	}
+}
+
+// frameSink is a raw TCP listener that counts frames and the envelopes
+// they carry, and records the largest payload seen — the receiving-side
+// instrument for coalescing assertions.
+type frameSink struct {
+	ln        net.Listener
+	frames    atomic.Int64
+	envelopes atomic.Int64
+	coalesced atomic.Int64 // frames carrying >1 envelope
+	maxSeen   atomic.Int64 // largest payload in bytes
+	wg        sync.WaitGroup
+}
+
+func newFrameSink(t *testing.T) *frameSink {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &frameSink{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				for {
+					payload, isBinary, err := readFrame(conn, 1<<20, 0)
+					if err != nil {
+						return
+					}
+					cnt, err := countFrameEnvelopes(payload, isBinary)
+					if err != nil {
+						return
+					}
+					s.frames.Add(1)
+					s.envelopes.Add(int64(cnt))
+					if cnt > 1 {
+						s.coalesced.Add(1)
+					}
+					for {
+						old := s.maxSeen.Load()
+						if int64(len(payload)) <= old || s.maxSeen.CompareAndSwap(old, int64(len(payload))) {
+							break
+						}
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.wg.Wait()
+	})
+	return s
+}
+
+// With a flush delay, a burst of envelopes to one peer must coalesce
+// into far fewer frames than envelopes — and all of them must arrive.
+func TestCoalescingBatchesEnvelopes(t *testing.T) {
+	sink := newFrameSink(t)
+	n, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "a07"), "127.0.0.1:0",
+		WithFlushDelay(40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	to := table.Ref{ID: id.MustParse(p163, "f07"), Addr: sink.ln.Addr().String()}
+	const burst = 50
+	envs := make([]msg.Envelope, burst)
+	for i := range envs {
+		envs[i] = msg.Envelope{From: n.Ref(), To: to, Msg: msg.JoinWait{}}
+	}
+	if err := n.sendAll(envs); err != nil {
+		t.Fatal(err)
+	}
+	awaitInt64(t, "coalesced envelopes", sink.envelopes.Load, burst)
+	if f := sink.frames.Load(); f >= burst/2 {
+		t.Errorf("burst of %d envelopes used %d frames; want real coalescing", burst, f)
+	}
+	if sink.coalesced.Load() == 0 {
+		t.Error("no frame carried more than one envelope")
+	}
+}
+
+// The coalescer must respect MaxFrameBytes by construction: frames stop
+// growing before the limit, never after it.
+func TestCoalescerRespectsMaxFrameBytes(t *testing.T) {
+	sink := newFrameSink(t)
+	const limit = 512
+	n, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "a08"), "127.0.0.1:0",
+		WithFlushDelay(40*time.Millisecond), WithMaxFrameBytes(limit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	// Table-carrying envelopes big enough that only a few fit per frame.
+	tbl := table.New(p163, n.Ref().ID)
+	tbl.Set(0, 1, table.Neighbor{ID: id.MustParse(p163, "111"), Addr: "127.0.0.1:19001", State: table.StateS})
+	tbl.Set(1, 2, table.Neighbor{ID: id.MustParse(p163, "221"), Addr: "127.0.0.1:19002", State: table.StateT})
+	tbl.Set(2, 3, table.Neighbor{ID: id.MustParse(p163, "3bc"), Addr: "127.0.0.1:19003", State: table.StateS})
+	snap := tbl.Snapshot()
+	to := table.Ref{ID: id.MustParse(p163, "f08"), Addr: sink.ln.Addr().String()}
+	const burst = 30
+	envs := make([]msg.Envelope, burst)
+	for i := range envs {
+		envs[i] = msg.Envelope{From: n.Ref(), To: to, Msg: msg.SyncPush{Table: snap}}
+	}
+	if err := n.sendAll(envs); err != nil {
+		t.Fatal(err)
+	}
+	awaitInt64(t, "bounded-frame envelopes", sink.envelopes.Load, burst)
+	if got := sink.maxSeen.Load(); got > limit {
+		t.Errorf("frame payload of %d bytes exceeds MaxFrameBytes %d", got, limit)
+	}
+	if sink.coalesced.Load() == 0 {
+		t.Error("no frame carried more than one envelope (bound test proved nothing)")
+	}
+}
+
+func joinPair(t *testing.T, seedOpts, joinerOpts []Option) {
+	t.Helper()
+	seed, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "abc"), "127.0.0.1:0", seedOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	joiner, err := StartJoiner(p163, core.Options{}, id.MustParse(p163, "123"), "127.0.0.1:0", joinerOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+	if err := joiner.Join(seed.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := joiner.AwaitStatus(ctx, core.StatusInSystem); err != nil {
+		t.Fatal(err)
+	}
+	k := seed.Ref().ID.CommonSuffixLen(joiner.Ref().ID)
+	if got := joiner.Snapshot().Get(k, seed.Ref().ID.Digit(k)); got.ID != seed.Ref().ID {
+		t.Errorf("joiner's table lacks seed: %+v", got)
+	}
+	waitForEntry(t, seed, k, joiner.Ref().ID.Digit(k), joiner.Ref().ID)
+}
+
+// A gob-codec node and a binary-codec node must interoperate: the frame
+// header's codec bit lets each receiver auto-detect what the other
+// sends.
+func TestMixedCodecJoin(t *testing.T) {
+	joinPair(t, []Option{WithCodec(CodecGob)}, nil)
+}
+
+// The gob fallback must still work end to end on both sides.
+func TestGobCodecJoin(t *testing.T) {
+	joinPair(t, []Option{WithCodec(CodecGob)}, []Option{WithCodec(CodecGob)})
+}

@@ -11,7 +11,30 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/wire"
 )
+
+// Codec selects the outbound frame payload encoding. Inbound frames are
+// always auto-detected from the frame header, so nodes running different
+// codecs interoperate in both directions.
+type Codec uint8
+
+const (
+	// CodecBinary is the hand-rolled zero-alloc binary codec
+	// (internal/wire): versioned, canonical, multi-envelope frames. The
+	// default.
+	CodecBinary Codec = iota
+	// CodecGob is the legacy reflection-based gob codec, one envelope
+	// per frame. Kept for one release as a fallback (-codec gob).
+	CodecGob
+)
+
+func (c Codec) String() string {
+	if c == CodecGob {
+		return "gob"
+	}
+	return "binary"
+}
 
 // Config tunes the reliable-delivery layer. The zero value is usable:
 // every field falls back to the default documented on it.
@@ -61,6 +84,15 @@ type Config struct {
 	// InboundBurst is the token-bucket depth for InboundRate.
 	// Default 4000.
 	InboundBurst int
+	// Codec selects the outbound payload encoding. Default CodecBinary;
+	// inbound frames are auto-detected regardless.
+	Codec Codec
+	// FlushDelay is how long a peer's writer lingers after its first
+	// pending envelope to coalesce more envelopes into the same frame
+	// (binary codec only; each frame stays within MaxFrameBytes and
+	// wire.MaxBatch). 0 — the default — still drains whatever is already
+	// queued into one frame, it just never waits for more.
+	FlushDelay time.Duration
 	// Faults optionally injects transport failures (tests and
 	// experiments). Nil disables injection.
 	Faults *Faults
@@ -156,6 +188,17 @@ func WithQueueLimit(n int) Option {
 // WithPollInterval sets AwaitStatus's polling period.
 func WithPollInterval(d time.Duration) Option {
 	return func(c *Config) { c.PollInterval = d }
+}
+
+// WithCodec selects the outbound payload encoding.
+func WithCodec(codec Codec) Option {
+	return func(c *Config) { c.Codec = codec }
+}
+
+// WithFlushDelay sets how long a peer's writer lingers to coalesce more
+// envelopes into one frame.
+func WithFlushDelay(d time.Duration) Option {
+	return func(c *Config) { c.FlushDelay = d }
 }
 
 // WithFaults installs a fault injector.
@@ -311,19 +354,40 @@ func (pq *peerQueue) push(env msg.Envelope, limit int) bool {
 	return true
 }
 
-// pop blocks until an envelope is available or the queue closes.
-func (pq *peerQueue) pop() (msg.Envelope, bool) {
+// popBatch blocks until at least one envelope is pending (or the queue
+// closes), then moves up to max envelopes into dst without further
+// blocking. It reports false once the queue is closed and empty.
+func (pq *peerQueue) popBatch(dst []msg.Envelope, max int) ([]msg.Envelope, bool) {
 	pq.mu.Lock()
 	defer pq.mu.Unlock()
 	for len(pq.queue) == 0 && !pq.closed {
 		pq.cond.Wait()
 	}
 	if len(pq.queue) == 0 {
-		return msg.Envelope{}, false
+		return dst, false
 	}
-	env := pq.queue[0]
-	pq.queue = pq.queue[1:]
-	return env, true
+	return pq.moveLocked(dst, max), true
+}
+
+// drainInto moves whatever is already queued into dst, up to max total,
+// without blocking.
+func (pq *peerQueue) drainInto(dst []msg.Envelope, max int) []msg.Envelope {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	return pq.moveLocked(dst, max)
+}
+
+func (pq *peerQueue) moveLocked(dst []msg.Envelope, max int) []msg.Envelope {
+	n := len(pq.queue)
+	if n > max-len(dst) {
+		n = max - len(dst)
+	}
+	if n <= 0 {
+		return dst
+	}
+	dst = append(dst, pq.queue[:n]...)
+	pq.queue = pq.queue[n:]
+	return dst
 }
 
 // depth returns how many envelopes are waiting in the queue.
@@ -391,22 +455,106 @@ func (pq *peerQueue) install(conn net.Conn) bool {
 	return true
 }
 
-// writeLoop drains one peer's queue for the life of the node.
+// writeLoop drains one peer's queue for the life of the node. Each
+// round grabs every envelope already pending (up to wire.MaxBatch),
+// optionally lingers FlushDelay to let more arrive, and hands the batch
+// to the codec-specific delivery path.
 func (n *Node) writeLoop(pq *peerQueue) {
 	defer n.wg.Done()
+	batch := make([]msg.Envelope, 0, wire.MaxBatch)
 	for {
-		env, ok := pq.pop()
+		var ok bool
+		batch, ok = pq.popBatch(batch[:0], wire.MaxBatch)
 		if !ok {
 			return
 		}
-		n.deliver(pq, env)
+		if d := n.cfg.FlushDelay; d > 0 && n.cfg.Codec == CodecBinary && len(batch) < wire.MaxBatch {
+			// Linger to coalesce: envelopes arriving within the window
+			// ride in the same frame instead of paying per-frame framing
+			// and syscall costs. Shutdown mid-linger just delivers what
+			// we already hold.
+			n.sleep(d)
+			batch = pq.drainInto(batch, wire.MaxBatch)
+		}
+		n.deliverBatch(pq, batch)
 	}
 }
 
-// deliver makes up to MaxAttempts tries at writing env to its peer,
-// redialing as needed, backing off exponentially (with jitter) between
-// tries. Exhausted envelopes are dead-lettered into the node's
-// counters.
+// framePool recycles outbound frame buffers across flushes so the
+// steady-state binary encode path allocates nothing.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+// deliverBatch writes one batch of envelopes to the peer. Under the
+// binary codec, envelopes are coalesced greedily into multi-envelope
+// frames: a frame is flushed when appending the next envelope would push
+// its payload past MaxFrameBytes (so every coalesced frame respects the
+// receiver's limit by construction) or when it reaches wire.MaxBatch
+// records. Under the gob codec each envelope travels in its own frame,
+// exactly as before.
+func (n *Node) deliverBatch(pq *peerQueue, batch []msg.Envelope) {
+	if n.cfg.Codec == CodecGob {
+		for _, env := range batch {
+			n.deliver(pq, env)
+		}
+		return
+	}
+	bufp := framePool.Get().(*[]byte)
+	frame := (*bufp)[:0]
+	kinds := make([]msg.Type, 0, len(batch))
+	flush := func() {
+		if len(kinds) == 0 {
+			return
+		}
+		wire.SetCount(frame[frameHeaderLen:], len(kinds))
+		if err := finishBinaryFrame(frame); err != nil {
+			for _, t := range kinds {
+				n.countDropped(t)
+			}
+		} else {
+			n.sendFrame(pq, frame, kinds)
+		}
+		frame = frame[:0]
+		kinds = kinds[:0]
+	}
+	for _, env := range batch {
+		if len(frame) == 0 {
+			frame = append(frame, make([]byte, frameHeaderLen)...)
+			frame = wire.AppendHeader(frame)
+		}
+		mark := len(frame)
+		next, err := wire.AppendEnvelope(frame, n.params, env)
+		if err != nil {
+			// Unencodable message: retrying cannot help.
+			n.countDropped(env.Msg.Type())
+			continue
+		}
+		if len(next)-frameHeaderLen > n.cfg.MaxFrameBytes && len(kinds) > 0 {
+			// Doesn't fit alongside the others: flush what we have and
+			// re-append into a fresh frame. A lone envelope bigger than
+			// MaxFrameBytes still ships in its own frame (the receiver's
+			// limit, not ours, judges it — same as the gob path).
+			frame = next[:mark]
+			flush()
+			frame = append(frame, make([]byte, frameHeaderLen)...)
+			frame = wire.AppendHeader(frame)
+			if next, err = wire.AppendEnvelope(frame, n.params, env); err != nil {
+				n.countDropped(env.Msg.Type())
+				continue
+			}
+		}
+		frame = next
+		kinds = append(kinds, env.Msg.Type())
+		if len(kinds) == wire.MaxBatch {
+			flush()
+		}
+	}
+	flush()
+	*bufp = frame[:0]
+	framePool.Put(bufp)
+}
+
+// deliver writes one envelope in its own gob frame (the legacy codec
+// path).
 func (n *Node) deliver(pq *peerQueue, env msg.Envelope) {
 	w, err := encodeEnvelope(env)
 	if err != nil {
@@ -419,9 +567,21 @@ func (n *Node) deliver(pq *peerQueue, env msg.Envelope) {
 		n.countDropped(env.Msg.Type())
 		return
 	}
+	kind := [1]msg.Type{env.Msg.Type()}
+	n.sendFrame(pq, frame, kind[:])
+}
+
+// sendFrame makes up to MaxAttempts tries at writing one pre-encoded
+// frame, redialing as needed, backing off exponentially (with jitter)
+// between tries. Retries and exhaustion are counted once per envelope
+// the frame carries; exhausted envelopes are dead-lettered into the
+// node's counters.
+func (n *Node) sendFrame(pq *peerQueue, frame []byte, kinds []msg.Type) {
 	for attempt := 1; attempt <= n.cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			n.countRetried(env.Msg.Type())
+			for _, t := range kinds {
+				n.countRetried(t)
+			}
 			if !n.sleep(n.backoff(attempt - 1)) {
 				break // node shutting down
 			}
@@ -430,7 +590,9 @@ func (n *Node) deliver(pq *peerQueue, env msg.Envelope) {
 			return
 		}
 	}
-	n.countDropped(env.Msg.Type())
+	for _, t := range kinds {
+		n.countDropped(t)
+	}
 }
 
 // backoff returns the delay before the retry-th retry: exponential from

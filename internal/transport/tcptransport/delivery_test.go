@@ -14,6 +14,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
 	"hypercube/internal/table"
+	"hypercube/internal/wire"
 )
 
 // envelopeSink is a bare TCP listener that decodes wire envelopes and
@@ -48,14 +49,15 @@ func newEnvelopeSink(t *testing.T) *envelopeSink {
 				defer s.live.Add(-1)
 				defer conn.Close()
 				for {
-					payload, err := readFrame(conn, 1<<20, 0)
+					payload, isBinary, err := readFrame(conn, 1<<20, 0)
 					if err != nil {
 						return
 					}
-					if _, err := decodeFrame(payload); err != nil {
+					cnt, err := countFrameEnvelopes(payload, isBinary)
+					if err != nil {
 						return
 					}
-					s.received.Add(1)
+					s.received.Add(int64(cnt))
 				}
 			}()
 		}
@@ -68,6 +70,24 @@ func newEnvelopeSink(t *testing.T) *envelopeSink {
 }
 
 func (s *envelopeSink) addr() string { return s.ln.Addr().String() }
+
+// countFrameEnvelopes counts the protocol envelopes one frame payload
+// carries, whichever codec the sender used (binary frames coalesce
+// several envelopes; gob frames always carry one).
+func countFrameEnvelopes(payload []byte, isBinary bool) (int, error) {
+	if isBinary {
+		cnt := 0
+		err := wire.DecodePayload(p163, payload, func(msg.Envelope) error {
+			cnt++
+			return nil
+		})
+		return cnt, err
+	}
+	if _, err := decodeFrame(payload); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
 
 func awaitInt64(t *testing.T, what string, get func() int64, want int64) {
 	t.Helper()
@@ -380,14 +400,15 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 			go func() {
 				defer c.Close()
 				for {
-					payload, err := readFrame(c, 1<<20, 0)
+					payload, isBinary, err := readFrame(c, 1<<20, 0)
 					if err != nil {
 						return
 					}
-					if _, err := decodeFrame(payload); err != nil {
+					cnt, err := countFrameEnvelopes(payload, isBinary)
+					if err != nil {
 						return
 					}
-					got.Add(1)
+					got.Add(int64(cnt))
 				}
 			}()
 		}

@@ -3,9 +3,12 @@ package tcptransport
 import (
 	"bytes"
 	"encoding/gob"
+	"reflect"
 	"testing"
 
 	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/wire"
 )
 
 // FuzzDecodeWire feeds arbitrary bytes through the gob + envelope decode
@@ -66,6 +69,60 @@ func FuzzDecodeWire(f *testing.F) {
 		// Anything accepted must re-encode cleanly.
 		if _, err := encodeEnvelope(env); err != nil {
 			t.Fatalf("decoded envelope failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzCodecRoundTrip is the differential target for the binary codec:
+// any payload the binary decoder accepts must (a) re-encode
+// byte-identically — the codec is canonical — and (b) survive a trip
+// through the legacy gob codec decoding to exactly the same envelope,
+// so the two codecs can never disagree about an accepted message.
+func FuzzCodecRoundTrip(f *testing.F) {
+	p := id.Params{B: 8, D: 5}
+	samples := codecSampleEnvelopes(f)
+	for _, env := range samples {
+		if payload, err := wire.EncodePayload(p, env); err == nil {
+			f.Add(payload)
+		}
+	}
+	if payload, err := wire.EncodePayload(p, samples...); err == nil {
+		f.Add(payload)
+	}
+	// Hostile shapes near the codec's boundary checks.
+	f.Add([]byte{wire.Version, 1, 3, byte(msg.TPong), 0, 0})
+	f.Add([]byte{wire.Version, 0})
+	f.Add([]byte{0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var envs []msg.Envelope
+		if err := wire.DecodePayload(p, data, func(env msg.Envelope) error {
+			envs = append(envs, env)
+			return nil
+		}); err != nil {
+			return
+		}
+		re, err := wire.EncodePayload(p, envs...)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode not byte-identical\n got %x\nwant %x", re, data)
+		}
+		// Binary validation is strictly stricter than gob validation, so
+		// every accepted envelope must round-trip the gob codec
+		// unchanged.
+		for _, env := range envs {
+			gp, err := EncodeGobPayload(env)
+			if err != nil {
+				t.Fatalf("binary-accepted envelope rejected by gob encode: %v", err)
+			}
+			viaGob, err := DecodeGobPayload(p, gp)
+			if err != nil {
+				t.Fatalf("binary-accepted envelope rejected by gob decode: %v", err)
+			}
+			if !reflect.DeepEqual(viaGob, env) {
+				t.Fatalf("codecs disagree\n gob: %#v\n bin: %#v", viaGob, env)
+			}
 		}
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
 	"hypercube/internal/table"
+	"hypercube/internal/wire"
 )
 
 // Node hosts one protocol machine behind a TCP listener. Outbound
@@ -368,6 +369,10 @@ func (n *Node) acceptLoop() {
 	}
 }
 
+// errReadLoopStopped signals that a per-envelope stage (token wait)
+// aborted because the node is shutting down; it is not a decode error.
+var errReadLoopStopped = errors.New("tcptransport: read loop stopped")
+
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -379,19 +384,12 @@ func (n *Node) readLoop(conn net.Conn) {
 	budget := n.cfg.DecodeErrorBudget
 	// Per-connection token bucket: a peer pushing envelopes faster than
 	// InboundRate stalls here, which backpressures it through TCP instead
-	// of letting it monopolize the machine lock.
+	// of letting it monopolize the machine lock. Tokens are charged per
+	// envelope, not per frame, so a coalesced frame cannot smuggle
+	// wire.MaxBatch envelopes past the limiter for one token.
 	tokens := float64(n.cfg.InboundBurst)
 	last := time.Now()
-	for {
-		payload, err := readFrame(conn, n.cfg.MaxFrameBytes, n.cfg.ReadIdleTimeout)
-		if err != nil {
-			if errors.Is(err, errFrameTooBig) {
-				n.oversizedFrames.Add(1)
-				n.guardDisconnects.Add(1)
-				n.emitTransport(obs.KindGuardDrop, "oversized frame")
-			}
-			return // closed, idle-timed-out, or oversized; peer redials
-		}
+	takeToken := func() bool {
 		now := time.Now()
 		tokens += now.Sub(last).Seconds() * n.cfg.InboundRate
 		if max := float64(n.cfg.InboundBurst); tokens > max {
@@ -402,16 +400,53 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.throttledInbound.Add(1)
 			wait := time.Duration((1 - tokens) / n.cfg.InboundRate * float64(time.Second))
 			if !n.sleep(wait) {
-				return
+				return false
 			}
 			tokens = 1
 			last = time.Now()
 		}
 		tokens--
-		var env msg.Envelope
-		w, err := decodeFrame(payload)
-		if err == nil {
-			env, err = decodeEnvelope(n.params, w)
+		return true
+	}
+	for {
+		payload, isBinary, err := readFrame(conn, n.cfg.MaxFrameBytes, n.cfg.ReadIdleTimeout)
+		if err != nil {
+			if errors.Is(err, errFrameTooBig) {
+				n.oversizedFrames.Add(1)
+				n.guardDisconnects.Add(1)
+				n.emitTransport(obs.KindGuardDrop, "oversized frame")
+			}
+			return // closed, idle-timed-out, or oversized; peer redials
+		}
+		if isBinary {
+			// One binary frame may carry several envelopes; each passes
+			// the token bucket and handler individually. A malformed
+			// record rejects the rest of the frame (records after it
+			// have no trustworthy boundary) but envelopes already
+			// decoded were already handled.
+			err = wire.DecodePayload(n.params, payload, func(env msg.Envelope) error {
+				if !takeToken() {
+					return errReadLoopStopped
+				}
+				n.handleEnvelope(env)
+				return nil
+			})
+		} else {
+			if !takeToken() {
+				return
+			}
+			var env msg.Envelope
+			w, derr := decodeFrame(payload)
+			if derr == nil {
+				env, derr = decodeEnvelope(n.params, w)
+			}
+			err = derr
+			if err == nil {
+				n.handleEnvelope(env)
+			}
+		}
+		if errors.Is(err, errReadLoopStopped) {
+			return
 		}
 		if err != nil {
 			// Frame boundaries survive a malformed payload, so charge the
@@ -424,30 +459,34 @@ func (n *Node) readLoop(conn net.Conn) {
 				n.emitTransport(obs.KindGuardDrop, "decode-error budget exhausted")
 				return
 			}
-			continue
 		}
-		if n.prober != nil {
-			t := env.Msg.Type()
-			if t == msg.TPing || t == msg.TPong {
-				n.probeMu.Lock()
-				out := n.prober.HandleMessage(env)
-				n.probeMu.Unlock()
-				_ = n.sendAll(out)
-				continue
-			}
-			// Any protocol traffic from a peer is proof of life.
-			n.probeMu.Lock()
-			n.prober.Observe(env.From.ID)
-			n.probeMu.Unlock()
-		}
-		n.mu.Lock()
-		out := n.machine.Deliver(env)
-		n.mu.Unlock()
-		// Outbound trouble belongs to the delivery layer (retries, then
-		// dead-letter counters); an unrelated peer's failure must not
-		// tear down this inbound connection.
-		_ = n.sendAll(out)
 	}
+}
+
+// handleEnvelope routes one decoded inbound envelope: probe traffic to
+// the liveness prober, everything else through the protocol machine.
+func (n *Node) handleEnvelope(env msg.Envelope) {
+	if n.prober != nil {
+		t := env.Msg.Type()
+		if t == msg.TPing || t == msg.TPong {
+			n.probeMu.Lock()
+			out := n.prober.HandleMessage(env)
+			n.probeMu.Unlock()
+			_ = n.sendAll(out)
+			return
+		}
+		// Any protocol traffic from a peer is proof of life.
+		n.probeMu.Lock()
+		n.prober.Observe(env.From.ID)
+		n.probeMu.Unlock()
+	}
+	n.mu.Lock()
+	out := n.machine.Deliver(env)
+	n.mu.Unlock()
+	// Outbound trouble belongs to the delivery layer (retries, then
+	// dead-letter counters); an unrelated peer's failure must not tear
+	// down this inbound connection.
+	_ = n.sendAll(out)
 }
 
 // sendAll hands every envelope to the delivery layer. Unlike a

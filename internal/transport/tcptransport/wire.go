@@ -111,8 +111,13 @@ func decodeFill(p id.Params, words []uint64, n int) (table.BitVector, error) {
 	if n > p.D*p.B {
 		return table.BitVector{}, fmt.Errorf("tcptransport: fill vector of %d bits exceeds %d", n, p.D*p.B)
 	}
-	if want := (n + 63) / 64; len(words) > want {
-		return table.BitVector{}, fmt.Errorf("tcptransport: fill vector carries %d words, want at most %d", len(words), want)
+	// Exactly ⌈n/64⌉ words: extra words would smuggle bytes past the
+	// bit-length check, and missing words would silently zero-extend — a
+	// truncated fill bitmap decoding as "mostly empty" makes the joiner
+	// re-request levels it already holds (and, worse, trust a hostile
+	// peer's claim that nothing is filled).
+	if want := (n + 63) / 64; len(words) != want {
+		return table.BitVector{}, fmt.Errorf("tcptransport: fill vector carries %d words, want %d", len(words), want)
 	}
 	return table.BitVectorFromWords(words, n), nil
 }
@@ -319,6 +324,15 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 			fid, err := id.Parse(p, w.Found.ID)
 			if err != nil {
 				return msg.Envelope{}, fmt.Errorf("tcptransport: bad found id: %w", err)
+			}
+			// Found feeds table repair directly, so it gets the same
+			// boundary checks as any table entry: a hostile address or
+			// state must not ride in on a FindRly.
+			if len(w.Found.Addr) > maxWireAddr {
+				return msg.Envelope{}, fmt.Errorf("tcptransport: found address of %d bytes exceeds %d", len(w.Found.Addr), maxWireAddr)
+			}
+			if s := table.State(w.Found.State); s != table.StateT && s != table.StateS {
+				return msg.Envelope{}, fmt.Errorf("tcptransport: found entry has invalid state %d", w.Found.State)
 			}
 			m.Found = table.Neighbor{ID: fid, Addr: w.Found.Addr, State: table.State(w.Found.State)}
 		}

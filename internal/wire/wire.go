@@ -1,0 +1,933 @@
+// Package wire implements the binary wire codec of the TCP transport: a
+// hand-rolled, versioned, stdlib-only encoding of protocol envelopes
+// that replaces the reflection-driven encoding/gob format on the hot
+// path. The layout goals, in order:
+//
+//   - Zero allocations on the steady-state encode path: Append* functions
+//     write into caller-owned buffers (pooled by the delivery layer), IDs
+//     travel as raw digit bytes instead of parsed strings, and no
+//     intermediate struct is built.
+//   - Validation at the codec boundary: every length, coordinate, state
+//     bit and digit read off the wire is range-checked before it sizes an
+//     allocation or reaches the protocol machine (guard.Check stays as
+//     the second, semantic ring).
+//   - Canonical encoding: for any payload the decoder accepts,
+//     re-encoding the decoded envelopes reproduces the payload byte for
+//     byte. Table entries must arrive in ascending (level,digit) order,
+//     booleans must be 0/1, fill-vector padding bits must be zero —
+//     anything non-canonical is rejected, which keeps the differential
+//     fuzz target (FuzzCodecRoundTrip) a strict equality check.
+//   - Coalescing: one payload carries 1..MaxBatch envelopes, so many
+//     small messages to the same peer (probes, JoinNoti, sync digests)
+//     share one frame write and one length prefix.
+//
+// Payload layout (the frame header is the transport's concern; see
+// tcptransport/frame.go for how binary payloads are flagged):
+//
+//	byte    version (currently 1)
+//	byte    count   (1..MaxBatch envelopes)
+//	count × record:
+//	    uvarint bodyLen
+//	    body:
+//	        byte kind (msg.Type)
+//	        ref  From, ref To
+//	        per-kind fields (see appendBody)
+//
+// Common shapes:
+//
+//	ref:      byte present; if 1: D raw ID digits, uvarint addrLen, addr
+//	id:       byte present; if 1: D raw ID digits
+//	suffix:   uvarint len (≤ D), raw digits
+//	table:    byte present; if 1: D raw owner digits, byte lo,
+//	          byte hi+1 (0 = empty level range), uvarint filledCount,
+//	          then per entry: byte level, byte digit, D raw ID digits,
+//	          uvarint addrLen, addr, byte state — ascending (level,digit)
+//	bitvec:   uvarint bitLen (0 = none), ⌈bitLen/64⌉ little-endian words
+//	scalars:  uvarint for levels/sequence numbers, single bytes for
+//	          results/states/flags
+//
+// All scalars are little-endian; all lengths are unsigned varints. A
+// version bump changes the leading byte, so old decoders reject new
+// payloads loudly instead of misparsing them.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/table"
+)
+
+const (
+	// Version is the payload format version; the first payload byte.
+	Version = 1
+	// MaxBatch is the largest envelope count one payload may carry. It
+	// fits one byte, so the count field never needs a varint.
+	MaxBatch = 127
+	// MaxAddr bounds any transport address accepted off the wire;
+	// addresses are host:port strings, so anything longer is hostile.
+	MaxAddr = 256
+	// headerLen is the payload header: version byte plus count byte.
+	headerLen = 2
+)
+
+// errMalformed is the sentinel wrapped by every decode failure, so the
+// transport can tell codec rejections apart from handler errors returned
+// by a DecodePayload callback.
+var errMalformed = errors.New("wire: malformed payload")
+
+// IsMalformed reports whether err is a codec rejection (as opposed to an
+// error returned by a DecodePayload callback).
+func IsMalformed(err error) bool { return errors.Is(err, errMalformed) }
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errMalformed, fmt.Sprintf(format, args...))
+}
+
+// AppendHeader appends the payload header (version + count placeholder)
+// to dst. The caller appends 1..MaxBatch envelopes with AppendEnvelope
+// and then fixes the count with SetCount.
+func AppendHeader(dst []byte) []byte {
+	return append(dst, Version, 0)
+}
+
+// SetCount patches the envelope count into a payload started with
+// AppendHeader. payload must begin at the version byte.
+func SetCount(payload []byte, n int) {
+	if n < 1 || n > MaxBatch {
+		panic(fmt.Sprintf("wire: payload count %d out of [1,%d]", n, MaxBatch))
+	}
+	payload[1] = byte(n)
+}
+
+// AppendEnvelope appends one envelope record (uvarint body length +
+// body) to dst and returns the extended slice. It allocates nothing
+// beyond growing dst. Envelopes the protocol can never produce (IDs of
+// the wrong length, oversized addresses, negative levels, unknown
+// message types) return an error; the input slice is returned unchanged
+// so a failed append can simply be skipped.
+func AppendEnvelope(dst []byte, p id.Params, env msg.Envelope) ([]byte, error) {
+	mark := len(dst)
+	out, err := appendBody(dst, p, env)
+	if err != nil {
+		return dst, err
+	}
+	bodyLen := len(out) - mark
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(bodyLen))
+	// Shift the body right by the varint's width, then write the prefix.
+	out = append(out, lenBuf[:n]...)
+	copy(out[mark+n:], out[mark:mark+bodyLen])
+	copy(out[mark:], lenBuf[:n])
+	return out, nil
+}
+
+// EncodePayload builds a complete payload carrying the given envelopes —
+// the convenience form used by tests and tools; the transport's hot path
+// assembles payloads incrementally with AppendHeader/AppendEnvelope.
+func EncodePayload(p id.Params, envs ...msg.Envelope) ([]byte, error) {
+	if len(envs) == 0 || len(envs) > MaxBatch {
+		return nil, fmt.Errorf("wire: %d envelopes per payload, want 1..%d", len(envs), MaxBatch)
+	}
+	out := AppendHeader(nil)
+	var err error
+	for _, env := range envs {
+		if out, err = AppendEnvelope(out, p, env); err != nil {
+			return nil, err
+		}
+	}
+	SetCount(out, len(envs))
+	return out, nil
+}
+
+// DecodePayload parses a payload and calls fn for each envelope in
+// order. Malformed input returns an error satisfying IsMalformed; an
+// error from fn aborts decoding and is returned as-is. The payload must
+// be consumed exactly — trailing bytes are hostile.
+func DecodePayload(p id.Params, payload []byte, fn func(msg.Envelope) error) error {
+	if len(payload) < headerLen {
+		return badf("%d bytes, want at least %d", len(payload), headerLen)
+	}
+	if payload[0] != Version {
+		return badf("version %d, want %d", payload[0], Version)
+	}
+	count := int(payload[1])
+	if count < 1 || count > MaxBatch {
+		return badf("envelope count %d out of [1,%d]", count, MaxBatch)
+	}
+	r := reader{buf: payload, pos: headerLen}
+	for i := 0; i < count; i++ {
+		bodyLen, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		body, err := r.take(bodyLen)
+		if err != nil {
+			return err
+		}
+		env, err := decodeBody(p, body)
+		if err != nil {
+			return err
+		}
+		if err := fn(env); err != nil {
+			return err
+		}
+	}
+	if r.pos != len(payload) {
+		return badf("%d trailing bytes after %d envelopes", len(payload)-r.pos, count)
+	}
+	return nil
+}
+
+// DecodeOne parses a payload that must carry exactly one envelope.
+func DecodeOne(p id.Params, payload []byte) (msg.Envelope, error) {
+	var out msg.Envelope
+	seen := 0
+	err := DecodePayload(p, payload, func(env msg.Envelope) error {
+		out = env
+		seen++
+		return nil
+	})
+	if err != nil {
+		return msg.Envelope{}, err
+	}
+	if seen != 1 {
+		return msg.Envelope{}, badf("%d envelopes, want exactly 1", seen)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+func appendBody(dst []byte, p id.Params, env msg.Envelope) ([]byte, error) {
+	dst = append(dst, byte(env.Msg.Type()))
+	var err error
+	if dst, err = appendRef(dst, p, env.From); err != nil {
+		return nil, err
+	}
+	if dst, err = appendRef(dst, p, env.To); err != nil {
+		return nil, err
+	}
+	switch m := env.Msg.(type) {
+	case msg.CpRst:
+		return appendLevel(dst, m.Level)
+	case msg.CpRly:
+		return appendSnapshot(dst, p, m.Table)
+	case msg.JoinWait:
+		return dst, nil
+	case msg.JoinWaitRly:
+		dst = append(dst, byte(m.R))
+		if dst, err = appendRef(dst, p, m.U); err != nil {
+			return nil, err
+		}
+		return appendSnapshot(dst, p, m.Table)
+	case msg.JoinNoti:
+		if dst, err = appendSnapshot(dst, p, m.Table); err != nil {
+			return nil, err
+		}
+		dst = appendBitVector(dst, m.FillVector)
+		return appendLevel(dst, m.NotiLevel)
+	case msg.JoinNotiRly:
+		dst = append(dst, byte(m.R), boolByte(m.F))
+		return appendSnapshot(dst, p, m.Table)
+	case msg.InSysNoti:
+		return dst, nil
+	case msg.SpeNoti:
+		if dst, err = appendRef(dst, p, m.X); err != nil {
+			return nil, err
+		}
+		return appendRef(dst, p, m.Y)
+	case msg.SpeNotiRly:
+		if dst, err = appendRef(dst, p, m.X); err != nil {
+			return nil, err
+		}
+		return appendRef(dst, p, m.Y)
+	case msg.RvNghNoti:
+		return appendCoords(dst, p, m.Level, m.Digit, m.State)
+	case msg.RvNghNotiRly:
+		return appendCoords(dst, p, m.Level, m.Digit, m.State)
+	case msg.Leave:
+		return appendSnapshot(dst, p, m.Table)
+	case msg.LeaveRly:
+		return dst, nil
+	case msg.Find:
+		if dst, err = appendSuffix(dst, p, m.Want); err != nil {
+			return nil, err
+		}
+		if dst, err = appendRef(dst, p, m.Origin); err != nil {
+			return nil, err
+		}
+		return appendOptID(dst, p, m.Avoid)
+	case msg.FindRly:
+		if dst, err = appendSuffix(dst, p, m.Want); err != nil {
+			return nil, err
+		}
+		dst = append(dst, boolByte(m.Blocked))
+		return appendNeighbor(dst, p, m.Found)
+	case msg.Ping:
+		dst = binary.AppendUvarint(dst, m.Seq)
+		if dst, err = appendRef(dst, p, m.Origin); err != nil {
+			return nil, err
+		}
+		return appendRef(dst, p, m.Target)
+	case msg.Pong:
+		return binary.AppendUvarint(dst, m.Seq), nil
+	case msg.FailedNoti:
+		return appendRef(dst, p, m.Failed)
+	case msg.SyncReq:
+		return appendBitVector(dst, m.Fill), nil
+	case msg.SyncRly:
+		if dst, err = appendSnapshot(dst, p, m.Table); err != nil {
+			return nil, err
+		}
+		return appendBitVector(dst, m.Fill), nil
+	case msg.SyncPush:
+		return appendSnapshot(dst, p, m.Table)
+	default:
+		return nil, fmt.Errorf("wire: unknown message %T", env.Msg)
+	}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendLevel(dst []byte, level int) ([]byte, error) {
+	if level < 0 {
+		return nil, fmt.Errorf("wire: negative level %d", level)
+	}
+	return binary.AppendUvarint(dst, uint64(level)), nil
+}
+
+func appendCoords(dst []byte, p id.Params, level, digit int, s table.State) ([]byte, error) {
+	if level < 0 || level >= p.D || digit < 0 || digit >= p.B {
+		return nil, fmt.Errorf("wire: coords (%d,%d) out of range for b=%d d=%d", level, digit, p.B, p.D)
+	}
+	if s != table.StateT && s != table.StateS {
+		return nil, fmt.Errorf("wire: invalid state %d", s)
+	}
+	return append(dst, byte(level), byte(digit), byte(s)), nil
+}
+
+func appendRef(dst []byte, p id.Params, r table.Ref) ([]byte, error) {
+	if r.IsZero() {
+		return append(dst, 0), nil
+	}
+	if r.ID.Len() != p.D {
+		return nil, fmt.Errorf("wire: ref ID %v has %d digits, want %d", r.ID, r.ID.Len(), p.D)
+	}
+	if len(r.Addr) > MaxAddr {
+		return nil, fmt.Errorf("wire: ref address of %d bytes exceeds %d", len(r.Addr), MaxAddr)
+	}
+	dst = append(dst, 1)
+	dst = r.ID.AppendRawDigits(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Addr)))
+	return append(dst, r.Addr...), nil
+}
+
+func appendOptID(dst []byte, p id.Params, x id.ID) ([]byte, error) {
+	if x.IsNull() {
+		return append(dst, 0), nil
+	}
+	if x.Len() != p.D {
+		return nil, fmt.Errorf("wire: ID %v has %d digits, want %d", x, x.Len(), p.D)
+	}
+	return x.AppendRawDigits(append(dst, 1)), nil
+}
+
+func appendSuffix(dst []byte, p id.Params, s id.Suffix) ([]byte, error) {
+	if s.Len() > p.D {
+		return nil, fmt.Errorf("wire: suffix %v has %d digits, want at most %d", s, s.Len(), p.D)
+	}
+	dst = binary.AppendUvarint(dst, uint64(s.Len()))
+	return s.AppendRawDigits(dst), nil
+}
+
+func appendNeighbor(dst []byte, p id.Params, n table.Neighbor) ([]byte, error) {
+	if n.IsZero() {
+		return append(dst, 0), nil
+	}
+	if n.ID.Len() != p.D {
+		return nil, fmt.Errorf("wire: neighbor ID %v has %d digits, want %d", n.ID, n.ID.Len(), p.D)
+	}
+	if len(n.Addr) > MaxAddr {
+		return nil, fmt.Errorf("wire: neighbor address of %d bytes exceeds %d", len(n.Addr), MaxAddr)
+	}
+	if n.State != table.StateT && n.State != table.StateS {
+		return nil, fmt.Errorf("wire: neighbor state %d invalid", n.State)
+	}
+	dst = append(dst, 1)
+	dst = n.ID.AppendRawDigits(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(n.Addr)))
+	dst = append(dst, n.Addr...)
+	return append(dst, byte(n.State)), nil
+}
+
+func appendSnapshot(dst []byte, p id.Params, s table.Snapshot) ([]byte, error) {
+	if s.IsZero() {
+		return append(dst, 0), nil
+	}
+	owner := s.Owner()
+	if owner.Len() != p.D {
+		return nil, fmt.Errorf("wire: table owner %v has %d digits, want %d", owner, owner.Len(), p.D)
+	}
+	dst = append(dst, 1)
+	dst = owner.AppendRawDigits(dst)
+	lo, hi := s.LevelRange()
+	if hi < lo {
+		// Present but empty level range: lo byte 0, hi+1 byte 0, no entries.
+		return append(dst, 0, 0, 0), nil
+	}
+	if lo < 0 || hi >= p.D {
+		return nil, fmt.Errorf("wire: table level range [%d,%d] out of bounds", lo, hi)
+	}
+	dst = append(dst, byte(lo), byte(hi+1))
+	dst = binary.AppendUvarint(dst, uint64(s.FilledCount()))
+	var err error
+	s.ForEach(func(level, digit int, n table.Neighbor) {
+		if err != nil {
+			return
+		}
+		if len(n.Addr) > MaxAddr {
+			err = fmt.Errorf("wire: table entry (%d,%d) address of %d bytes exceeds %d", level, digit, len(n.Addr), MaxAddr)
+			return
+		}
+		if n.ID.Len() != p.D {
+			err = fmt.Errorf("wire: table entry (%d,%d) ID %v has %d digits, want %d", level, digit, n.ID, n.ID.Len(), p.D)
+			return
+		}
+		if n.State != table.StateT && n.State != table.StateS {
+			err = fmt.Errorf("wire: table entry (%d,%d) state %d invalid", level, digit, n.State)
+			return
+		}
+		dst = append(dst, byte(level), byte(digit))
+		dst = n.ID.AppendRawDigits(dst)
+		dst = binary.AppendUvarint(dst, uint64(len(n.Addr)))
+		dst = append(dst, n.Addr...)
+		dst = append(dst, byte(n.State))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func appendBitVector(dst []byte, v table.BitVector) []byte {
+	dst = binary.AppendUvarint(dst, uint64(v.Len()))
+	for i := 0; i < v.WordCount(); i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, v.Word(i))
+	}
+	return dst
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+// reader is a bounds-checked cursor over a payload slice. All methods
+// return errors instead of panicking, whatever the input.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.pos }
+
+func (r *reader) u8() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, badf("truncated at byte %d", r.pos)
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// uvarint reads an unsigned varint, bounded to fit an int (lengths and
+// counts are always compared against small limits by the caller).
+func (r *reader) uvarint() (int, error) {
+	v, err := r.uvarint64()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<31 {
+		return 0, badf("varint %d exceeds sane bounds", v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) uvarint64() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, badf("bad varint at byte %d", r.pos)
+	}
+	// Canonical form only: a multi-byte varint whose final 7-bit group is
+	// zero re-encodes shorter, which would break byte-identical round
+	// trips (and gives hostile peers an encoding oracle).
+	if n > 1 && r.buf[r.pos+n-1] == 0 {
+		return 0, badf("non-minimal varint at byte %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) take(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, badf("%d bytes requested, %d remain", n, r.remaining())
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	b, err := r.u8()
+	if err != nil {
+		return false, err
+	}
+	switch b {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, badf("flag byte %d, want 0 or 1", b)
+	}
+}
+
+func (r *reader) id(p id.Params) (id.ID, error) {
+	raw, err := r.take(p.D)
+	if err != nil {
+		return id.Null, err
+	}
+	x, err := id.FromRawDigits(p, raw)
+	if err != nil {
+		return id.Null, badf("%v", err)
+	}
+	return x, nil
+}
+
+func (r *reader) addr() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > MaxAddr {
+		return "", badf("address of %d bytes exceeds %d", n, MaxAddr)
+	}
+	raw, err := r.take(n)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+func (r *reader) ref(p id.Params) (table.Ref, error) {
+	present, err := r.bool()
+	if err != nil || !present {
+		return table.Ref{}, err
+	}
+	x, err := r.id(p)
+	if err != nil {
+		return table.Ref{}, err
+	}
+	addr, err := r.addr()
+	if err != nil {
+		return table.Ref{}, err
+	}
+	return table.Ref{ID: x, Addr: addr}, nil
+}
+
+func (r *reader) optID(p id.Params) (id.ID, error) {
+	present, err := r.bool()
+	if err != nil || !present {
+		return id.Null, err
+	}
+	return r.id(p)
+}
+
+func (r *reader) suffix(p id.Params) (id.Suffix, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return id.EmptySuffix, err
+	}
+	if n > p.D {
+		return id.EmptySuffix, badf("suffix of %d digits exceeds %d", n, p.D)
+	}
+	raw, err := r.take(n)
+	if err != nil {
+		return id.EmptySuffix, err
+	}
+	s, err := id.SuffixFromRawDigits(p, raw)
+	if err != nil {
+		return id.EmptySuffix, badf("%v", err)
+	}
+	return s, nil
+}
+
+func (r *reader) state() (table.State, error) {
+	b, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	if s := table.State(b); s == table.StateT || s == table.StateS {
+		return s, nil
+	}
+	return 0, badf("state byte %d, want T or S", b)
+}
+
+func (r *reader) level(p id.Params) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n >= p.D {
+		return 0, badf("level %d out of [0,%d)", n, p.D)
+	}
+	return n, nil
+}
+
+func (r *reader) neighbor(p id.Params) (table.Neighbor, error) {
+	present, err := r.bool()
+	if err != nil || !present {
+		return table.Neighbor{}, err
+	}
+	x, err := r.id(p)
+	if err != nil {
+		return table.Neighbor{}, err
+	}
+	addr, err := r.addr()
+	if err != nil {
+		return table.Neighbor{}, err
+	}
+	s, err := r.state()
+	if err != nil {
+		return table.Neighbor{}, err
+	}
+	return table.Neighbor{ID: x, Addr: addr, State: s}, nil
+}
+
+func (r *reader) snapshot(p id.Params) (table.Snapshot, error) {
+	present, err := r.bool()
+	if err != nil || !present {
+		return table.Snapshot{}, err
+	}
+	owner, err := r.id(p)
+	if err != nil {
+		return table.Snapshot{}, err
+	}
+	loByte, err := r.u8()
+	if err != nil {
+		return table.Snapshot{}, err
+	}
+	hiPlus1, err := r.u8()
+	if err != nil {
+		return table.Snapshot{}, err
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return table.Snapshot{}, err
+	}
+	lo, hi := int(loByte), int(hiPlus1)-1
+	if hiPlus1 == 0 {
+		if loByte != 0 || count != 0 {
+			return table.Snapshot{}, badf("empty table range with lo=%d count=%d", loByte, count)
+		}
+		return table.NewSnapshot(p, owner, 0, -1, nil)
+	}
+	if lo >= p.D || hi >= p.D || lo > hi {
+		return table.Snapshot{}, badf("table level range [%d,%d] out of bounds", lo, hi)
+	}
+	if count > (hi-lo+1)*p.B {
+		return table.Snapshot{}, badf("table with %d entries exceeds %d", count, (hi-lo+1)*p.B)
+	}
+	entries := make(map[[2]int]table.Neighbor, count)
+	lastIdx := -1
+	for i := 0; i < count; i++ {
+		level, err := r.u8()
+		if err != nil {
+			return table.Snapshot{}, err
+		}
+		digit, err := r.u8()
+		if err != nil {
+			return table.Snapshot{}, err
+		}
+		if int(level) < lo || int(level) > hi || int(digit) >= p.B {
+			return table.Snapshot{}, badf("table entry (%d,%d) out of range", level, digit)
+		}
+		// Canonical order: strictly ascending by (level,digit). This also
+		// rules out duplicate coordinates.
+		idx := int(level)*p.B + int(digit)
+		if idx <= lastIdx {
+			return table.Snapshot{}, badf("table entry (%d,%d) out of order", level, digit)
+		}
+		lastIdx = idx
+		x, err := r.id(p)
+		if err != nil {
+			return table.Snapshot{}, err
+		}
+		addr, err := r.addr()
+		if err != nil {
+			return table.Snapshot{}, err
+		}
+		s, err := r.state()
+		if err != nil {
+			return table.Snapshot{}, err
+		}
+		entries[[2]int{int(level), int(digit)}] = table.Neighbor{ID: x, Addr: addr, State: s}
+	}
+	snap, err := table.NewSnapshot(p, owner, lo, hi, entries)
+	if err != nil {
+		return table.Snapshot{}, badf("%v", err)
+	}
+	return snap, nil
+}
+
+func (r *reader) bitVector(p id.Params) (table.BitVector, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return table.BitVector{}, err
+	}
+	if n == 0 {
+		return table.BitVector{}, nil
+	}
+	if n > p.D*p.B {
+		return table.BitVector{}, badf("fill vector of %d bits exceeds %d", n, p.D*p.B)
+	}
+	words := (n + 63) / 64
+	v := table.NewBitVector(n)
+	for i := 0; i < words; i++ {
+		raw, err := r.take(8)
+		if err != nil {
+			return table.BitVector{}, err
+		}
+		w := binary.LittleEndian.Uint64(raw)
+		// Canonical padding: bits beyond n in the final word must be zero,
+		// or re-encoding would not reproduce the input.
+		if i == words-1 && n%64 != 0 && w>>(n%64) != 0 {
+			return table.BitVector{}, badf("fill vector carries bits beyond length %d", n)
+		}
+		v.SetWord(i, w)
+	}
+	return v, nil
+}
+
+func decodeBody(p id.Params, body []byte) (msg.Envelope, error) {
+	r := reader{buf: body}
+	kind, err := r.u8()
+	if err != nil {
+		return msg.Envelope{}, err
+	}
+	if kind == 0 || int(kind) > msg.NumTypes {
+		return msg.Envelope{}, badf("unknown message kind %d", kind)
+	}
+	env := msg.Envelope{}
+	if env.From, err = r.ref(p); err != nil {
+		return msg.Envelope{}, err
+	}
+	if env.To, err = r.ref(p); err != nil {
+		return msg.Envelope{}, err
+	}
+	switch msg.Type(kind) {
+	case msg.TCpRst:
+		m := msg.CpRst{}
+		if m.Level, err = r.level(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TCpRly:
+		m := msg.CpRly{}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TJoinWait:
+		env.Msg = msg.JoinWait{}
+	case msg.TJoinWaitRly:
+		m := msg.JoinWaitRly{}
+		if m.R, err = decodeResult(&r); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.U, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TJoinNoti:
+		m := msg.JoinNoti{}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.FillVector, err = r.bitVector(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.NotiLevel, err = r.level(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TJoinNotiRly:
+		m := msg.JoinNotiRly{}
+		if m.R, err = decodeResult(&r); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.F, err = r.bool(); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TInSysNoti:
+		env.Msg = msg.InSysNoti{}
+	case msg.TSpeNoti:
+		m := msg.SpeNoti{}
+		if m.X, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Y, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TSpeNotiRly:
+		m := msg.SpeNotiRly{}
+		if m.X, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Y, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TRvNghNoti:
+		m := msg.RvNghNoti{}
+		if m.Level, m.Digit, m.State, err = decodeCoords(&r, p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TRvNghNotiRly:
+		m := msg.RvNghNotiRly{}
+		if m.Level, m.Digit, m.State, err = decodeCoords(&r, p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TLeave:
+		m := msg.Leave{}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TLeaveRly:
+		env.Msg = msg.LeaveRly{}
+	case msg.TFind:
+		m := msg.Find{}
+		if m.Want, err = r.suffix(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Origin, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Avoid, err = r.optID(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TFindRly:
+		m := msg.FindRly{}
+		if m.Want, err = r.suffix(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Blocked, err = r.bool(); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Found, err = r.neighbor(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TPing:
+		m := msg.Ping{}
+		if m.Seq, err = r.uvarint64(); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Origin, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Target, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TPong:
+		m := msg.Pong{}
+		if m.Seq, err = r.uvarint64(); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TFailedNoti:
+		m := msg.FailedNoti{}
+		if m.Failed, err = r.ref(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TSyncReq:
+		m := msg.SyncReq{}
+		if m.Fill, err = r.bitVector(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TSyncRly:
+		m := msg.SyncRly{}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		if m.Fill, err = r.bitVector(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TSyncPush:
+		m := msg.SyncPush{}
+		if m.Table, err = r.snapshot(p); err != nil {
+			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	}
+	if r.remaining() != 0 {
+		return msg.Envelope{}, badf("%d trailing bytes in %v body", r.remaining(), msg.Type(kind))
+	}
+	return env, nil
+}
+
+func decodeResult(r *reader) (msg.Result, error) {
+	b, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	if v := msg.Result(b); v == msg.Negative || v == msg.Positive {
+		return v, nil
+	}
+	return 0, badf("result byte %d, want negative or positive", b)
+}
+
+func decodeCoords(r *reader, p id.Params) (level, digit int, s table.State, err error) {
+	lb, err := r.u8()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	db, err := r.u8()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if int(lb) >= p.D || int(db) >= p.B {
+		return 0, 0, 0, badf("coords (%d,%d) out of range for b=%d d=%d", lb, db, p.B, p.D)
+	}
+	s, err = r.state()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return int(lb), int(db), s, nil
+}
