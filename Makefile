@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-wire vet fmt lint cover experiments trace-smoke fuzz-smoke
+.PHONY: all build test race bench bench-wire bench-join vet fmt lint cover experiments trace-smoke fuzz-smoke
 
 all: build lint test fuzz-smoke
 
@@ -28,6 +28,14 @@ bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkWire|BenchmarkFrame' -benchmem \
 		./internal/transport/tcptransport | tee /tmp/bench_wire.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_wire.txt > BENCH_wire.json
+
+# bench-join pins the concurrent join-wave suite (paper-scale and
+# flash-crowd-scale waves, plus the tracing-overhead guardrail) and
+# records ns/op plus mean JoinNotiMsg per join into BENCH_join.json for
+# regression comparison across PRs.
+bench-join:
+	$(GO) test -run '^$$' -bench 'BenchmarkJoinWave' -benchmem . | tee /tmp/bench_join.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_join.txt > BENCH_join.json
 
 vet:
 	$(GO) vet ./...

@@ -556,6 +556,39 @@ func BenchmarkWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinWave pins the cost of concurrent join waves at two
+// scales — the paper's 128/96 wave and a flash-crowd-sized wave of 256
+// joiners into a 256-node network — reporting the mean JoinNotiMsg per
+// join alongside runtime cost. The Makefile's bench-join target records
+// the numbers into BENCH_join.json for regression comparison across PRs.
+func BenchmarkJoinWave(b *testing.B) {
+	scales := []struct {
+		name string
+		n, m int
+	}{
+		{"n128_m96", 128, 96},
+		{"n256_m256", 256, 256},
+	}
+	for _, sc := range scales {
+		b.Run(sc.name, func(b *testing.B) {
+			var joinNoti float64
+			for i := 0; i < b.N; i++ {
+				res, err := overlay.RunWave(overlay.WaveConfig{
+					Params: id.Params{B: 16, D: 4}, N: sc.n, M: sc.m, Seed: int64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.AllSNodes || !res.Consistent() {
+					b.Fatal("wave did not complete consistently")
+				}
+				joinNoti += res.MeanJoinNoti()
+			}
+			b.ReportMetric(joinNoti/float64(b.N), "joinnoti/join")
+		})
+	}
+}
+
 // BenchmarkJoinWaveTraced is the observability-overhead guardrail: the
 // same 128-node/96-join wave with no sink (the nil fast path every
 // emit site takes by default), with the explicit Nop sink (normalized

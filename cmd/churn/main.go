@@ -46,9 +46,18 @@ func main() {
 		joins     = flag.Int("joins", 2, "nodes joining mid-experiment in -partition and -byzantine modes")
 
 		byzantine = flag.Bool("byzantine", false, "byzantine experiment: a fraction of members mutate, withhold, and replay their outgoing messages under 10% loss; the guard layer must absorb it and the network must stay consistent (replaces the churn phases)")
-		byzFrac   = flag.Float64("byz-fraction", 0.1, "fraction of established members marked byzantine in -byzantine mode")
-		byzRate   = flag.Float64("byz-corrupt", 0.25, "per-envelope corruption probability of a byzantine sender in -byzantine mode")
+		byzFrac   = flag.Float64("byz-fraction", 0.1, "fraction of established members marked byzantine in -byzantine mode and under -with-byzantine")
+		byzRate   = flag.Float64("byz-corrupt", 0.25, "per-envelope corruption probability of a byzantine sender in -byzantine mode and under -with-byzantine")
 		byzWindow = flag.Duration("byz-window", 60*time.Second, "virtual run length of -byzantine mode")
+
+		flashcrowd = flag.Bool("flashcrowd", false, "flash-crowd experiment: a wave of simultaneous joins funnels through a handful of gateways; every joiner must be admitted with zero false declarations (replaces the churn phases)")
+		fcJoins    = flag.Int("fc-joins", 256, "simultaneous joiners in -flashcrowd mode")
+		fcGateways = flag.Int("fc-gateways", 4, "distinct gateways admitting the -flashcrowd wave (1..4)")
+		massfail   = flag.Bool("massfail", false, "mass-failure experiment: every member hosted in the chosen stub domains crashes at one instant; survivors must detect, repair, and reconverge with zero false declarations (replaces the churn phases)")
+		mfStubs    = flag.Int("mf-stubs", 2, "stub domains killed in -massfail mode")
+		rolling    = flag.Bool("rollingrestart", false, "rolling-restart experiment: every member restarts in waves, persisting its table and sampled peers to disk and rejoining from the dump; zero false declarations allowed (replaces the churn phases)")
+		waveSize   = flag.Int("wave", 8, "restart wave size in -rollingrestart mode")
+		withByz    = flag.Bool("with-byzantine", false, "compose the byzantine fault model (-byz-fraction, -byz-corrupt) into -flashcrowd, -massfail, or -rollingrestart")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -88,6 +97,15 @@ func main() {
 	}
 	if *byzantine {
 		exit(runByzantine(p, *n, *joins, *seed, *byzFrac, *byzRate, *byzWindow, *syncEvery, topo, tl, sink))
+	}
+	if *flashcrowd {
+		exit(runFlashCrowd(p, *n, *fcJoins, *fcGateways, *seed, *syncEvery, *withByz, *byzFrac, *byzRate, topo, tl, sink))
+	}
+	if *massfail {
+		exit(runMassFail(p, *n, *mfStubs, *seed, *syncEvery, *withByz, *byzFrac, *byzRate, topo, tl, sink))
+	}
+	if *rolling {
+		exit(runRollingRestart(p, *n, *waveSize, *seed, *syncEvery, *withByz, *byzFrac, *byzRate, topo, tl, sink))
 	}
 	cfg := overlay.Config{Params: p, Latency: tl.Func()}
 	if sink != nil {
@@ -339,8 +357,11 @@ func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.D
 	for i := 0; i < joins; i++ {
 		j, ok := partitionJoiner(p, refs, taken, rng)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "churn: ID space under the gateway's digit exhausted after %d joiners\n", i)
-			break
+			// A truncated wave must fail loudly: continuing with fewer
+			// joiners would silently run a different experiment than the
+			// one the flags requested.
+			fmt.Fprintf(os.Stderr, "churn: ID space under the gateway's digit exhausted after %d of %d joiners — rerun with -joins %d or fewer, or raise -b\n", i, joins, i)
+			return 1
 		}
 		joiners = append(joiners, j)
 	}

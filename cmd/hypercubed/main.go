@@ -49,6 +49,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/obs"
 	"hypercube/internal/persist"
+	"hypercube/internal/sampling"
 	"hypercube/internal/table"
 	"hypercube/internal/transport/tcptransport"
 )
@@ -111,6 +112,12 @@ func run() error {
 		// Anti-entropy knobs (0 keeps the antientropy default).
 		noSync    = flag.Bool("no-sync", false, "disable anti-entropy table audit and repair")
 		syncEvery = flag.Duration("sync-interval", 0, "gap between anti-entropy rounds")
+
+		// Peer-sampling knobs (0 keeps the sampling default).
+		noSample    = flag.Bool("no-sampling", false, "disable the gossip peer-sampling layer")
+		sampleEvery = flag.Duration("sample-interval", 0, "gap between peer-sampling rounds")
+		viewSize    = flag.Int("view-size", 0, "peer-sampling view bound")
+		sampleSeed  = flag.Int64("sample-seed", 0, "peer-sampling determinism seed (mixed with the node ID)")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -200,6 +207,13 @@ func run() error {
 			Interval: *syncEvery,
 		}))
 	}
+	if !*noSample {
+		options = append(options, tcptransport.WithSampling(sampling.Config{
+			ViewSize: *viewSize,
+			Interval: *sampleEvery,
+			Seed:     *sampleSeed,
+		}))
+	}
 	var node *tcptransport.Node
 	if *join == "" {
 		node, err = tcptransport.StartSeed(p, opts, nodeID, *listen, options...)
@@ -236,6 +250,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		node.SeedSamplingPeers(boot)
 		if err := node.Join(boot); err != nil {
 			return err
 		}
@@ -268,7 +283,10 @@ func run() error {
 		}
 	}
 	if *dump != "" {
-		if err := persist.SaveFile(*dump, node.Snapshot()); err != nil {
+		// Persist the sampler's long-term sample alongside the table: on
+		// restart it is the rejoin bootstrap of last resort when every
+		// table neighbor has moved on.
+		if err := persist.SaveFileState(*dump, node.Snapshot(), node.SampledPeers(32)); err != nil {
 			return err
 		}
 		log.Info("table written", "path", *dump)

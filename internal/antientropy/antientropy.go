@@ -25,6 +25,7 @@ import (
 	"hypercube/internal/core"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/table"
 )
 
 // Config tunes the anti-entropy engine. The zero value is usable.
@@ -62,6 +63,12 @@ type Engine struct {
 	started bool
 	rounds  int
 
+	// sampled, when non-nil, supplies peers from the gossip sampling
+	// layer; every sampledEvery-th round syncs with a sampled peer
+	// instead of a table neighbor, and an empty table falls back to
+	// sampled peers entirely.
+	sampled func(int) []table.Ref
+
 	// Observability (nil when tracing is off; see SetSink).
 	sink     obs.Sink
 	selfName string
@@ -71,6 +78,17 @@ type Engine struct {
 func New(cfg Config, m *core.Machine) *Engine {
 	return &Engine{cfg: cfg.withDefaults(), m: m}
 }
+
+// SetPeerSampler installs a source of sampled peers. Table neighbors
+// are systematically correlated (they share suffixes with the node), so
+// syncing only with them can leave two table-disjoint cliques diverged
+// forever; a periodic round with a uniformly sampled peer breaks the
+// correlation.
+func (e *Engine) SetPeerSampler(f func(int) []table.Ref) { e.sampled = f }
+
+// sampledEvery is the round cadence of sampled-peer syncs: every 4th
+// round uses a sampled peer when a sampler is wired.
+const sampledEvery = 4
 
 // SetSink installs the protocol-event sink; nil or obs.Nop turns tracing
 // off (the default). Wrap with obs.Clocked so the driving runtime stamps
@@ -129,6 +147,13 @@ func (e *Engine) round() []msg.Envelope {
 		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindAuditPurge, N: purged})
 	}
 	peers := e.m.SyncPeers()
+	if e.sampled != nil {
+		if len(peers) == 0 || e.cursor%sampledEvery == sampledEvery-1 {
+			if extra := e.sampled(1); len(extra) > 0 && extra[0].ID != e.m.Self().ID {
+				peers = extra
+			}
+		}
+	}
 	if len(peers) == 0 {
 		return out
 	}

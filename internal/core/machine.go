@@ -198,6 +198,11 @@ type Machine struct {
 	gstats  GuardStats
 	clock   func() time.Duration
 
+	// sampled, when non-nil, supplies byzantine-resistant random peers
+	// from the sampling layer; pickGateway falls back to it when every
+	// registered gateway and table entry is exhausted or quarantined.
+	sampled func(int) []table.Ref
+
 	counters msg.Counters
 	out      []msg.Envelope
 
@@ -291,6 +296,17 @@ func newMachine(p id.Params, self table.Ref, status Status, opts Options) *Machi
 // back to its Tick-advanced notion of now, so quarantines only age while
 // the runtime ticks.
 func (m *Machine) SetClock(f func() time.Duration) { m.clock = f }
+
+// SetPeerSampler installs a source of sampled peers (the gossip
+// peer-sampling layer). Gateway selection falls back to it when the
+// static gateway set and the table are exhausted or quarantined.
+func (m *Machine) SetPeerSampler(f func(int) []table.Ref) { m.sampled = f }
+
+// PeerQuarantined reports whether the guard scorer currently quarantines
+// x. False when no scorer is configured.
+func (m *Machine) PeerQuarantined(x id.ID) bool {
+	return m.scorer != nil && m.scorer.Quarantined(x, m.clockNow())
+}
 
 func (m *Machine) clockNow() time.Duration {
 	if m.clock != nil {

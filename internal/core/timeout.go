@@ -323,7 +323,11 @@ func (m *Machine) startRejoin(g table.Ref) {
 // pickGateway chooses a restart gateway from the registered gateways and
 // the table's live entries, rotated by the restart count so consecutive
 // restarts try different nodes. avoid (the unresponsive peer) is
-// excluded unless it is the only candidate.
+// excluded unless it is the only candidate. Crashed, departed, and
+// guard-quarantined nodes never qualify, and neither does the joiner
+// itself. When every static candidate is gone the sampling layer (if
+// wired) supplies fresh peers — a dead or hostile bootstrap set can no
+// longer starve the restart path.
 func (m *Machine) pickGateway(avoid id.ID) table.Ref {
 	cands := make(map[id.ID]table.Ref, len(m.gateways))
 	for x, r := range m.gateways {
@@ -334,12 +338,12 @@ func (m *Machine) pickGateway(avoid id.ID) table.Ref {
 			cands[n.ID] = n.Ref()
 		}
 	})
-	delete(cands, m.self.ID)
-	for x := range m.failed {
-		delete(cands, x)
-	}
-	for x := range m.departed {
-		delete(cands, x)
+	m.pruneGatewayCands(cands)
+	if len(cands) == 0 && m.sampled != nil {
+		for _, r := range m.sampled(maxSampledGateways) {
+			cands[r.ID] = r
+		}
+		m.pruneGatewayCands(cands)
 	}
 	if len(cands) > 1 {
 		delete(cands, avoid)
@@ -349,6 +353,31 @@ func (m *Machine) pickGateway(avoid id.ID) table.Ref {
 		return table.Ref{}
 	}
 	return list[m.restarts%len(list)]
+}
+
+// maxSampledGateways bounds how many sampled peers a single restart
+// considers.
+const maxSampledGateways = 8
+
+// pruneGatewayCands removes every candidate that must not serve as a
+// gateway: the node itself, crashed and departed peers, and peers the
+// guard scorer currently quarantines.
+func (m *Machine) pruneGatewayCands(cands map[id.ID]table.Ref) {
+	delete(cands, m.self.ID)
+	for x := range m.failed {
+		delete(cands, x)
+	}
+	for x := range m.departed {
+		delete(cands, x)
+	}
+	if m.scorer != nil {
+		now := m.clockNow()
+		for x := range cands {
+			if m.scorer.Quarantined(x, now) {
+				delete(cands, x)
+			}
+		}
+	}
 }
 
 // KnowsFailed reports whether the machine has recorded x as crashed.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hypercube/internal/core"
+	"hypercube/internal/guard"
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/table"
@@ -111,6 +112,106 @@ func TestJoinRestartRotatesGateway(t *testing.T) {
 	}
 	if !j.IsSNode() {
 		t.Fatalf("joiner never recovered from gateway crash, stuck in %v", j.Status())
+	}
+}
+
+// TestJoinRestartSkipsQuarantinedGateway: a fallback gateway that earned
+// itself a guard quarantine must not be chosen when the join restarts —
+// a hostile node cannot spam its way into becoming the rescue gateway.
+func TestJoinRestartSkipsQuarantinedGateway(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	pol := guard.Policy{Threshold: 3, Decay: time.Minute, Cooldown: time.Hour}
+	opts := timeoutOpts()
+	opts.Guard = &pol
+	j := core.NewJoiner(p, ref(p, "0123"), opts)
+	seedRef := ref(p, "3210")
+	badGw := ref(p, "2101")
+	goodGw := ref(p, "1032")
+	j.AddGateways(badGw, goodGw)
+	must(j.StartJoin(seedRef)) // lost: the seed has silently crashed
+
+	// The hostile fallback hammers the joiner with malformed requests and
+	// is quarantined before the join times out.
+	for i := 0; i < 3; i++ {
+		j.Deliver(msg.Envelope{From: badGw, To: j.Self(), Msg: msg.CpRst{Level: 99}})
+	}
+	if !j.PeerQuarantined(badGw.ID) {
+		t.Fatal("setup: hostile gateway not quarantined")
+	}
+
+	if out := j.Tick(100 * time.Millisecond); len(out) != 1 || out[0].To.ID != seedRef.ID {
+		t.Fatalf("first timeout should retry the seed, got %v", out)
+	}
+	out := j.Tick(time.Second) // attempt cap: restart through a fallback
+	if len(out) != 1 || out[0].Msg.Type() != msg.TCpRst {
+		t.Fatalf("give-up produced %v, want a fresh CpRst", out)
+	}
+	if out[0].To.ID == badGw.ID {
+		t.Fatal("restart chose the quarantined gateway")
+	}
+	if out[0].To.ID != goodGw.ID {
+		t.Fatalf("restart went to %v, want the clean fallback %v", out[0].To.ID, goodGw.ID)
+	}
+}
+
+// TestJoinRestartFallsBackToSampledPeers: when every static gateway is
+// gone, pickGateway consults the peer-sampling layer — and never selects
+// the joiner's own ref even if the sampler hands it back.
+func TestJoinRestartFallsBackToSampledPeers(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	self := ref(p, "0123")
+	seedRef := ref(p, "3210")
+	sampledPeer := ref(p, "1032")
+	j := core.NewJoiner(p, self, timeoutOpts())
+	j.SetPeerSampler(func(int) []table.Ref {
+		// A sloppy (or hostile) sampler can echo the node's own ref back.
+		return []table.Ref{self, sampledPeer}
+	})
+	must(j.StartJoin(seedRef))
+
+	// The failure detector declares the bootstrap dead mid-copy: the only
+	// static gateway is now off the candidate list, so the restart must
+	// come from the sample.
+	out := j.DeclareFailed(seedRef)
+	var rst []msg.Envelope
+	for _, env := range out {
+		if env.Msg.Type() == msg.TCpRst {
+			rst = append(rst, env)
+		}
+	}
+	if len(rst) != 1 {
+		t.Fatalf("declaration produced %d CpRsts, want 1 restart: %v", len(rst), out)
+	}
+	if rst[0].To.ID == self.ID {
+		t.Fatal("restart addressed the joiner itself")
+	}
+	if rst[0].To.ID != sampledPeer.ID {
+		t.Fatalf("restart went to %v, want sampled peer %v", rst[0].To.ID, sampledPeer.ID)
+	}
+	if j.Status() != core.StatusCopying {
+		t.Fatalf("status after sampled restart: %v", j.Status())
+	}
+}
+
+// TestPickGatewayNeverReturnsSelf: a sampler that only knows the node's
+// own ref yields no candidates; the restart falls back to retrying the
+// unresponsive gateway rather than the node addressing itself.
+func TestPickGatewayNeverReturnsSelf(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	self := ref(p, "0123")
+	seedRef := ref(p, "3210")
+	j := core.NewJoiner(p, self, timeoutOpts())
+	j.SetPeerSampler(func(int) []table.Ref { return []table.Ref{self} })
+	must(j.StartJoin(seedRef)) // lost
+	j.Tick(100 * time.Millisecond)
+	out := j.Tick(time.Second) // give-up: restart
+	for _, env := range out {
+		if env.To.ID == self.ID {
+			t.Fatalf("machine sent %v to itself", env.Msg.Type())
+		}
+	}
+	if len(out) != 1 || out[0].To.ID != seedRef.ID {
+		t.Fatalf("restart with no candidates sent %v, want a retry of the seed", out)
 	}
 }
 

@@ -181,6 +181,22 @@ func Check(p id.Params, self id.ID, env msg.Envelope) error {
 		return checkTable(p, from, m.Table)
 	case msg.SyncPush:
 		return checkTable(p, from, m.Table)
+	case msg.SamplePush:
+	case msg.SamplePullReq:
+	case msg.SamplePullRly:
+		if len(m.Refs) > msg.MaxSampleRefs {
+			return fmt.Errorf("SamplePullRly with %d refs exceeds %d", len(m.Refs), msg.MaxSampleRefs)
+		}
+		for i, r := range m.Refs {
+			if err := checkRef(p, r, false); err != nil {
+				return fmt.Errorf("SamplePullRly ref %d: %w", i, err)
+			}
+			// Strictly ascending IDs: the canonical order, which also rules
+			// out duplicate references padding the reply.
+			if i > 0 && !m.Refs[i-1].ID.Less(r.ID) {
+				return fmt.Errorf("SamplePullRly refs out of order at %d", i)
+			}
+		}
 	default:
 		return fmt.Errorf("unknown message type %T", env.Msg)
 	}

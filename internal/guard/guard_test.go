@@ -1,7 +1,10 @@
 package guard
 
 import (
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -57,6 +60,9 @@ func TestCheckValidMessages(t *testing.T) {
 		msg.SyncReq{Fill: fill},
 		msg.SyncRly{Table: snap, Fill: fill},
 		msg.SyncPush{Table: snap},
+		msg.SamplePush{},
+		msg.SamplePullReq{},
+		msg.SamplePullRly{Refs: ascending(t)},
 	}
 	if len(valid) != len(msg.Types()) {
 		t.Fatalf("valid list covers %d types, want %d", len(valid), len(msg.Types()))
@@ -72,6 +78,26 @@ func TestCheckValidMessages(t *testing.T) {
 	if len(seen) != len(msg.Types()) {
 		t.Errorf("valid list covers %d distinct types, want %d", len(seen), len(msg.Types()))
 	}
+}
+
+// ascending returns two valid refs in ascending ID order.
+func ascending(t *testing.T) []table.Ref {
+	t.Helper()
+	a, b := ref(t, "1201"), ref(t, "2211")
+	if a.ID.Less(b.ID) {
+		return []table.Ref{a, b}
+	}
+	return []table.Ref{b, a}
+}
+
+// outOfOrder returns two valid refs in descending ID order.
+func outOfOrder(t *testing.T) []table.Ref {
+	t.Helper()
+	a, b := ref(t, "1201"), ref(t, "2211")
+	if a.ID.Less(b.ID) {
+		return []table.Ref{b, a}
+	}
+	return []table.Ref{a, b}
 }
 
 type unknownMsg struct{}
@@ -140,6 +166,10 @@ func TestCheckRejectsMalformed(t *testing.T) {
 		{"SyncReq huge fill", msg.Envelope{From: from, To: self, Msg: msg.SyncReq{Fill: table.NewBitVector(17)}}, "fill vector"},
 		{"SyncRly wrong owner", msg.Envelope{From: from, To: self, Msg: msg.SyncRly{Table: snapOf(t, other)}}, "owned by"},
 		{"SyncPush wrong owner", msg.Envelope{From: from, To: self, Msg: msg.SyncPush{Table: snapOf(t, other)}}, "owned by"},
+		{"SamplePullRly zero ref", msg.Envelope{From: from, To: self, Msg: msg.SamplePullRly{Refs: []table.Ref{{}}}}, "null ref"},
+		{"SamplePullRly out of order", msg.Envelope{From: from, To: self, Msg: msg.SamplePullRly{Refs: outOfOrder(t)}}, "out of order"},
+		{"SamplePullRly duplicate ref", msg.Envelope{From: from, To: self, Msg: msg.SamplePullRly{Refs: []table.Ref{other, other}}}, "out of order"},
+		{"SamplePullRly oversized", msg.Envelope{From: from, To: self, Msg: msg.SamplePullRly{Refs: make([]table.Ref, msg.MaxSampleRefs+1)}}, "exceeds"},
 	}
 	for _, tc := range cases {
 		err := Check(tp, self.ID, tc.env)
@@ -219,5 +249,73 @@ func TestScorerEviction(t *testing.T) {
 	}
 	if s.Stats().Evictions == 0 {
 		t.Fatal("no evictions recorded")
+	}
+}
+
+// TestScorerConcurrentHammer drives one scorer from many goroutines the
+// way production does — under a shared mutex (the tcptransport node
+// serializes scorer access behind the machine lock). Run under -race
+// this verifies the locking discipline is sufficient, and the final
+// counters must still be coherent: charges accounted exactly, releases
+// never exceeding quarantines, and the active-quarantine gauge inside
+// its lifetime bounds.
+func TestScorerConcurrentHammer(t *testing.T) {
+	s := NewScorer(Policy{
+		Threshold: 4,
+		Decay:     time.Second,
+		Cooldown:  5 * time.Millisecond,
+		MaxPeers:  64,
+	})
+	var mu sync.Mutex
+
+	// A pool of peers larger than MaxPeers so eviction churns too.
+	peers := make([]id.ID, 128)
+	for i := range peers {
+		peers[i] = id.FromName(tp, fmt.Sprintf("peer-%d", i))
+	}
+
+	const workers = 8
+	const iters = 5000
+	var clock atomic.Int64 // shared monotonic time source, in microseconds
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				x := peers[(w*31+i)%len(peers)]
+				now := time.Duration(clock.Add(10)) * time.Microsecond
+				mu.Lock()
+				if i%3 == 0 {
+					s.Quarantined(x, now)
+				} else {
+					s.Charge(x, 1, now)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	wantCharges := 0
+	for w := 0; w < workers; w++ {
+		for i := 0; i < iters; i++ {
+			if i%3 != 0 {
+				wantCharges++
+			}
+		}
+	}
+	if st.Charges != wantCharges {
+		t.Errorf("charges = %d, want %d", st.Charges, wantCharges)
+	}
+	if st.Releases > st.Quarantines {
+		t.Errorf("releases %d exceed quarantines %d", st.Releases, st.Quarantines)
+	}
+	if st.Quarantined < 0 || st.Quarantined > st.Quarantines {
+		t.Errorf("active quarantines %d outside [0, %d]", st.Quarantined, st.Quarantines)
+	}
+	if len(s.peers) > 64 {
+		t.Errorf("scorer tracks %d peers, want <= MaxPeers 64", len(s.peers))
 	}
 }

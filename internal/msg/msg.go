@@ -69,8 +69,15 @@ const (
 	// TSyncPush completes an anti-entropy round with the entries the
 	// replier turned out to be missing.
 	TSyncPush
+	// TSamplePush asks the receiver to consider the sender for its
+	// peer-sampling view (Brahms push).
+	TSamplePush
+	// TSamplePullReq asks the receiver for its peer-sampling view.
+	TSamplePullReq
+	// TSamplePullRly answers a SamplePullReqMsg with the sender's view.
+	TSamplePullRly
 
-	numTypes = int(TSyncPush)
+	numTypes = int(TSamplePullRly)
 )
 
 // NumTypes is the number of defined message types; valid Type values are
@@ -78,27 +85,30 @@ const (
 const NumTypes = numTypes
 
 var typeNames = [...]string{
-	TCpRst:        "CpRstMsg",
-	TCpRly:        "CpRlyMsg",
-	TJoinWait:     "JoinWaitMsg",
-	TJoinWaitRly:  "JoinWaitRlyMsg",
-	TJoinNoti:     "JoinNotiMsg",
-	TJoinNotiRly:  "JoinNotiRlyMsg",
-	TInSysNoti:    "InSysNotiMsg",
-	TSpeNoti:      "SpeNotiMsg",
-	TSpeNotiRly:   "SpeNotiRlyMsg",
-	TRvNghNoti:    "RvNghNotiMsg",
-	TRvNghNotiRly: "RvNghNotiRlyMsg",
-	TLeave:        "LeaveMsg",
-	TLeaveRly:     "LeaveRlyMsg",
-	TFind:         "FindMsg",
-	TFindRly:      "FindRlyMsg",
-	TPing:         "PingMsg",
-	TPong:         "PongMsg",
-	TFailedNoti:   "FailedNotiMsg",
-	TSyncReq:      "SyncReqMsg",
-	TSyncRly:      "SyncRlyMsg",
-	TSyncPush:     "SyncPushMsg",
+	TCpRst:         "CpRstMsg",
+	TCpRly:         "CpRlyMsg",
+	TJoinWait:      "JoinWaitMsg",
+	TJoinWaitRly:   "JoinWaitRlyMsg",
+	TJoinNoti:      "JoinNotiMsg",
+	TJoinNotiRly:   "JoinNotiRlyMsg",
+	TInSysNoti:     "InSysNotiMsg",
+	TSpeNoti:       "SpeNotiMsg",
+	TSpeNotiRly:    "SpeNotiRlyMsg",
+	TRvNghNoti:     "RvNghNotiMsg",
+	TRvNghNotiRly:  "RvNghNotiRlyMsg",
+	TLeave:         "LeaveMsg",
+	TLeaveRly:      "LeaveRlyMsg",
+	TFind:          "FindMsg",
+	TFindRly:       "FindRlyMsg",
+	TPing:          "PingMsg",
+	TPong:          "PongMsg",
+	TFailedNoti:    "FailedNotiMsg",
+	TSyncReq:       "SyncReqMsg",
+	TSyncRly:       "SyncRlyMsg",
+	TSyncPush:      "SyncPushMsg",
+	TSamplePush:    "SamplePushMsg",
+	TSamplePullReq: "SamplePullReqMsg",
+	TSamplePullRly: "SamplePullRlyMsg",
 }
 
 // String returns the paper's name for the message type.
@@ -113,7 +123,7 @@ func (t Type) String() string {
 // counters and tests.
 func Types() []Type {
 	out := make([]Type, 0, numTypes)
-	for t := TCpRst; t <= TSyncPush; t++ {
+	for t := TCpRst; t <= TSamplePullRly; t++ {
 		out = append(out, t)
 	}
 	return out

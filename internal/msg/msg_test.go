@@ -47,10 +47,11 @@ func TestTypesEnumeratesAll(t *testing.T) {
 	types := Types()
 	// 11 message types of Figure 4, the four §7-extension messages
 	// (Leave, LeaveRly, Find, FindRly), the three liveness messages
-	// (Ping, Pong, FailedNoti), and the three anti-entropy messages
-	// (SyncReq, SyncRly, SyncPush).
-	if len(types) != 21 {
-		t.Fatalf("Types() has %d entries, want 21", len(types))
+	// (Ping, Pong, FailedNoti), the three anti-entropy messages
+	// (SyncReq, SyncRly, SyncPush), and the three peer-sampling messages
+	// (SamplePush, SamplePullReq, SamplePullRly).
+	if len(types) != 24 {
+		t.Fatalf("Types() has %d entries, want 24", len(types))
 	}
 	seen := make(map[Type]bool)
 	for _, typ := range types {
@@ -78,6 +79,7 @@ func TestBigClassification(t *testing.T) {
 		SpeNoti{}, SpeNotiRly{}, RvNghNoti{}, RvNghNotiRly{},
 		LeaveRly{}, Find{}, FindRly{},
 		Ping{}, Pong{}, FailedNoti{}, SyncReq{},
+		SamplePush{}, SamplePullReq{}, SamplePullRly{},
 	}
 	for _, m := range big {
 		if !m.Big() {
@@ -223,6 +225,9 @@ func TestAllMessagesTypeAndSize(t *testing.T) {
 		{SyncReq{Fill: table.NewBitVector(p168.B * p168.D)}, TSyncReq},
 		{SyncRly{Table: snap, Fill: table.NewBitVector(p168.B * p168.D)}, TSyncRly},
 		{SyncPush{Table: snap}, TSyncPush},
+		{SamplePush{}, TSamplePush},
+		{SamplePullReq{}, TSamplePullReq},
+		{SamplePullRly{Refs: []table.Ref{ref}}, TSamplePullRly},
 	}
 	if len(cases) != len(Types()) {
 		t.Fatalf("case list covers %d of %d message types", len(cases), len(Types()))

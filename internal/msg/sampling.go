@@ -1,0 +1,64 @@
+// Peer-sampling messages — the gossip substrate behind gateway
+// selection, rejoin bootstrap, and anti-entropy peer choice. A round is
+// a Brahms-style push-pull exchange: nodes push their own reference to a
+// few view members (SamplePush), pull the views of a few others
+// (SamplePullReq/SamplePullRly), and mix pushes, pulls, and min-wise
+// sampler history into the next view. Pushes carry no payload beyond the
+// envelope sender, so a byzantine flooder can at most inflate push
+// counts — which the receiver detects and discards wholesale.
+package msg
+
+import "hypercube/internal/table"
+
+// SamplePush asks the receiver to consider the envelope sender for its
+// next view. Deliberately payload-free: the only identity a push can
+// promote is the one the transport authenticated as the sender.
+type SamplePush struct{}
+
+// Type implements Message.
+func (SamplePush) Type() Type { return TSamplePush }
+
+// Big implements Message.
+func (SamplePush) Big() bool { return false }
+
+// WireSize implements Message.
+func (SamplePush) WireSize() int { return smallHeader }
+
+// SamplePullReq asks the receiver for its current view.
+type SamplePullReq struct{}
+
+// Type implements Message.
+func (SamplePullReq) Type() Type { return TSamplePullReq }
+
+// Big implements Message.
+func (SamplePullReq) Big() bool { return false }
+
+// WireSize implements Message.
+func (SamplePullReq) WireSize() int { return smallHeader }
+
+// MaxSampleRefs bounds the reference list of a SamplePullRly: views are
+// small (O(n^1/3)), so anything larger is hostile. Guard and wire both
+// enforce the bound.
+const MaxSampleRefs = 64
+
+// SamplePullRly answers a SamplePullReq with the responder's view. Refs
+// are strictly ascending by ID — the canonical form the guard enforces —
+// so a reply can neither smuggle duplicates nor vary its encoding.
+type SamplePullRly struct {
+	Refs []table.Ref
+}
+
+// Type implements Message.
+func (SamplePullRly) Type() Type { return TSamplePullRly }
+
+// Big implements Message.
+func (SamplePullRly) Big() bool { return false }
+
+// WireSize implements Message.
+func (m SamplePullRly) WireSize() int {
+	total := smallHeader + 1
+	for _, r := range m.Refs {
+		total += refSize(r)
+	}
+	return total
+}

@@ -96,6 +96,12 @@ const (
 	// deferred join, a reverse-neighbor registration) instead of growing
 	// a bounded set; Detail names the set.
 	KindBusy Kind = "busy"
+	// Peer-sampling (gossip) events. KindSampleRound is one push-pull
+	// round (N the view size after the round); KindSampleFlood a round
+	// whose push volume exceeded the Brahms α·l threshold, so the view
+	// update was skipped (N the offending push count).
+	KindSampleRound Kind = "sample_round"
+	KindSampleFlood Kind = "sample_flood"
 )
 
 // Event is one traced protocol step. The zero value of every field but

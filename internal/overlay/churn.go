@@ -43,6 +43,7 @@ func (n *Network) FinalizeLeaves() []id.ID {
 		delete(n.machines, x)
 		delete(n.probers, x)
 		delete(n.engines, x)
+		delete(n.samplers, x)
 		n.removed[x] = true
 	}
 	return gone
@@ -58,6 +59,7 @@ func (n *Network) InjectFailure(x id.ID) error {
 	delete(n.machines, x)
 	delete(n.probers, x)
 	delete(n.engines, x)
+	delete(n.samplers, x)
 	n.removed[x] = true
 	return nil
 }

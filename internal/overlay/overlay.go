@@ -23,6 +23,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
 	"hypercube/internal/obs"
+	"hypercube/internal/sampling"
 	"hypercube/internal/sim"
 	"hypercube/internal/table"
 	"hypercube/internal/topology"
@@ -142,6 +143,12 @@ type Config struct {
 	// to every machine, scheduled off the same virtual-clock pump as the
 	// probers; nil disables anti-entropy rounds.
 	AntiEntropy *antientropy.Config
+	// Sampling attaches a gossip peer-sampling engine
+	// (internal/sampling) to every machine, scheduled off the clock pump.
+	// The machine's gateway selection, the anti-entropy engine's peer
+	// choice, and restart bootstrap all gain the sampled-peer fallback;
+	// nil disables the sampling layer.
+	Sampling *sampling.Config
 	// TickInterval is the cadence of the clock pump driving probers and
 	// Machine.Tick during RunFor. Default 50ms.
 	TickInterval time.Duration
@@ -190,6 +197,8 @@ type Network struct {
 	probers map[id.ID]*liveness.Prober
 	// engines holds each node's anti-entropy engine (Config.AntiEntropy).
 	engines map[id.ID]*antientropy.Engine
+	// samplers holds each node's peer-sampling engine (Config.Sampling).
+	samplers map[id.ID]*sampling.Engine
 	// partition maps nodes to their partition group; messages between
 	// different groups drop in flight (Partition/Heal fault injection).
 	partition        map[id.ID]int
@@ -229,6 +238,7 @@ func New(cfg Config) *Network {
 		removed:         make(map[id.ID]bool),
 		probers:         make(map[id.ID]*liveness.Prober),
 		engines:         make(map[id.ID]*antientropy.Engine),
+		samplers:        make(map[id.ID]*sampling.Engine),
 	}
 	if cfg.Loss != nil {
 		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
@@ -274,6 +284,20 @@ func (n *Network) addMachine(m *core.Machine) {
 		e := antientropy.New(*n.cfg.AntiEntropy, m)
 		e.SetSink(n.sink)
 		n.engines[m.Self().ID] = e
+	}
+	if n.cfg.Sampling != nil {
+		s := sampling.New(*n.cfg.Sampling, m.Self())
+		// Quarantined peers are inadmissible; live table neighbors re-prime
+		// an emptied view; the machine (and its anti-entropy engine) draw
+		// restart gateways and sync peers from the min-wise samplers.
+		s.SetValidator(func(r table.Ref) bool { return !m.PeerQuarantined(r.ID) })
+		s.SetBootstrap(m.SyncPeers)
+		s.SetSink(n.sink)
+		m.SetPeerSampler(s.Sample)
+		if e := n.engines[m.Self().ID]; e != nil {
+			e.SetPeerSampler(s.Sample)
+		}
+		n.samplers[m.Self().ID] = s
 	}
 }
 
@@ -364,6 +388,12 @@ func (n *Network) ScheduleJoin(ref table.Ref, g0 table.Ref, at time.Duration, fa
 	})
 	return m
 }
+
+// Transmit schedules delivery of envelopes produced outside the
+// network's own pumps — e.g. a driver calling a machine method such as
+// StartRejoin directly — applying the same latency, loss, partition,
+// and byzantine fault models as internally generated traffic.
+func (n *Network) Transmit(envs []msg.Envelope) { n.transmit(envs) }
 
 // transmit schedules delivery of each envelope after its pair latency.
 // Envelopes leaving a byzantine member pass through the fault model
@@ -496,6 +526,15 @@ func (n *Network) deliver(env msg.Envelope) {
 		// Any other traffic from a peer is evidence of its liveness.
 		p.Observe(env.From.ID)
 	}
+	if s := n.samplers[env.To.ID]; s != nil {
+		// The sampling engine owns its message types, like the prober owns
+		// probes; the machine never sees them.
+		switch env.Msg.Type() {
+		case msg.TSamplePush, msg.TSamplePullReq, msg.TSamplePullRly:
+			n.transmit(s.Deliver(env))
+			return
+		}
+	}
 	out := m.Deliver(env)
 	if started, joining := n.joinersInFlight[env.To.ID]; joining && m.IsSNode() {
 		c := m.Counters()
@@ -547,7 +586,7 @@ func (n *Network) scheduleTick() {
 	if n.tickPending {
 		return
 	}
-	if n.cfg.Liveness == nil && n.cfg.AntiEntropy == nil && !n.cfg.Opts.Timeouts.Enabled() {
+	if n.cfg.Liveness == nil && n.cfg.AntiEntropy == nil && n.cfg.Sampling == nil && !n.cfg.Opts.Timeouts.Enabled() {
 		return
 	}
 	n.tickPending = true
@@ -585,6 +624,9 @@ func (n *Network) tick() {
 		n.transmit(m.Tick(now))
 		if e := n.engines[x]; e != nil {
 			n.transmit(e.Tick(now))
+		}
+		if s := n.samplers[x]; s != nil {
+			n.transmit(s.Tick(now))
 		}
 	}
 }
@@ -661,6 +703,30 @@ func (n *Network) AntiEntropyStats() antientropy.Stats {
 		total.Purged += s.Purged
 	}
 	return total
+}
+
+// SamplingStats aggregates peer-sampling counters over all live nodes.
+func (n *Network) SamplingStats() sampling.Stats {
+	var total sampling.Stats
+	for _, s := range n.samplers {
+		st := s.Stats()
+		total.Rounds += st.Rounds
+		total.PushesSent += st.PushesSent
+		total.PushesReceived += st.PushesReceived
+		total.PullsSent += st.PullsSent
+		total.PullsAnswered += st.PullsAnswered
+		total.FloodsDetected += st.FloodsDetected
+		total.Ejected += st.Ejected
+		total.ViewSize += st.ViewSize
+		total.SamplerFill += st.SamplerFill
+	}
+	return total
+}
+
+// Sampler returns node x's peer-sampling engine, if sampling is enabled.
+func (n *Network) Sampler(x id.ID) (*sampling.Engine, bool) {
+	s, ok := n.samplers[x]
+	return s, ok
 }
 
 // Prober returns node x's failure detector, if liveness is enabled.

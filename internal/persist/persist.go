@@ -26,6 +26,12 @@ type fileEntry struct {
 	State string `json:"state"`
 }
 
+// filePeer is one sampled bootstrap peer on disk.
+type filePeer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
 // fileSnapshot is the on-disk form of a snapshot.
 type fileSnapshot struct {
 	Version int         `json:"version"`
@@ -35,10 +41,20 @@ type fileSnapshot struct {
 	Lo      int         `json:"lo"`
 	Hi      int         `json:"hi"`
 	Entries []fileEntry `json:"entries"`
+	// Sampled carries the peer-sampling layer's long-term sample at dump
+	// time: bootstrap candidates for the restart-rejoin that remain valid
+	// even when every table neighbor died with the outage that forced the
+	// restart. Absent in dumps from before the sampling layer.
+	Sampled []filePeer `json:"sampled,omitempty"`
 }
 
 // Save writes the snapshot to w as JSON.
 func Save(w io.Writer, snap table.Snapshot) error {
+	return SaveState(w, snap, nil)
+}
+
+// SaveState writes the snapshot plus sampled bootstrap peers to w.
+func SaveState(w io.Writer, snap table.Snapshot, sampled []table.Ref) error {
 	if snap.IsZero() {
 		return fmt.Errorf("persist: cannot save a zero snapshot")
 	}
@@ -58,6 +74,12 @@ func Save(w io.Writer, snap table.Snapshot) error {
 			ID: n.ID.String(), Addr: n.Addr, State: n.State.String(),
 		})
 	})
+	for _, r := range sampled {
+		if r.IsZero() {
+			continue
+		}
+		out.Sampled = append(out.Sampled, filePeer{ID: r.ID.String(), Addr: r.Addr})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
@@ -69,25 +91,32 @@ func Save(w io.Writer, snap table.Snapshot) error {
 // Load reads a snapshot from r, verifying it matches the expected ID
 // space.
 func Load(r io.Reader, p id.Params) (table.Snapshot, error) {
+	snap, _, err := LoadState(r, p)
+	return snap, err
+}
+
+// LoadState reads a snapshot plus any sampled bootstrap peers from r.
+// Dumps written before the sampling layer load with nil peers.
+func LoadState(r io.Reader, p id.Params) (table.Snapshot, []table.Ref, error) {
 	var in fileSnapshot
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return table.Snapshot{}, fmt.Errorf("persist: decode: %w", err)
+		return table.Snapshot{}, nil, fmt.Errorf("persist: decode: %w", err)
 	}
 	if in.Version != formatVersion {
-		return table.Snapshot{}, fmt.Errorf("persist: format version %d, want %d", in.Version, formatVersion)
+		return table.Snapshot{}, nil, fmt.Errorf("persist: format version %d, want %d", in.Version, formatVersion)
 	}
 	if in.B != p.B || in.D != p.D {
-		return table.Snapshot{}, fmt.Errorf("persist: dump is for b=%d d=%d, want b=%d d=%d", in.B, in.D, p.B, p.D)
+		return table.Snapshot{}, nil, fmt.Errorf("persist: dump is for b=%d d=%d, want b=%d d=%d", in.B, in.D, p.B, p.D)
 	}
 	owner, err := id.Parse(p, in.Owner)
 	if err != nil {
-		return table.Snapshot{}, fmt.Errorf("persist: owner: %w", err)
+		return table.Snapshot{}, nil, fmt.Errorf("persist: owner: %w", err)
 	}
 	entries := make(map[[2]int]table.Neighbor, len(in.Entries))
 	for _, e := range in.Entries {
 		x, err := id.Parse(p, e.ID)
 		if err != nil {
-			return table.Snapshot{}, fmt.Errorf("persist: entry (%d,%d): %w", e.Level, e.Digit, err)
+			return table.Snapshot{}, nil, fmt.Errorf("persist: entry (%d,%d): %w", e.Level, e.Digit, err)
 		}
 		var st table.State
 		switch e.State {
@@ -96,15 +125,23 @@ func Load(r io.Reader, p id.Params) (table.Snapshot, error) {
 		case "S":
 			st = table.StateS
 		default:
-			return table.Snapshot{}, fmt.Errorf("persist: entry (%d,%d): unknown state %q", e.Level, e.Digit, e.State)
+			return table.Snapshot{}, nil, fmt.Errorf("persist: entry (%d,%d): unknown state %q", e.Level, e.Digit, e.State)
 		}
 		entries[[2]int{e.Level, e.Digit}] = table.Neighbor{ID: x, Addr: e.Addr, State: st}
 	}
 	snap, err := table.NewSnapshot(p, owner, in.Lo, in.Hi, entries)
 	if err != nil {
-		return table.Snapshot{}, fmt.Errorf("persist: %w", err)
+		return table.Snapshot{}, nil, fmt.Errorf("persist: %w", err)
 	}
-	return snap, nil
+	var sampled []table.Ref
+	for i, fp := range in.Sampled {
+		x, err := id.Parse(p, fp.ID)
+		if err != nil {
+			return table.Snapshot{}, nil, fmt.Errorf("persist: sampled peer %d: %w", i, err)
+		}
+		sampled = append(sampled, table.Ref{ID: x, Addr: fp.Addr})
+	}
+	return snap, sampled, nil
 }
 
 // saveHook, when non-nil, runs after the snapshot bytes are written to
@@ -118,12 +155,17 @@ var saveHook func(tmp *os.File) error
 // a torn file — the rename is the commit point, and the fsync ensures
 // the data is durable before the name flips to it.
 func SaveFile(path string, snap table.Snapshot) error {
+	return SaveFileState(path, snap, nil)
+}
+
+// SaveFileState is SaveFile plus sampled bootstrap peers.
+func SaveFileState(path string, snap table.Snapshot, sampled []table.Ref) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".table-*.json")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if err := Save(tmp, snap); err != nil {
+	if err := SaveState(tmp, snap, sampled); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -161,12 +203,19 @@ func syncDir(dir string) {
 
 // LoadFile reads a snapshot previously written by SaveFile.
 func LoadFile(path string, p id.Params) (table.Snapshot, error) {
+	snap, _, err := LoadFileState(path, p)
+	return snap, err
+}
+
+// LoadFileState reads a snapshot plus sampled bootstrap peers previously
+// written by SaveFileState.
+func LoadFileState(path string, p id.Params) (table.Snapshot, []table.Ref, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return table.Snapshot{}, fmt.Errorf("persist: %w", err)
+		return table.Snapshot{}, nil, fmt.Errorf("persist: %w", err)
 	}
 	defer f.Close()
-	return Load(f, p)
+	return LoadState(f, p)
 }
 
 // Restore materializes a mutable table from a snapshot.

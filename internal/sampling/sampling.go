@@ -1,0 +1,525 @@
+// Package sampling implements a Brahms-style byzantine-resistant gossip
+// peer-sampling layer (Bortnikov et al., "Brahms: Byzantine Resilient
+// Random Membership Sampling").
+//
+// Each node keeps a small bounded view of peer references, refreshed
+// every round by a push-pull exchange: it pushes its own reference to a
+// few view members, pulls the views of a few others, and rebuilds the
+// view as a mix of α·l pushed peers, β·l pulled peers, and γ·l history
+// samples. The history comes from min-wise independent samplers: each
+// sampler slot draws a random hash function at birth and keeps the
+// reference with the minimum hash among everything it has ever observed,
+// which converges to a uniform sample of all peer IDs ever seen — an
+// adversary that floods pushes can bias the *view* for a while, but a
+// sampler only replaces its element when the flooded ID hashes lower,
+// which happens with probability 1/(ids observed), independent of volume.
+// Two further defenses: a round that receives more pushes than α·l keeps
+// the previous view wholesale (flood detection), and pull replies are
+// accepted only from peers actually pulled this round.
+//
+// The layer feeds every recovery path that would otherwise depend on a
+// static bootstrap set: gateway selection for join restarts, rejoin after
+// restart, and anti-entropy sync-peer choice. A validator hook (wired to
+// the guard scorer's quarantine state) ejects misbehaving peers from
+// both the view and the samplers.
+package sampling
+
+import (
+	"sort"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/msg"
+	"hypercube/internal/obs"
+	"hypercube/internal/table"
+)
+
+// Config parameterizes one engine. The zero value gets defaults.
+type Config struct {
+	// ViewSize is l, the bound on the local view. Brahms suggests
+	// l ≈ n^(1/3); the default 16 covers n up to ~4k.
+	ViewSize int
+	// Alpha, Beta, Gamma are the view mixing weights for pushed peers,
+	// pulled peers, and history samples. They should sum to 1; the
+	// defaults are the exemplar's 0.45/0.45/0.10.
+	Alpha, Beta, Gamma float64
+	// Samplers is the number of min-wise independent samplers backing
+	// the history sample. Defaults to 2·ViewSize.
+	Samplers int
+	// Interval is the round period. Defaults to 1s.
+	Interval time.Duration
+	// Seed makes every engine's randomness deterministic: the per-node
+	// stream is derived from Seed mixed with the node's own ID.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ViewSize <= 0 {
+		c.ViewSize = 16
+	}
+	if c.ViewSize > msg.MaxSampleRefs {
+		c.ViewSize = msg.MaxSampleRefs
+	}
+	if c.Alpha <= 0 && c.Beta <= 0 && c.Gamma <= 0 {
+		c.Alpha, c.Beta, c.Gamma = 0.45, 0.45, 0.10
+	}
+	if c.Samplers <= 0 {
+		c.Samplers = 2 * c.ViewSize
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	return c
+}
+
+// Stats counts engine activity for reporting.
+type Stats struct {
+	Rounds         int // push-pull rounds run
+	PushesSent     int
+	PushesReceived int
+	PullsSent      int
+	PullsAnswered  int
+	// FloodsDetected counts rounds whose push volume exceeded α·l and
+	// whose view update was therefore skipped.
+	FloodsDetected int
+	// Ejected counts references removed from view or samplers by the
+	// validator (quarantine) or Invalidate.
+	Ejected int
+	// ViewSize and SamplerFill describe current occupancy.
+	ViewSize    int
+	SamplerFill int
+}
+
+// sampler is one min-wise independent sampler: a fixed random hash seed
+// and the reference with the minimum hash observed so far.
+type sampler struct {
+	seed uint64
+	min  uint64
+	cur  table.Ref
+}
+
+func (s *sampler) observe(r table.Ref) {
+	h := hashID(s.seed, r.ID)
+	if s.cur.IsZero() || h < s.min {
+		s.min, s.cur = h, r
+	}
+}
+
+func (s *sampler) reset() {
+	s.min, s.cur = 0, table.Ref{}
+}
+
+// hashID is FNV-1a over the sampler seed and the ID's raw digits — a
+// cheap stand-in for the min-wise independent hash family; the seed is
+// drawn per sampler at engine birth and unknown to remote peers.
+func hashID(seed uint64, x id.ID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= seed >> (8 * i) & 0xff
+		h *= prime64
+	}
+	var buf [64]byte
+	for _, b := range x.AppendRawDigits(buf[:0]) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// rng is a small deterministic PRNG (splitmix64). The engine cannot use
+// math/rand directly because each node needs an independent stream
+// derived from (config seed, node ID) without sharing state.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Engine runs the sampling protocol for one node. Not safe for
+// concurrent use; like the protocol machine, a runtime drives it from a
+// single goroutine or under a lock.
+type Engine struct {
+	cfg  Config
+	self table.Ref
+	rnd  rng
+
+	view     []table.Ref
+	pushBuf  map[id.ID]table.Ref
+	pullBuf  map[id.ID]table.Ref
+	pullFrom map[id.ID]bool
+
+	samplers []sampler
+
+	validate  func(table.Ref) bool
+	bootstrap func() []table.Ref
+
+	// Observability (nil when tracing is off; see SetSink).
+	sink     obs.Sink
+	selfName string
+
+	next  time.Duration
+	first bool
+	stats Stats
+}
+
+// New builds an engine for self. Determinism: the same (cfg.Seed, self)
+// always yields the same random stream, sampler hash seeds, and round
+// stagger.
+func New(cfg Config, self table.Ref) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:      cfg,
+		self:     self,
+		rnd:      rng{state: uint64(cfg.Seed) ^ hashID(0x5a11, self.ID)},
+		pushBuf:  make(map[id.ID]table.Ref),
+		pullBuf:  make(map[id.ID]table.Ref),
+		pullFrom: make(map[id.ID]bool),
+		samplers: make([]sampler, cfg.Samplers),
+		first:    true,
+	}
+	for i := range e.samplers {
+		e.samplers[i].seed = e.rnd.next()
+	}
+	return e
+}
+
+// Self returns the engine's own reference.
+func (e *Engine) Self() table.Ref { return e.self }
+
+// SetValidator installs the acceptance predicate: references it rejects
+// are never admitted and are ejected from view and samplers at each
+// round. Wire it to the guard scorer's quarantine check.
+func (e *Engine) SetValidator(f func(table.Ref) bool) { e.validate = f }
+
+// SetBootstrap installs a fallback source of peers consulted when a
+// round starts with an empty view (fresh node, or every view member
+// ejected). Wire it to the machine's live table peers.
+func (e *Engine) SetBootstrap(f func() []table.Ref) { e.bootstrap = f }
+
+// SetSink installs the protocol-event sink; nil or obs.Nop turns tracing
+// off (the default). Wrap with obs.Clocked so the driving runtime stamps
+// Event.T.
+func (e *Engine) SetSink(s obs.Sink) {
+	if obs.IsNop(s) {
+		e.sink = nil
+		return
+	}
+	e.sink = s
+	e.selfName = e.self.ID.String()
+}
+
+func (e *Engine) admissible(r table.Ref) bool {
+	if r.IsZero() || r.ID == e.self.ID {
+		return false
+	}
+	return e.validate == nil || e.validate(r)
+}
+
+// SeedPeers primes the view and samplers with initial contacts.
+func (e *Engine) SeedPeers(refs ...table.Ref) {
+	for _, r := range refs {
+		if !e.admissible(r) {
+			continue
+		}
+		e.observe(r)
+		if len(e.view) < e.cfg.ViewSize && !refsContain(e.view, r.ID) {
+			e.view = append(e.view, r)
+		}
+	}
+}
+
+func (e *Engine) observe(r table.Ref) {
+	for i := range e.samplers {
+		e.samplers[i].observe(r)
+	}
+}
+
+// Deliver handles one sampling message and returns any replies. Callers
+// route TSamplePush, TSamplePullReq, and TSamplePullRly here; other
+// types are ignored.
+func (e *Engine) Deliver(env msg.Envelope) []msg.Envelope {
+	switch env.Msg.(type) {
+	case msg.SamplePush:
+		e.stats.PushesReceived++
+		if e.admissible(env.From) {
+			e.pushBuf[env.From.ID] = env.From
+			e.observe(env.From)
+		}
+	case msg.SamplePullReq:
+		if !e.admissible(env.From) {
+			return nil
+		}
+		e.stats.PullsAnswered++
+		return []msg.Envelope{{
+			From: e.self,
+			To:   env.From,
+			Msg:  msg.SamplePullRly{Refs: e.View()},
+		}}
+	case msg.SamplePullRly:
+		// Unsolicited pull replies are an attack vector (they would let a
+		// flooder inject arbitrary references); accept only from peers we
+		// pulled this round, once.
+		if !e.pullFrom[env.From.ID] {
+			return nil
+		}
+		delete(e.pullFrom, env.From.ID)
+		m := env.Msg.(msg.SamplePullRly)
+		refs := m.Refs
+		if len(refs) > msg.MaxSampleRefs {
+			refs = refs[:msg.MaxSampleRefs]
+		}
+		for _, r := range refs {
+			if e.admissible(r) {
+				e.pullBuf[r.ID] = r
+				e.observe(r)
+			}
+		}
+	}
+	return nil
+}
+
+// Tick runs at most one push-pull round when the round period elapsed,
+// returning the envelopes to transmit. The first round is staggered per
+// node so a synchronized start does not thundering-herd the network.
+func (e *Engine) Tick(now time.Duration) []msg.Envelope {
+	if e.first {
+		e.first = false
+		e.next = now + time.Duration(hashID(0x57a6, e.self.ID)%uint64(e.cfg.Interval))
+	}
+	if now < e.next {
+		return nil
+	}
+	e.next = now + e.cfg.Interval
+	return e.round()
+}
+
+func (e *Engine) round() []msg.Envelope {
+	e.stats.Rounds++
+	e.sweep()
+
+	alpha := scaled(e.cfg.Alpha, e.cfg.ViewSize)
+	beta := scaled(e.cfg.Beta, e.cfg.ViewSize)
+	gamma := scaled(e.cfg.Gamma, e.cfg.ViewSize)
+
+	// Close the previous round: rebuild the view from its pushes, pulls,
+	// and history — unless the push volume exceeded α·l, the Brahms flood
+	// signature, in which case the previous view survives unchanged and
+	// only the (flood-resistant) samplers saw the attack traffic.
+	if len(e.pushBuf) > alpha {
+		e.stats.FloodsDetected++
+		if e.sink != nil {
+			e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSampleFlood, N: len(e.pushBuf)})
+		}
+	} else if len(e.pushBuf) > 0 && len(e.pullBuf) > 0 {
+		fresh := make([]table.Ref, 0, e.cfg.ViewSize)
+		fresh = e.appendRandom(fresh, mapRefs(e.pushBuf), alpha)
+		fresh = e.appendRandom(fresh, mapRefs(e.pullBuf), beta)
+		fresh = e.appendRandom(fresh, e.history(), gamma)
+		if len(fresh) > 0 {
+			e.view = fresh
+		}
+	}
+	clear(e.pushBuf)
+	clear(e.pullBuf)
+	clear(e.pullFrom)
+
+	// An empty view means the node is isolated; re-prime from the
+	// bootstrap source (live table peers) before gossiping.
+	if len(e.view) == 0 && e.bootstrap != nil {
+		e.SeedPeers(e.bootstrap()...)
+	}
+	if len(e.view) == 0 {
+		return nil
+	}
+
+	// Open the next round: push self to α·l view members, pull from β·l.
+	var out []msg.Envelope
+	for _, to := range e.pickRandom(e.view, alpha) {
+		out = append(out, msg.Envelope{From: e.self, To: to, Msg: msg.SamplePush{}})
+		e.stats.PushesSent++
+	}
+	for _, to := range e.pickRandom(e.view, beta) {
+		out = append(out, msg.Envelope{From: e.self, To: to, Msg: msg.SamplePullReq{}})
+		e.pullFrom[to.ID] = true
+		e.stats.PullsSent++
+	}
+	if e.sink != nil {
+		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSampleRound, N: len(e.view)})
+	}
+	return out
+}
+
+// sweep re-validates the view and samplers, ejecting references the
+// validator now rejects (e.g. freshly quarantined peers).
+func (e *Engine) sweep() {
+	if e.validate == nil {
+		return
+	}
+	kept := e.view[:0]
+	for _, r := range e.view {
+		if e.admissible(r) {
+			kept = append(kept, r)
+		} else {
+			e.stats.Ejected++
+		}
+	}
+	e.view = kept
+	for i := range e.samplers {
+		if cur := e.samplers[i].cur; !cur.IsZero() && !e.admissible(cur) {
+			e.samplers[i].reset()
+			e.stats.Ejected++
+		}
+	}
+}
+
+// Invalidate ejects a peer everywhere: view, buffers, and any sampler
+// holding it (those samplers restart empty and re-converge).
+func (e *Engine) Invalidate(x id.ID) {
+	kept := e.view[:0]
+	for _, r := range e.view {
+		if r.ID == x {
+			e.stats.Ejected++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.view = kept
+	delete(e.pushBuf, x)
+	delete(e.pullBuf, x)
+	delete(e.pullFrom, x)
+	for i := range e.samplers {
+		if e.samplers[i].cur.ID == x {
+			e.samplers[i].reset()
+			e.stats.Ejected++
+		}
+	}
+}
+
+// View returns the current view, ascending by ID (the canonical wire
+// order of SamplePullRly).
+func (e *Engine) View() []table.Ref {
+	out := make([]table.Ref, len(e.view))
+	copy(out, e.view)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// Sample returns up to k distinct references from the min-wise samplers
+// — the byzantine-resistant long-term sample. Slot order is preserved,
+// so a fixed seed yields a deterministic result.
+func (e *Engine) Sample(k int) []table.Ref {
+	var out []table.Ref
+	seen := make(map[id.ID]bool, k)
+	for i := range e.samplers {
+		if len(out) >= k {
+			break
+		}
+		cur := e.samplers[i].cur
+		if cur.IsZero() || seen[cur.ID] || !e.admissible(cur) {
+			continue
+		}
+		seen[cur.ID] = true
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the engine's counters and occupancy.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.ViewSize = len(e.view)
+	for i := range e.samplers {
+		if !e.samplers[i].cur.IsZero() {
+			st.SamplerFill++
+		}
+	}
+	return st
+}
+
+// appendRandom moves up to n entries of pool into dst, skipping IDs
+// already present, consuming pool in random order.
+func (e *Engine) appendRandom(dst, pool []table.Ref, n int) []table.Ref {
+	for n > 0 && len(pool) > 0 {
+		i := e.rnd.intn(len(pool))
+		r := pool[i]
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if refsContain(dst, r.ID) {
+			continue
+		}
+		dst = append(dst, r)
+		n--
+	}
+	return dst
+}
+
+// pickRandom returns up to n distinct random entries of view.
+func (e *Engine) pickRandom(view []table.Ref, n int) []table.Ref {
+	pool := make([]table.Ref, len(view))
+	copy(pool, view)
+	var out []table.Ref
+	for n > 0 && len(pool) > 0 {
+		i := e.rnd.intn(len(pool))
+		out = append(out, pool[i])
+		pool[i] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		n--
+	}
+	return out
+}
+
+// history returns the sampler contents as a shuffle pool.
+func (e *Engine) history() []table.Ref {
+	var out []table.Ref
+	for i := range e.samplers {
+		if cur := e.samplers[i].cur; !cur.IsZero() {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// mapRefs flattens a buffer map in deterministic (sorted) order so the
+// subsequent random draws replay identically under a fixed seed.
+func mapRefs(m map[id.ID]table.Ref) []table.Ref {
+	out := make([]table.Ref, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+func refsContain(refs []table.Ref, x id.ID) bool {
+	for _, r := range refs {
+		if r.ID == x {
+			return true
+		}
+	}
+	return false
+}
+
+// scaled returns max(1, round(f·l)) — every mixing class contributes at
+// least one slot so degenerate weights cannot zero out a component.
+func scaled(f float64, l int) int {
+	n := int(f*float64(l) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -334,6 +334,11 @@ func (t *Topology) AttachHosts(n int, rng *rand.Rand) []int {
 // HostRouter returns the router host h is attached to.
 func (t *Topology) HostRouter(h int) int { return t.hostRouter[h] }
 
+// StubOf returns the stub-domain index router r belongs to, or -1 for
+// transit routers. Fault injectors use it to take down whole stub
+// domains (every host attached under the domain) at once.
+func (t *Topology) StubOf(r int) int { return t.stubOf[r] }
+
 // RouterDistance returns the exact shortest-path latency between two
 // routers.
 func (t *Topology) RouterDistance(a, b int) time.Duration {

@@ -61,6 +61,7 @@ type statusResponse struct {
 	Queues      map[string]int     `json:"queues,omitempty"`
 	Liveness    *livenessStatus    `json:"liveness,omitempty"`
 	AntiEntropy *antiEntropyStatus `json:"antiEntropy,omitempty"`
+	Sampling    *samplingStatus    `json:"sampling,omitempty"`
 	Guard       *guardStatus       `json:"guard,omitempty"`
 }
 
@@ -106,6 +107,20 @@ type antiEntropyStatus struct {
 	Rounds int `json:"rounds"`
 	Pulled int `json:"pulled"`
 	Purged int `json:"purged"`
+}
+
+// samplingStatus is the gossip peer-sampling slice of /status; present
+// only when the node was started with WithSampling.
+type samplingStatus struct {
+	Rounds         int `json:"rounds"`
+	ViewSize       int `json:"viewSize"`
+	SamplerFill    int `json:"samplerFill"`
+	PushesSent     int `json:"pushesSent"`
+	PushesReceived int `json:"pushesReceived"`
+	PullsSent      int `json:"pullsSent"`
+	PullsAnswered  int `json:"pullsAnswered"`
+	FloodsDetected int `json:"floodsDetected"`
+	Ejected        int `json:"ejected"`
 }
 
 func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -166,6 +181,19 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 			Rounds: stats.Rounds,
 			Pulled: stats.Pulled,
 			Purged: stats.Purged,
+		}
+	}
+	if stats, ok := n.SamplingStats(); ok {
+		resp.Sampling = &samplingStatus{
+			Rounds:         stats.Rounds,
+			ViewSize:       stats.ViewSize,
+			SamplerFill:    stats.SamplerFill,
+			PushesSent:     stats.PushesSent,
+			PushesReceived: stats.PushesReceived,
+			PullsSent:      stats.PullsSent,
+			PullsAnswered:  stats.PullsAnswered,
+			FloodsDetected: stats.FloodsDetected,
+			Ejected:        stats.Ejected,
 		}
 	}
 	gs := n.GuardStats()

@@ -11,6 +11,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/sampling"
 	"hypercube/internal/wire"
 )
 
@@ -106,6 +107,11 @@ type Config struct {
 	// rotating neighbors, repairing divergence (e.g. after a partition
 	// heals). Nil disables it.
 	AntiEntropy *antientropy.Config
+	// Sampling enables the byzantine-resistant gossip peer-sampling
+	// layer: a background ticker runs Brahms-style push-pull rounds, and
+	// the machine's gateway selection plus the anti-entropy engine's peer
+	// choice gain the sampled-peer fallback. Nil disables it.
+	Sampling *sampling.Config
 	// Sink, when non-nil, receives every protocol event the node emits,
 	// stamped with wall time since node start (e.g. an obs.JSONL trace
 	// file). Metrics are collected regardless; the sink is for traces.
@@ -209,6 +215,12 @@ func WithFaults(f *Faults) Option {
 // WithLiveness enables the failure detector with the given tuning.
 func WithLiveness(lc liveness.Config) Option {
 	return func(c *Config) { c.Liveness = &lc }
+}
+
+// WithSampling enables the gossip peer-sampling layer with the given
+// tuning.
+func WithSampling(sc sampling.Config) Option {
+	return func(c *Config) { c.Sampling = &sc }
 }
 
 // WithAntiEntropy enables periodic anti-entropy rounds with the given

@@ -11,10 +11,12 @@ import (
 
 	"hypercube/internal/antientropy"
 	"hypercube/internal/core"
+	"hypercube/internal/guard"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/sampling"
 	"hypercube/internal/table"
 	"hypercube/internal/wire"
 )
@@ -27,9 +29,10 @@ type Node struct {
 	params id.Params
 	cfg    Config
 
-	mu      sync.Mutex // guards machine and engine
+	mu      sync.Mutex // guards machine, engine, and sampler
 	machine *core.Machine
 	engine  *antientropy.Engine // nil unless Config.AntiEntropy is set
+	sampler *sampling.Engine    // nil unless Config.Sampling is set
 
 	// probeMu guards prober. It is never held together with mu: the
 	// liveness tick snapshots machine state under mu first, releases it,
@@ -123,6 +126,22 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 		n.engine.SetSink(n.sink)
 		n.wg.Add(1)
 		go n.antiEntropyLoop()
+	}
+	if n.cfg.Sampling != nil {
+		n.sampler = sampling.New(*n.cfg.Sampling, ref)
+		// Quarantined peers are inadmissible; live table neighbors re-prime
+		// an emptied view; gateway selection and anti-entropy peer choice
+		// draw from the min-wise samplers. All hooks run under n.mu — the
+		// sampler is only ever driven while the machine lock is held.
+		n.sampler.SetValidator(func(r table.Ref) bool { return !n.machine.PeerQuarantined(r.ID) })
+		n.sampler.SetBootstrap(n.machine.SyncPeers)
+		n.sampler.SetSink(n.sink)
+		n.machine.SetPeerSampler(n.sampler.Sample)
+		if n.engine != nil {
+			n.engine.SetPeerSampler(n.sampler.Sample)
+		}
+		n.wg.Add(1)
+		go n.samplingLoop()
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -319,6 +338,68 @@ func (n *Node) antiEntropyLoop() {
 	}
 }
 
+// samplingLoop drives periodic gossip peer-sampling rounds off real
+// time. The engine's hooks call into the machine (quarantine checks,
+// bootstrap peers), so each tick runs under the machine lock; the
+// resulting gossip is handed to the delivery layer outside it.
+func (n *Node) samplingLoop() {
+	defer n.wg.Done()
+	interval := n.cfg.Sampling.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+			now := time.Since(n.start)
+			n.mu.Lock()
+			out := n.sampler.Tick(now)
+			n.mu.Unlock()
+			_ = n.sendAll(out)
+		}
+	}
+}
+
+// SamplingStats returns the peer-sampling engine's counters; ok is
+// false when sampling is disabled.
+func (n *Node) SamplingStats() (stats sampling.Stats, ok bool) {
+	if n.sampler == nil {
+		return sampling.Stats{}, false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sampler.Stats(), true
+}
+
+// SampledPeers returns up to k references from the sampling layer's
+// min-wise samplers — the byzantine-resistant long-term sample, the
+// right thing to persist alongside the table so a restart can rejoin
+// even when every table neighbor is gone. Nil when sampling is off.
+func (n *Node) SampledPeers(k int) []table.Ref {
+	if n.sampler == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sampler.Sample(k)
+}
+
+// SeedSamplingPeers primes the sampling layer with initial contacts —
+// e.g. the bootstrap ref before a join, or peers restored from a
+// persisted snapshot before a rejoin. A no-op when sampling is off.
+func (n *Node) SeedSamplingPeers(refs ...table.Ref) {
+	if n.sampler == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sampler.SeedPeers(refs...)
+}
+
 // AntiEntropyStats returns the anti-entropy engine's counters; ok is
 // false when anti-entropy is disabled.
 func (n *Node) AntiEntropyStats() (stats antientropy.Stats, ok bool) {
@@ -479,6 +560,25 @@ func (n *Node) handleEnvelope(env msg.Envelope) {
 		n.probeMu.Lock()
 		n.prober.Observe(env.From.ID)
 		n.probeMu.Unlock()
+	}
+	if n.sampler != nil {
+		switch env.Msg.Type() {
+		case msg.TSamplePush, msg.TSamplePullReq, msg.TSamplePullRly:
+			// The sampling engine owns its message types, like the prober
+			// owns probes; the machine never sees them. The engine bypasses
+			// the machine's guard path, so canonical-form validation runs
+			// here (the binary codec already enforces it; the gob fallback
+			// and any future codec get the same gate).
+			if err := guard.Check(n.params, n.Ref().ID, env); err != nil {
+				n.emitTransport(obs.KindGuardReject, env.Msg.Type().String())
+				return
+			}
+			n.mu.Lock()
+			out := n.sampler.Deliver(env)
+			n.mu.Unlock()
+			_ = n.sendAll(out)
+			return
+		}
 	}
 	n.mu.Lock()
 	out := n.machine.Deliver(env)

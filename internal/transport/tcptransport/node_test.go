@@ -53,6 +53,9 @@ func TestWireRoundTrip(t *testing.T) {
 		msg.SyncReq{Fill: fill},
 		msg.SyncRly{Table: snap, Fill: fill},
 		msg.SyncPush{Table: snap},
+		msg.SamplePush{},
+		msg.SamplePullReq{},
+		msg.SamplePullRly{Refs: []table.Ref{refB}},
 	}
 	for _, m := range messages {
 		env := msg.Envelope{From: refA, To: refB, Msg: m}

@@ -215,4 +215,18 @@ func (n *Node) setupObs() {
 	n.tobs.reg.GaugeFunc("hypercube_guard_disconnects_total",
 		"Inbound connections dropped for oversized frames or exhausted decode budgets.",
 		func() float64 { return float64(n.guardDisconnects.Load()) })
+	if n.cfg.Sampling != nil {
+		n.tobs.reg.GaugeFunc("hypercube_sampling_view_size",
+			"Current gossip peer-sampling view occupancy.",
+			func() float64 {
+				st, _ := n.SamplingStats()
+				return float64(st.ViewSize)
+			})
+		n.tobs.reg.GaugeFunc("hypercube_sampling_flood_rounds_total",
+			"Sampling rounds that hit the Brahms push-flood threshold and kept the previous view.",
+			func() float64 {
+				st, _ := n.SamplingStats()
+				return float64(st.FloodsDetected)
+			})
+	}
 }

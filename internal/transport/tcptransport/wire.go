@@ -149,6 +149,9 @@ type wireEnvelope struct {
 
 	// Liveness probe sequence number (Ping/Pong).
 	Seq uint64
+
+	// Peer-sampling view (SamplePullRly).
+	Refs []wireRef
 }
 
 // encodeEnvelope flattens a protocol envelope into its wire form.
@@ -226,6 +229,12 @@ func encodeEnvelope(env msg.Envelope) (wireEnvelope, error) {
 		}
 	case msg.SyncPush:
 		w.Table, w.HasTable = encodeTable(m.Table)
+	case msg.SamplePush:
+	case msg.SamplePullReq:
+	case msg.SamplePullRly:
+		for _, r := range m.Refs {
+			w.Refs = append(w.Refs, encodeRef(r))
+		}
 	default:
 		return wireEnvelope{}, fmt.Errorf("tcptransport: unknown message %T", env.Msg)
 	}
@@ -369,6 +378,26 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 		env.Msg = m
 	case msg.TSyncPush:
 		env.Msg = msg.SyncPush{Table: snap}
+	case msg.TSamplePush:
+		env.Msg = msg.SamplePush{}
+	case msg.TSamplePullReq:
+		env.Msg = msg.SamplePullReq{}
+	case msg.TSamplePullRly:
+		if len(w.Refs) > msg.MaxSampleRefs {
+			return msg.Envelope{}, fmt.Errorf("tcptransport: sample reply with %d refs exceeds %d", len(w.Refs), msg.MaxSampleRefs)
+		}
+		m := msg.SamplePullRly{}
+		for i, wr := range w.Refs {
+			r, err := decodeRef(p, wr)
+			if err != nil {
+				return msg.Envelope{}, err
+			}
+			if r.IsZero() {
+				return msg.Envelope{}, fmt.Errorf("tcptransport: sample reply ref %d is zero", i)
+			}
+			m.Refs = append(m.Refs, r)
+		}
+		env.Msg = m
 	default:
 		return msg.Envelope{}, fmt.Errorf("tcptransport: unknown wire kind %d", w.Kind)
 	}

@@ -288,6 +288,27 @@ func appendBody(dst []byte, p id.Params, env msg.Envelope) ([]byte, error) {
 		return appendBitVector(dst, m.Fill), nil
 	case msg.SyncPush:
 		return appendSnapshot(dst, p, m.Table)
+	case msg.SamplePush:
+		return dst, nil
+	case msg.SamplePullReq:
+		return dst, nil
+	case msg.SamplePullRly:
+		if len(m.Refs) > msg.MaxSampleRefs {
+			return nil, fmt.Errorf("wire: sample reply with %d refs exceeds %d", len(m.Refs), msg.MaxSampleRefs)
+		}
+		dst = append(dst, byte(len(m.Refs)))
+		for i, ref := range m.Refs {
+			if ref.IsZero() {
+				return nil, fmt.Errorf("wire: sample reply ref %d is zero", i)
+			}
+			if i > 0 && !m.Refs[i-1].ID.Less(ref.ID) {
+				return nil, fmt.Errorf("wire: sample reply refs not strictly ascending at %d", i)
+			}
+			if dst, err = appendRef(dst, p, ref); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown message %T", env.Msg)
 	}
@@ -893,6 +914,35 @@ func decodeBody(p id.Params, body []byte) (msg.Envelope, error) {
 		m := msg.SyncPush{}
 		if m.Table, err = r.snapshot(p); err != nil {
 			return msg.Envelope{}, err
+		}
+		env.Msg = m
+	case msg.TSamplePush:
+		env.Msg = msg.SamplePush{}
+	case msg.TSamplePullReq:
+		env.Msg = msg.SamplePullReq{}
+	case msg.TSamplePullRly:
+		m := msg.SamplePullRly{}
+		count, err := r.u8()
+		if err != nil {
+			return msg.Envelope{}, err
+		}
+		if int(count) > msg.MaxSampleRefs {
+			return msg.Envelope{}, badf("sample reply with %d refs exceeds %d", count, msg.MaxSampleRefs)
+		}
+		for i := 0; i < int(count); i++ {
+			ref, err := r.ref(p)
+			if err != nil {
+				return msg.Envelope{}, err
+			}
+			if ref.IsZero() {
+				return msg.Envelope{}, badf("sample reply ref %d is zero", i)
+			}
+			// Canonical form: strictly ascending IDs, so every reference
+			// list has exactly one encoding and duplicates cannot hide.
+			if i > 0 && !m.Refs[i-1].ID.Less(ref.ID) {
+				return msg.Envelope{}, badf("sample reply refs not strictly ascending at %d", i)
+			}
+			m.Refs = append(m.Refs, ref)
 		}
 		env.Msg = m
 	}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -98,6 +99,10 @@ func sampleEnvelopes(t *testing.T) []msg.Envelope {
 		{From: from, To: to, Msg: msg.SyncReq{Fill: fill}},
 		{From: from, To: to, Msg: msg.SyncRly{Table: snap, Fill: fill}},
 		{From: from, To: to, Msg: msg.SyncPush{Table: snap}},
+		{From: from, To: to, Msg: msg.SamplePush{}},
+		{From: from, To: to, Msg: msg.SamplePullReq{}},
+		{From: from, To: to, Msg: msg.SamplePullRly{Refs: ascendingRefs(u, from, to)}},
+		{From: from, To: to, Msg: msg.SamplePullRly{}},
 		// Edge shapes: zero refs, empty table, no fill, empty suffix.
 		{From: from, To: to, Msg: msg.JoinWaitRly{R: msg.Positive}},
 		{From: from, To: to, Msg: msg.JoinNoti{Table: snap, NotiLevel: 0}},
@@ -105,6 +110,14 @@ func sampleEnvelopes(t *testing.T) []msg.Envelope {
 		{From: from, To: to, Msg: msg.Find{Want: id.EmptySuffix, Origin: u}},
 	}
 	return envs
+}
+
+// ascendingRefs sorts refs into the strictly ascending ID order the
+// SamplePullRly canonical form requires.
+func ascendingRefs(refs ...table.Ref) []table.Ref {
+	out := append([]table.Ref(nil), refs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
 }
 
 // Every sample must survive encode → decode unchanged, and re-encoding
