@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-wire bench-join vet fmt lint cover experiments trace-smoke fuzz-smoke
+.PHONY: all build test race bench bench-wire bench-join bench-liveness vet fmt lint cover experiments trace-smoke gray-smoke fuzz-smoke
 
 all: build lint test fuzz-smoke
 
@@ -36,6 +36,16 @@ bench-wire:
 bench-join:
 	$(GO) test -run '^$$' -bench 'BenchmarkJoinWave' -benchmem . | tee /tmp/bench_join.txt
 	$(GO) run ./cmd/benchjson < /tmp/bench_join.txt > BENCH_join.json
+
+# bench-liveness pins the failure-detection suite: virtual
+# crash-to-declaration latency (the custom detect-ms metric) for the
+# fixed and adaptive probers, plus the per-tick CPU cost of the
+# estimator-backed probe path, recorded into BENCH_liveness.json for
+# regression comparison across PRs.
+bench-liveness:
+	$(GO) test -run '^$$' -bench 'BenchmarkDetection|BenchmarkProbeTick' -benchmem \
+		./internal/liveness | tee /tmp/bench_liveness.txt
+	$(GO) run ./cmd/benchjson < /tmp/bench_liveness.txt > BENCH_liveness.json
 
 vet:
 	$(GO) vet ./...
@@ -85,3 +95,10 @@ fuzz-smoke:
 trace-smoke:
 	$(GO) run ./cmd/tracewave -n 16 -m 12 -out /tmp/hypercube-trace-smoke.jsonl
 	$(GO) run ./cmd/tracestat /tmp/hypercube-trace-smoke.jsonl
+
+# gray-smoke runs the gray-degradation contrast at a CI-friendly size:
+# the adaptive detector must hold every declaration of a slow-but-live
+# node while the fixed baseline visibly suffers (exit non-zero either
+# way otherwise).
+gray-smoke:
+	$(GO) run ./cmd/churn -graydegrade -n 48 -b 16 -d 4 -seed 1

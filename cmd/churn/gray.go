@@ -1,0 +1,199 @@
+// The -graydegrade experiment: gray-failure degradation. A fraction of
+// members turns slow — alive, correct, answering every message, just
+// late — and the run contrasts the adaptive (RTT-estimating) failure
+// detector against the fixed-timeout baseline on the same seed. The
+// adaptive run must hold every declaration of a slow-but-live node while
+// still detecting genuine crashes; the baseline run is expected to
+// falsely declare the slow nodes, which is exactly the contrast the
+// experiment exists to show.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/obs"
+	"hypercube/internal/overlay"
+	"hypercube/internal/rtt"
+	"hypercube/internal/topology"
+)
+
+// grayRun is the outcome of one -graydegrade sub-run.
+type grayRun struct {
+	falsePos    int
+	detected    int           // distinct genuine crashes declared
+	crashed     int           // genuine crashes injected
+	meanDetect  time.Duration // mean crash-to-declaration latency
+	marked      int           // degraded flags raised (adaptive only)
+	latePongs   int
+	deprio      int // anti-entropy rounds that skipped a degraded partner
+	slowDelayed uint64
+	consistent  bool
+}
+
+// runGrayDegrade builds the same network twice from one seed — once with
+// the adaptive per-peer RTT estimator, once with fixed timeouts — and
+// subjects both to the same degradation: grayFrac of the members ramp to
+// a per-side processing delay of grayDelay over grayRamp, then three
+// fast honest members crash for real. Exit is non-zero when the adaptive
+// run declares any live node, misses a genuine crash, ends inconsistent,
+// never flags a slow node degraded — or when the baseline shows no
+// contrast (no false declaration and no slower crash detection), which
+// would mean the scenario has no teeth.
+func runGrayDegrade(p id.Params, n int, seed int64, grayFrac float64, grayDelay, grayRamp, grayWindow, syncEvery time.Duration, byz bool, byzFrac, byzRate float64, topo *topology.Topology, tl *overlay.TopologyLatency, sink *obs.JSONL) int {
+	fmt.Printf("gray degradation: %d nodes (b=%d, d=%d), %.0f%% slow at %v/side (ramp %v, window %v), byzantine=%v, sync every %v\n\n",
+		n, p.B, p.D, 100*grayFrac, grayDelay, grayRamp, grayWindow, byz, syncEvery)
+
+	adaptive, code := grayDegradeOnce(p, n, seed, true, grayFrac, grayDelay, grayRamp, grayWindow, syncEvery, byz, byzFrac, byzRate, topo, tl, sink)
+	if code != 0 {
+		return code
+	}
+	// The baseline run never gets the trace sink: its event stream would
+	// interleave with the adaptive run's in one file and corrupt
+	// per-node analysis.
+	baseline, code := grayDegradeOnce(p, n, seed, false, grayFrac, grayDelay, grayRamp, grayWindow, syncEvery, byz, byzFrac, byzRate, topo, tl, nil)
+	if code != 0 {
+		return code
+	}
+
+	fmt.Printf("\n%-28s %12s %12s\n", "", "adaptive", "fixed")
+	fmt.Printf("%-28s %12d %12d\n", "false declarations", adaptive.falsePos, baseline.falsePos)
+	fmt.Printf("%-28s %9d/%-2d %9d/%-2d\n", "genuine crashes declared", adaptive.detected, adaptive.crashed, baseline.detected, baseline.crashed)
+	fmt.Printf("%-28s %12v %12v\n", "mean crash detection", adaptive.meanDetect.Round(time.Millisecond), baseline.meanDetect.Round(time.Millisecond))
+	fmt.Printf("%-28s %12d %12d\n", "degraded flags raised", adaptive.marked, baseline.marked)
+	fmt.Printf("%-28s %12d %12d\n", "late pongs learned", adaptive.latePongs, baseline.latePongs)
+	fmt.Printf("%-28s %12d %12d\n", "sync partners deprioritized", adaptive.deprio, baseline.deprio)
+
+	fail := false
+	if adaptive.falsePos != 0 {
+		fmt.Fprintf(os.Stderr, "churn: adaptive run declared %d live nodes dead\n", adaptive.falsePos)
+		fail = true
+	}
+	if adaptive.detected != adaptive.crashed {
+		fmt.Fprintf(os.Stderr, "churn: adaptive run detected only %d of %d genuine crashes\n", adaptive.detected, adaptive.crashed)
+		fail = true
+	}
+	if !adaptive.consistent {
+		fmt.Fprintf(os.Stderr, "churn: adaptive run ended inconsistent\n")
+		fail = true
+	}
+	if adaptive.marked == 0 {
+		fmt.Fprintf(os.Stderr, "churn: no node was ever flagged degraded — the estimator never engaged\n")
+		fail = true
+	}
+	if adaptive.slowDelayed == 0 {
+		fmt.Fprintf(os.Stderr, "churn: the slow-node model never delayed a message — nothing was tested\n")
+		fail = true
+	}
+	// Contrast gate: the baseline must visibly suffer, either by falsely
+	// declaring a slow-but-live node or by detecting genuine crashes
+	// materially slower. Otherwise the fixed timeouts were already
+	// adequate and the scenario proves nothing.
+	if baseline.falsePos == 0 &&
+		(adaptive.meanDetect <= 0 || float64(baseline.meanDetect) <= 1.2*float64(adaptive.meanDetect)) {
+		fmt.Fprintf(os.Stderr, "churn: baseline showed no contrast (0 false declarations, detection %v vs %v) — widen -gray-delay or shrink the probe timeout\n",
+			baseline.meanDetect, adaptive.meanDetect)
+		fail = true
+	}
+	if fail {
+		return 1
+	}
+	fmt.Printf("\ncontrast holds: adaptive 0 false declarations; baseline %d false, detection %v vs %v\n",
+		baseline.falsePos, baseline.meanDetect.Round(time.Millisecond), adaptive.meanDetect.Round(time.Millisecond))
+	return 0
+}
+
+// grayDegradeOnce executes one sub-run. The returned exit code is
+// non-zero only for setup failures (bad capacity, injection errors);
+// protocol outcomes — false declarations, missed crashes — are reported
+// in grayRun for the caller to judge, because the baseline sub-run is
+// expected to misbehave.
+func grayDegradeOnce(p id.Params, n int, seed int64, adaptive bool, grayFrac float64, grayDelay, grayRamp, grayWindow, syncEvery time.Duration, byz bool, byzFrac, byzRate float64, topo *topology.Topology, tl *overlay.TopologyLatency, sink *obs.JSONL) (grayRun, int) {
+	label := "fixed"
+	if adaptive {
+		label = "adaptive"
+	}
+	rng := rand.New(rand.NewSource(seed))
+	watch := newDeclWatch()
+	cfg := scenarioConfig(p, seed, syncEvery, tl, watch, sink, byz, byzFrac, byzRate)
+	cfg.SlowNodes = &overlay.SlowNodes{
+		Delay:    grayDelay,
+		Ramp:     grayRamp,
+		Fraction: grayFrac,
+		Seed:     seed,
+	}
+	if adaptive {
+		cfg.RTT = &rtt.Config{
+			MinRTO: 100 * time.Millisecond,
+			MaxRTO: 5 * time.Second,
+		}
+	}
+	net := overlay.New(cfg)
+	refs, _ := buildScenarioBase(net, p, n, rng, topo, tl, make(map[id.ID]bool))
+	byzSet := markScenarioByzantine(net, refs, byz)
+
+	// Warm-up: probers acquire targets and (in the adaptive run) the
+	// estimators learn the fast baseline the ramp will depart from.
+	net.RunFor(5 * time.Second)
+	if watch.genuine+watch.falsePos != 0 {
+		fmt.Fprintf(os.Stderr, "churn: [%s] %d declarations before degradation began\n", label, watch.genuine+watch.falsePos)
+		return grayRun{}, 1
+	}
+
+	slow := net.SelectSlow(refs)
+	slowSet := make(map[id.ID]bool, len(slow))
+	for _, x := range slow {
+		slowSet[x] = true
+	}
+	fmt.Printf("[%s] %d members turning gray\n", label, len(slow))
+	net.RunFor(grayWindow)
+
+	// Genuine crashes: three fast honest members die for real. The
+	// detector must still catch them — adaptivity may extend the window
+	// for slow peers, never let real failures slide.
+	var crash []id.ID
+	for _, r := range refs {
+		if !slowSet[r.ID] && !byzSet[r.ID] {
+			crash = append(crash, r.ID)
+			if len(crash) == 3 {
+				break
+			}
+		}
+	}
+	crashAt := net.Engine().Now()
+	watch.markDeadAt(crashAt, crash...)
+	for _, x := range crash {
+		if err := net.InjectFailure(x); err != nil {
+			fmt.Fprintf(os.Stderr, "churn: [%s] %v\n", label, err)
+			return grayRun{}, 1
+		}
+	}
+	// Give detection and repair ample time, then reconverge the tables.
+	net.RunFor(30 * time.Second)
+	_, consistent := reconverge(net, syncEvery, 100)
+
+	ls := net.LivenessStats()
+	ae := net.AntiEntropyStats()
+	out := grayRun{
+		falsePos:    watch.falsePos,
+		detected:    len(watch.declAt),
+		crashed:     len(crash),
+		meanDetect:  watch.meanDetection(),
+		latePongs:   ls.LatePongs,
+		deprio:      ae.Deprioritized,
+		slowDelayed: net.SlowDelayed(),
+		consistent:  consistent,
+	}
+	if adaptive {
+		out.marked = net.RTTStats().Marked
+	}
+	fmt.Printf("[%s] declarations: %d genuine / %d false; crash detection %v; %d late pongs, %d degraded flags, %d slow-delayed messages\n",
+		label, watch.genuine, watch.falsePos, out.meanDetect.Round(time.Millisecond), out.latePongs, out.marked, out.slowDelayed)
+	if watch.falsePos > 0 {
+		fmt.Printf("[%s]   falsely declared: %v\n", label, watch.examples)
+	}
+	return out, 0
+}

@@ -57,7 +57,13 @@ func main() {
 		mfStubs    = flag.Int("mf-stubs", 2, "stub domains killed in -massfail mode")
 		rolling    = flag.Bool("rollingrestart", false, "rolling-restart experiment: every member restarts in waves, persisting its table and sampled peers to disk and rejoining from the dump; zero false declarations allowed (replaces the churn phases)")
 		waveSize   = flag.Int("wave", 8, "restart wave size in -rollingrestart mode")
-		withByz    = flag.Bool("with-byzantine", false, "compose the byzantine fault model (-byz-fraction, -byz-corrupt) into -flashcrowd, -massfail, or -rollingrestart")
+		withByz    = flag.Bool("with-byzantine", false, "compose the byzantine fault model (-byz-fraction, -byz-corrupt) into -flashcrowd, -massfail, -rollingrestart, or -graydegrade")
+
+		gray       = flag.Bool("graydegrade", false, "gray-degradation experiment: a fraction of members turns slow-but-alive; the adaptive-timeout detector must hold every declaration while still catching genuine crashes, contrasted against the fixed-timeout baseline on the same seed (replaces the churn phases)")
+		grayFrac   = flag.Float64("gray-fraction", 0.1, "fraction of members marked slow in -graydegrade mode")
+		grayDelay  = flag.Duration("gray-delay", 600*time.Millisecond, "full per-side processing delay of a slow member in -graydegrade mode (a round trip through one slow endpoint inflates by twice this)")
+		grayRamp   = flag.Duration("gray-ramp", 5*time.Second, "how long a slow member takes to ramp from zero to -gray-delay")
+		grayWindow = flag.Duration("gray-window", 30*time.Second, "virtual degradation window of -graydegrade mode before the genuine crashes")
 	)
 	flag.Parse()
 	p := id.Params{B: *b, D: *d}
@@ -106,6 +112,9 @@ func main() {
 	}
 	if *rolling {
 		exit(runRollingRestart(p, *n, *waveSize, *seed, *syncEvery, *withByz, *byzFrac, *byzRate, topo, tl, sink))
+	}
+	if *gray {
+		exit(runGrayDegrade(p, *n, *seed, *grayFrac, *grayDelay, *grayRamp, *grayWindow, *syncEvery, *withByz, *byzFrac, *byzRate, topo, tl, sink))
 	}
 	cfg := overlay.Config{Params: p, Latency: tl.Func()}
 	if sink != nil {

@@ -38,10 +38,20 @@ type declWatch struct {
 	genuine  int
 	falsePos int
 	examples []string
+
+	// Detection latency, populated only through markDeadAt: virtual
+	// crash time per peer and the virtual time of the first declaration
+	// that names it.
+	crashedAt map[string]time.Duration
+	declAt    map[string]time.Duration
 }
 
 func newDeclWatch() *declWatch {
-	return &declWatch{dead: make(map[string]bool)}
+	return &declWatch{
+		dead:      make(map[string]bool),
+		crashedAt: make(map[string]time.Duration),
+		declAt:    make(map[string]time.Duration),
+	}
 }
 
 func (w *declWatch) Emit(e obs.Event) {
@@ -50,6 +60,9 @@ func (w *declWatch) Emit(e obs.Event) {
 	}
 	if w.dead[e.Peer] {
 		w.genuine++
+		if _, seen := w.declAt[e.Peer]; !seen {
+			w.declAt[e.Peer] = e.T
+		}
 		return
 	}
 	w.falsePos++
@@ -62,6 +75,35 @@ func (w *declWatch) markDead(ids ...id.ID) {
 	for _, x := range ids {
 		w.dead[x.String()] = true
 	}
+}
+
+// markDeadAt is markDead plus a crash timestamp, enabling
+// meanDetection for the peers it marks.
+func (w *declWatch) markDeadAt(now time.Duration, ids ...id.ID) {
+	w.markDead(ids...)
+	for _, x := range ids {
+		w.crashedAt[x.String()] = now
+	}
+}
+
+// meanDetection averages crash-to-first-declaration latency over the
+// peers marked via markDeadAt that were actually declared; zero when
+// none were.
+func (w *declWatch) meanDetection() time.Duration {
+	var sum time.Duration
+	n := 0
+	for peer, at := range w.declAt {
+		crashed, ok := w.crashedAt[peer]
+		if !ok {
+			continue
+		}
+		sum += at - crashed
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
 }
 
 // scenarioConfig is the simulator configuration the scenario modes

@@ -49,6 +49,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/obs"
 	"hypercube/internal/persist"
+	"hypercube/internal/rtt"
 	"hypercube/internal/sampling"
 	"hypercube/internal/table"
 	"hypercube/internal/transport/tcptransport"
@@ -108,6 +109,11 @@ func run() error {
 		suspectAfter = flag.Int("suspect-after", 0, "consecutive misses before a peer is suspected")
 		indirect     = flag.Int("indirect-probes", 0, "relayed probes per confirmation round")
 		retryAfter   = flag.Duration("retry-after", 2*time.Second, "join-protocol request timeout (0 disables)")
+
+		// Adaptive-timeout knobs (gray-failure tolerance).
+		adaptive = flag.Bool("adaptive-timeouts", false, "derive per-peer probe deadlines and retransmission timers from a live RTT estimator instead of the fixed -probe-timeout / -retry-after; flags persistently slow peers degraded")
+		minRTO   = flag.Duration("min-rto", 0, "adaptive retransmission-timeout floor (0 keeps the estimator default)")
+		maxRTO   = flag.Duration("max-rto", 0, "adaptive retransmission-timeout ceiling (0 keeps the estimator default)")
 
 		// Anti-entropy knobs (0 keeps the antientropy default).
 		noSync    = flag.Bool("no-sync", false, "disable anti-entropy table audit and repair")
@@ -201,6 +207,12 @@ func run() error {
 			IndirectProbes: *indirect,
 		}))
 		opts.Timeouts = core.Timeouts{RetryAfter: *retryAfter}
+	}
+	if *adaptive {
+		options = append(options, tcptransport.WithRTT(rtt.Config{
+			MinRTO: *minRTO,
+			MaxRTO: *maxRTO,
+		}))
 	}
 	if !*noSync {
 		options = append(options, tcptransport.WithAntiEntropy(antientropy.Config{

@@ -136,6 +136,14 @@ type jsonReport struct {
 	Quarantine int                   `json:"quarantines"`
 	Releases   int                   `json:"quarantineReleases"`
 	Busy       int                   `json:"busyDeferrals"`
+	// Gray-failure / adaptive-timeout activity: answered direct-probe
+	// round trips (sample count plus percentiles), late pongs learned
+	// past their deadline, and degraded-flag churn.
+	ProbeRTTCount   int        `json:"probeRTTCount"`
+	ProbeRTT        phaseStats `json:"probeRTT"`
+	LatePongs       int        `json:"latePongs"`
+	Degraded        int        `json:"degradedMarked"`
+	DegradedCleared int        `json:"degradedCleared"`
 }
 
 func report(sum *obs.Summary) jsonReport {
@@ -178,6 +186,9 @@ func report(sum *obs.Summary) jsonReport {
 		Repairs: sum.Repairs, SyncRounds: sum.SyncRound,
 		Rejects: sum.GuardRejects, GuardDrops: sum.GuardDrops,
 		Quarantine: sum.Quarantines, Releases: sum.Releases, Busy: sum.Busy,
+		ProbeRTTCount: len(sum.ProbeRTTs), ProbeRTT: stats(sum.ProbeRTTs),
+		LatePongs: sum.LatePongs, Degraded: sum.Degraded,
+		DegradedCleared: sum.DegradedCleared,
 	}
 }
 
@@ -223,6 +234,14 @@ func printText(w io.Writer, sum *obs.Summary) {
 			rep.Probes, rep.ProbeMiss, rep.Suspects, rep.Declared)
 		fmt.Fprintf(w, "repair: %d repair jobs, %d anti-entropy rounds\n",
 			rep.Repairs, rep.SyncRounds)
+	}
+	if rep.ProbeRTTCount > 0 {
+		fmt.Fprintf(w, "probe RTT: %d samples, p50 %v, p90 %v, p99 %v, max %v\n",
+			rep.ProbeRTTCount, rep.ProbeRTT.P50, rep.ProbeRTT.P90, rep.ProbeRTT.P99, rep.ProbeRTT.Max)
+	}
+	if rep.LatePongs+rep.Degraded+rep.DegradedCleared > 0 {
+		fmt.Fprintf(w, "gray failure: %d late pongs learned, %d degraded flags raised, %d cleared\n",
+			rep.LatePongs, rep.Degraded, rep.DegradedCleared)
 	}
 	if rep.Rejects+rep.GuardDrops+rep.Quarantine+rep.Busy > 0 {
 		fmt.Fprintf(w, "guard: %d rejected, %d dropped unvalidated, %d quarantines (%d released), %d busy deferrals\n",

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hypercube/internal/core"
+	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
 	"hypercube/internal/table"
@@ -50,6 +51,10 @@ type Stats struct {
 	Pulled int
 	// Purged counts entries removed by table audits.
 	Purged int
+	// Deprioritized counts rounds where one or more degraded peers were
+	// filtered out of partner choice (health predicate wired and at
+	// least one healthy alternative existed).
+	Deprioritized int
 }
 
 // Engine drives anti-entropy rounds for one node's machine. It is not
@@ -69,6 +74,12 @@ type Engine struct {
 	// sampled peers entirely.
 	sampled func(int) []table.Ref
 
+	// healthy, when non-nil, reports whether a peer is currently fit to
+	// be a sync partner (see SetHealth); deprioritized counts rounds
+	// where degraded peers were filtered out of partner choice.
+	healthy       func(id.ID) bool
+	deprioritized int
+
 	// Observability (nil when tracing is off; see SetSink).
 	sink     obs.Sink
 	selfName string
@@ -85,6 +96,15 @@ func New(cfg Config, m *core.Machine) *Engine {
 // forever; a periodic round with a uniformly sampled peer breaks the
 // correlation.
 func (e *Engine) SetPeerSampler(f func(int) []table.Ref) { e.sampled = f }
+
+// SetHealth installs a per-peer health predicate (the gray-failure
+// extension wires the RTT estimator's not-degraded check here). Each
+// round's partner is chosen among healthy peers first; degraded peers
+// are synced with only when no healthy peer exists — a sync round
+// against a 10x-slower peer wastes the whole round's budget on one
+// crawling exchange, but a degraded peer must still converge
+// eventually rather than being partitioned out of anti-entropy.
+func (e *Engine) SetHealth(f func(id.ID) bool) { e.healthy = f }
 
 // sampledEvery is the round cadence of sampled-peer syncs: every 4th
 // round uses a sampled peer when a sampler is wired.
@@ -104,7 +124,7 @@ func (e *Engine) SetSink(s obs.Sink) {
 
 // Stats returns the engine's activity counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Rounds: e.rounds, Pulled: e.m.SyncPulled(), Purged: e.m.AuditPurged()}
+	return Stats{Rounds: e.rounds, Pulled: e.m.SyncPulled(), Purged: e.m.AuditPurged(), Deprioritized: e.deprioritized}
 }
 
 // Tick advances the engine to time now, running any due rounds and
@@ -156,6 +176,21 @@ func (e *Engine) round() []msg.Envelope {
 	}
 	if len(peers) == 0 {
 		return out
+	}
+	if e.healthy != nil {
+		fit := make([]table.Ref, 0, len(peers))
+		for _, r := range peers {
+			if e.healthy(r.ID) {
+				fit = append(fit, r)
+			}
+		}
+		// Healthy peers first; an all-degraded neighborhood still syncs.
+		if len(fit) > 0 {
+			if len(fit) < len(peers) {
+				e.deprioritized++
+			}
+			peers = fit
+		}
 	}
 	peer := peers[e.cursor%len(peers)]
 	e.cursor++

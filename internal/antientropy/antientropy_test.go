@@ -111,3 +111,65 @@ func TestEngineStaggerDeterministicAndBounded(t *testing.T) {
 		t.Fatalf("stagger %v outside [0, %v)", s, cfg.Interval)
 	}
 }
+
+// TestEngineDeprioritizesDegradedPartner: with a health predicate
+// wired, a degraded peer is skipped as sync partner while healthy
+// alternatives exist — but an all-degraded neighborhood still syncs.
+func TestEngineDeprioritizesDegradedPartner(t *testing.T) {
+	a, b := twoNodeNet(t)
+	e := New(Config{Interval: time.Second}, a)
+
+	// b is the only peer and it is degraded: the round must still run.
+	e.SetHealth(func(id.ID) bool { return false })
+	e.Tick(0)
+	out := e.Tick(2 * time.Second)
+	sawReq := false
+	for _, env := range out {
+		if env.Msg.Type() == msg.TSyncReq && env.To.ID == b.Self().ID {
+			sawReq = true
+		}
+	}
+	if !sawReq {
+		t.Fatalf("all-degraded neighborhood stopped syncing entirely")
+	}
+	if e.Stats().Deprioritized != 0 {
+		t.Fatalf("deprioritized counted without a healthy alternative: %+v", e.Stats())
+	}
+
+	// With a second live peer, the degraded one is filtered out of every
+	// table round and the healthy one chosen instead.
+	c := core.NewJoiner(p44, ref(t, "2222"), core.Options{})
+	byID := map[id.ID]*core.Machine{a.Self().ID: a, b.Self().ID: b, c.Self().ID: c}
+	queue, err := c.StartJoin(a.Self())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(queue) > 0 {
+		env := queue[0]
+		queue = append(queue[1:], byID[env.To.ID].Deliver(env)...)
+	}
+	if !c.IsSNode() {
+		t.Fatalf("third node stuck in %v", c.Status())
+	}
+	e2 := New(Config{Interval: time.Second}, a)
+	e2.SetHealth(func(x id.ID) bool { return x != b.Self().ID })
+	e2.Tick(0)
+	rounds := 0
+	for now := time.Second; now <= 10*time.Second; now += time.Second {
+		for _, env := range e2.Tick(now) {
+			if env.Msg.Type() != msg.TSyncReq {
+				continue
+			}
+			rounds++
+			if env.To.ID == b.Self().ID {
+				t.Fatalf("round picked the degraded peer %v over a healthy one", env.To.ID)
+			}
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no sync rounds ran")
+	}
+	if e2.Stats().Deprioritized == 0 {
+		t.Fatalf("filtering never counted: %+v", e2.Stats())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/rtt"
 	"hypercube/internal/table"
 )
 
@@ -203,6 +204,12 @@ type Machine struct {
 	// registered gateway and table entry is exhausted or quarantined.
 	sampled func(int) []table.Ref
 
+	// est, when non-nil, seeds each exchange's first resend deadline from
+	// the peer's measured RTO instead of the fixed Timeouts.RetryAfter,
+	// and is fed the round-trip of every un-resent exchange (see
+	// timeout.go). Shared with the liveness prober via SetRTT.
+	est *rtt.Estimator
+
 	counters msg.Counters
 	out      []msg.Envelope
 
@@ -301,6 +308,18 @@ func (m *Machine) SetClock(f func() time.Duration) { m.clock = f }
 // peer-sampling layer). Gateway selection falls back to it when the
 // static gateway set and the table are exhausted or quarantined.
 func (m *Machine) SetPeerSampler(f func(int) []table.Ref) { m.sampled = f }
+
+// SetRTT attaches a per-peer RTT estimator: request/reply exchanges
+// seed their first resend deadline from the peer's measured RTO
+// (falling back to Timeouts.RetryAfter until samples exist) and feed
+// their round-trips back. Pass the same estimator the liveness prober
+// uses so probe and exchange samples pool. Attach a runtime clock with
+// SetClock too — without one, round-trips are measured at Tick
+// granularity.
+func (m *Machine) SetRTT(est *rtt.Estimator) { m.est = est }
+
+// RTT returns the attached estimator, nil without one.
+func (m *Machine) RTT() *rtt.Estimator { return m.est }
 
 // PeerQuarantined reports whether the guard scorer currently quarantines
 // x. False when no scorer is configured.

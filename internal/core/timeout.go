@@ -93,11 +93,18 @@ type xchgKey struct {
 	peer id.ID
 }
 
-// exchange is one outstanding request awaiting its reply.
+// exchange is one outstanding request awaiting its reply. base is the
+// backoff seed: the fixed Timeouts.RetryAfter, or the peer's measured
+// RTO when an estimator is attached (it doubles per resend either
+// way). sentAt stamps the initial transmission so an un-resent reply
+// yields an RTT sample (Karn's rule: a resent exchange is ambiguous —
+// the reply may answer any transmission — so it is never sampled).
 type exchange struct {
 	env      msg.Envelope
 	attempts int
+	base     time.Duration
 	due      time.Duration
+	sentAt   time.Duration
 }
 
 // repairJob tracks one crash-emptied entry the machine repairs on its
@@ -149,10 +156,19 @@ func (m *Machine) trackExchange(to table.Ref, pm msg.Message) {
 	if m.exchanges == nil {
 		m.exchanges = make(map[xchgKey]*exchange)
 	}
+	base := m.opts.Timeouts.RetryAfter
+	if m.est != nil {
+		if rto, ok := m.est.RTO(to.ID); ok {
+			base = rto
+		}
+	}
+	now := m.clockNow()
 	m.exchanges[key] = &exchange{
 		env:      msg.Envelope{From: m.self, To: to, Msg: pm},
 		attempts: 1,
-		due:      m.now + m.opts.Timeouts.RetryAfter,
+		base:     base,
+		due:      m.now + base,
+		sentAt:   now,
 	}
 }
 
@@ -161,17 +177,31 @@ func (m *Machine) clearExchange(from table.Ref, pm msg.Message) {
 	if len(m.exchanges) == 0 {
 		return
 	}
+	var key xchgKey
 	switch x := pm.(type) {
 	case msg.CpRly:
-		delete(m.exchanges, xchgKey{xCopy, from.ID})
+		key = xchgKey{xCopy, from.ID}
 	case msg.JoinWaitRly:
-		delete(m.exchanges, xchgKey{xWait, from.ID})
+		key = xchgKey{xWait, from.ID}
 	case msg.JoinNotiRly:
-		delete(m.exchanges, xchgKey{xNoti, from.ID})
+		key = xchgKey{xNoti, from.ID}
 	case msg.SpeNotiRly:
-		delete(m.exchanges, xchgKey{xSpe, x.Y.ID})
+		key = xchgKey{xSpe, x.Y.ID}
 	case msg.LeaveRly:
-		delete(m.exchanges, xchgKey{xLeave, from.ID})
+		key = xchgKey{xLeave, from.ID}
+	default:
+		return
+	}
+	ex, ok := m.exchanges[key]
+	if !ok {
+		return
+	}
+	delete(m.exchanges, key)
+	// Karn's rule: only a never-resent exchange yields an unambiguous
+	// round-trip sample. The envelope's To (not the key's peer — xSpe
+	// keys by subject Y, not transport target) is who we measured.
+	if m.est != nil && ex.attempts == 1 {
+		m.est.Observe(ex.env.To.ID, m.clockNow()-ex.sentAt)
 	}
 }
 
@@ -227,7 +257,7 @@ func (m *Machine) tickExchanges(now time.Duration) {
 			continue
 		}
 		ex.attempts++
-		ex.due = now + m.opts.Timeouts.RetryAfter<<(ex.attempts-1)
+		ex.due = now + ex.base<<(ex.attempts-1)
 		// Resend directly: routing through send() would re-register the
 		// exchange and reset the attempt count.
 		m.counters.CountSent(ex.env.Msg)

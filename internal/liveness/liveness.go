@@ -34,6 +34,17 @@
 // mostly one-sided, from poisoning the whole network with false
 // FailedNoti gossip about the side it has never met.
 //
+// Adaptive timeouts (gray failures): with a per-peer RTT estimator
+// attached (SetRTT + SetClock), each target's probe deadline derives
+// from its own measured round-trips instead of the fixed ProbeTimeout,
+// misses accrue as a confidence-weighted suspicion score instead of a
+// flat count (a miss against a well-measured fast peer is strong
+// evidence; one against a poorly-measured or slow peer is weak), and
+// pongs arriving after their probe expired still feed the estimator and
+// count as liveness — the feedback loop that lets the deadline chase a
+// peer whose latency is ramping up. Without an estimator the detector
+// behaves exactly as documented above, bit for bit.
+//
 // Partition awareness: a network partition is indistinguishable from a
 // mass crash to a per-target detector — every cross-partition peer times
 // out at once. Declaring (and tombstoning) them all would be wrong twice
@@ -54,6 +65,7 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/rtt"
 	"hypercube/internal/table"
 )
 
@@ -65,6 +77,21 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout is how long a probe may stay unanswered before it
 	// counts as a miss. Default 1s.
+	//
+	// Invariant (see the pending==0 guard in Tick): routine probing
+	// never launches a second probe at a target whose previous probe is
+	// still in flight, so the default ProbeTimeout (1s) exceeding the
+	// default ProbeInterval (250ms) does NOT make successive probes to
+	// a silent peer overlap in the in-flight set. The round-robin skips
+	// a target with an outstanding probe, which means a silent peer
+	// accrues misses at one per ProbeTimeout — not one per
+	// ProbeInterval — and suspicion takes SuspectAfter × ProbeTimeout,
+	// not SuspectAfter × ProbeInterval. Only confirmation rounds put
+	// several probes (direct + indirect) in flight for one target at
+	// once, and those launch strictly after the previous round fully
+	// expired. A per-peer RTT estimator (SetRTT) shortens the effective
+	// timeout per target but cannot break the invariant: the guard is
+	// on the probe count, not the deadline.
 	ProbeTimeout time.Duration
 	// SuspectAfter is the number of consecutive missed routine probes
 	// that turns an alive target into a suspect. Default 3.
@@ -141,6 +168,17 @@ type Stats struct {
 	// were ever alive, their silence may equally be our own partition, so
 	// they are forgotten locally instead of tombstoned and gossiped.
 	Unreachable int
+	// Adaptive-timeout (gray failure) counters; all stay zero unless a
+	// per-peer RTT estimator is attached (SetRTT). AdaptiveDeadlines
+	// counts probes whose deadline came from the estimator rather than
+	// the fixed ProbeTimeout; LatePongs answers that arrived after
+	// their probe expired (still fed to the estimator and counted as
+	// liveness); DegradedMarked / DegradedCleared the estimator's
+	// degraded-flag transitions observed through probe samples.
+	AdaptiveDeadlines int
+	LatePongs         int
+	DegradedMarked    int
+	DegradedCleared   int
 }
 
 type targetState uint8
@@ -153,17 +191,22 @@ const (
 type target struct {
 	ref      table.Ref
 	state    targetState
-	missed   int  // consecutive routine-probe misses while alive
-	rounds   int  // completed confirmation rounds while suspect
-	pending  int  // outstanding probes (any kind) for this target
-	answered bool // ever seen alive from here (pong or observed traffic)
+	missed   int     // consecutive routine-probe misses while alive
+	susp     float64 // accrued suspicion; equals missed without an estimator
+	rounds   int     // completed confirmation rounds while suspect
+	pending  int     // outstanding probes (any kind) for this target
+	answered bool    // ever seen alive from here (pong or observed traffic)
 }
 
-// probe is one in-flight probe: which target it checks and when it
-// expires.
+// probe is one in-flight probe: which target it checks, when it was
+// sent (for RTT sampling), when it expires, and whether it was relayed
+// (indirect probes measure the relay path, not the peer, so they are
+// never sampled).
 type probe struct {
 	target   id.ID
+	sentAt   time.Duration
 	deadline time.Duration
+	indirect bool
 }
 
 // Prober is one node's failure detector. It is not safe for concurrent
@@ -183,6 +226,14 @@ type Prober struct {
 	seq      uint64
 	inflight map[uint64]probe
 	helperAt int // rotates indirect-probe helper choice
+
+	// Adaptive-timeout state (nil/unused without SetRTT). recent holds
+	// expired probes for a grace window so a late pong can still feed
+	// the estimator and clear suspicion; recentQ bounds it FIFO.
+	est     *rtt.Estimator
+	clock   func() time.Duration
+	recent  map[uint64]probe
+	recentQ []uint64
 
 	partitioned bool
 
@@ -205,6 +256,30 @@ func (p *Prober) SetSink(s obs.Sink) {
 	p.sink = s
 	p.selfName = p.self.ID.String()
 }
+
+// SetRTT attaches a per-peer RTT estimator: probe deadlines derive
+// from each target's measured round-trips (falling back to
+// ProbeTimeout until samples exist), direct-probe pongs feed samples
+// back, and misses accrue as confidence-weighted suspicion. The
+// estimator is typically shared with core.Machine so exchange
+// round-trips and probe RTTs pool into one estimate per peer. Callers
+// must also SetClock, or pongs cannot be timed.
+func (p *Prober) SetRTT(est *rtt.Estimator) {
+	p.est = est
+	if est != nil && p.recent == nil {
+		p.recent = make(map[uint64]probe)
+	}
+}
+
+// SetClock supplies the driving runtime's monotonic clock (duration
+// since an arbitrary start): virtual time in the overlay simulator,
+// wall time since start in tcptransport. Pong arrivals are stamped
+// with it to measure probe round-trips.
+func (p *Prober) SetClock(f func() time.Duration) { p.clock = f }
+
+// RTT returns the attached estimator (nil without SetRTT), for admin
+// endpoints and scenario reports.
+func (p *Prober) RTT() *rtt.Estimator { return p.est }
 
 // NewProber creates a detector for the node self.
 func NewProber(cfg Config, self table.Ref) *Prober {
@@ -374,6 +449,7 @@ func (p *Prober) markAlive(t *target) {
 	t.answered = true
 	t.state = stateAlive
 	t.missed = 0
+	t.susp = 0
 	t.rounds = 0
 	t.pending = 0
 	// Orphan the in-flight probes so their expiry is ignored.
@@ -395,10 +471,35 @@ func (p *Prober) HandleMessage(env msg.Envelope) []msg.Envelope {
 	case msg.Pong:
 		pr, ok := p.inflight[pm.Seq]
 		if !ok {
-			break // late answer for an already-resolved probe
+			// Late answer for an already-expired probe. Without an
+			// estimator it is simply dropped (the miss was already
+			// charged and any retained state would change declared
+			// replay). With one, the late pong is exactly the signal
+			// that matters: it carries the peer's true (slow) RTT, so
+			// the estimator learns the new latency and the next probe
+			// waits long enough — and a peer that answered, however
+			// late, is alive.
+			if p.est == nil {
+				break
+			}
+			pr, ok = p.recent[pm.Seq]
+			if !ok {
+				break
+			}
+			delete(p.recent, pm.Seq)
+			p.stats.LatePongs++
+			p.sampleRTT(pr)
+			if p.sink != nil {
+				p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq, Detail: "late"})
+			}
+			if t, ok := p.targets[pr.target]; ok {
+				p.markAlive(t)
+			}
+			break
 		}
 		delete(p.inflight, pm.Seq)
 		p.stats.PongsReceived++
+		p.sampleRTT(pr)
 		if p.sink != nil {
 			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq})
 		}
@@ -449,18 +550,18 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 	// rounds, and the orphaned expiries must not be charged against those
 	// fresh rounds.
 	type expiry struct {
-		seq    uint64
-		target id.ID
+		seq uint64
+		pr  probe
 	}
 	expired := make([]expiry, 0, 4)
 	for seq, pr := range p.inflight {
 		if pr.deadline <= now {
-			expired = append(expired, expiry{seq, pr.target})
+			expired = append(expired, expiry{seq, pr})
 		}
 	}
 	sort.Slice(expired, func(i, j int) bool {
-		if expired[i].target != expired[j].target {
-			return expired[i].target.Less(expired[j].target)
+		if expired[i].pr.target != expired[j].pr.target {
+			return expired[i].pr.target.Less(expired[j].pr.target)
 		}
 		return expired[i].seq < expired[j].seq
 	})
@@ -469,23 +570,25 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 			continue // orphaned mid-sweep by a partition-mode exit
 		}
 		delete(p.inflight, e.seq)
-		t, ok := p.targets[e.target]
+		p.remember(e.seq, e.pr)
+		t, ok := p.targets[e.pr.target]
 		if !ok {
 			continue
 		}
 		t.pending--
 		if p.sink != nil {
-			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeMiss, Peer: e.target.String(), Seq: e.seq})
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeMiss, Peer: e.pr.target.String(), Seq: e.seq})
 		}
 		switch t.state {
 		case stateAlive:
 			t.missed++
-			if t.missed >= p.cfg.SuspectAfter {
+			t.susp += p.missCharge(t)
+			if t.susp >= float64(p.cfg.SuspectAfter) {
 				t.state = stateSuspect
 				t.rounds = 0
 				p.stats.Suspects++
 				if p.sink != nil {
-					p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindSuspect, Peer: e.target.String(), N: t.missed})
+					p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindSuspect, Peer: e.pr.target.String(), N: t.missed})
 				}
 				p.confirmRound(t, now)
 			}
@@ -523,6 +626,9 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 					// so it is forgotten locally (no tombstone, no gossip)
 					// and welcome back the moment it answers.
 					delete(p.targets, t.ref.ID)
+					if p.est != nil {
+						p.est.Forget(t.ref.ID)
+					}
 					p.stats.Unreachable++
 					if p.sink != nil {
 						p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindUnreachable, Peer: t.ref.ID.String()})
@@ -532,6 +638,9 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 					continue
 				}
 				delete(p.targets, t.ref.ID)
+				if p.est != nil {
+					p.est.Forget(t.ref.ID)
+				}
 				p.tombs[t.ref.ID] = true
 				p.stats.Declared++
 				if p.sink != nil {
@@ -543,6 +652,24 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 			}
 			p.confirmRound(t, now)
 		}
+	}
+
+	// Age out parked expired probes whose late-pong grace has lapsed.
+	if p.est != nil && len(p.recentQ) > 0 {
+		grace := p.est.Config().MaxRTO
+		keep := p.recentQ[:0]
+		for _, seq := range p.recentQ {
+			pr, ok := p.recent[seq]
+			if !ok {
+				continue // already consumed by a late pong
+			}
+			if pr.deadline+grace <= now {
+				delete(p.recent, seq)
+				continue
+			}
+			keep = append(keep, seq)
+		}
+		p.recentQ = keep
 	}
 
 	// Routine round-robin probing of alive targets.
@@ -594,6 +721,117 @@ func (p *Prober) confirmRound(t *target, now time.Duration) {
 	}
 }
 
+// probeBudget derives the wait for one probe. Without an estimator it
+// is the fixed ProbeTimeout. With one, a direct probe waits the
+// target's per-peer RTO; an indirect probe crosses two round-trips
+// (origin→relay ping, relay→target probe) so it waits the sum of the
+// relay's and the target's RTOs. Any leg without samples yet falls
+// back to the fixed default for the whole probe — a half-adaptive
+// budget would be neither calibrated nor comparable.
+//
+// Confirmation-round probes (suspect state) are additionally floored
+// at the fixed ProbeTimeout: they decide declarations, and a peer that
+// was fast and just turned gray would otherwise burn through all its
+// confirm rounds in a few small RTOs — before its first late pong can
+// teach the estimator the new latency. Adaptivity may extend the
+// declaration window for known-slow peers, never shrink it.
+func (p *Prober) probeBudget(t *target, via table.Ref) time.Duration {
+	if p.est == nil {
+		return p.cfg.ProbeTimeout
+	}
+	budget := time.Duration(0)
+	if via.IsZero() {
+		rto, ok := p.est.RTO(t.ref.ID)
+		if !ok {
+			return p.cfg.ProbeTimeout
+		}
+		budget = rto
+	} else {
+		rtoT, okT := p.est.RTO(t.ref.ID)
+		rtoV, okV := p.est.RTO(via.ID)
+		if !okT || !okV {
+			return p.cfg.ProbeTimeout
+		}
+		budget = rtoT + rtoV
+	}
+	if t.state == stateSuspect && budget < p.cfg.ProbeTimeout {
+		budget = p.cfg.ProbeTimeout
+	}
+	p.stats.AdaptiveDeadlines++
+	return budget
+}
+
+// missCharge converts one expired probe into suspicion. Without an
+// estimator — or before this peer has samples — a miss charges exactly
+// 1.0, keeping the accrual score numerically identical to the legacy
+// missed counter (small-integer float arithmetic is exact, so the
+// suspect threshold fires on the same tick). With samples, the charge
+// is ProbeTimeout/RTO clamped to [0.5, 2.0]: a miss against a fast
+// peer (RTO well under the fixed timeout) weighs up to double — a dead
+// peer on a fast link is declared sooner — while a miss against a
+// known-slow peer weighs as little as half.
+func (p *Prober) missCharge(t *target) float64 {
+	if p.est == nil {
+		return 1
+	}
+	rto, ok := p.est.RTO(t.ref.ID)
+	if !ok || rto <= 0 {
+		return 1
+	}
+	c := float64(p.cfg.ProbeTimeout) / float64(rto)
+	if c < 0.5 {
+		c = 0.5
+	}
+	if c > 2 {
+		c = 2
+	}
+	return c
+}
+
+// sampleRTT feeds one answered probe's round-trip into the estimator
+// and emits degraded-flag transition events. Karn's rule, adapted:
+// indirect probes are never sampled — their round-trip measures the
+// relay's path as much as the target's.
+func (p *Prober) sampleRTT(pr probe) {
+	if p.est == nil || p.clock == nil || pr.indirect {
+		return
+	}
+	u := p.est.Observe(pr.target, p.clock()-pr.sentAt)
+	if !u.Changed {
+		return
+	}
+	kind := obs.KindDegraded
+	if u.Degraded {
+		p.stats.DegradedMarked++
+	} else {
+		p.stats.DegradedCleared++
+		kind = obs.KindDegradedClear
+	}
+	if p.sink != nil {
+		p.sink.Emit(obs.Event{Node: p.selfName, Kind: kind, Peer: pr.target.String()})
+	}
+}
+
+// remember parks an expired direct probe so a late pong can still feed
+// the estimator and revive the target (adaptive mode only — without an
+// estimator late pongs are dropped as before, keeping declared replay
+// unchanged). Bounded two ways: a FIFO cap here and the grace sweep in
+// Tick.
+const recentCap = 1024
+
+func (p *Prober) remember(seq uint64, pr probe) {
+	if p.est == nil || pr.indirect {
+		return
+	}
+	p.recent[seq] = pr
+	p.recentQ = append(p.recentQ, seq)
+	for len(p.recentQ) > recentCap {
+		s := p.recentQ[0]
+		p.recentQ = p.recentQ[1:]
+		delete(p.recent, s)
+	}
+}
+
 // pickHelpers returns up to n other non-suspect targets, rotating the
 // starting point so consecutive rounds try different relays.
 func (p *Prober) pickHelpers(suspect id.ID, n int) []table.Ref {
@@ -627,7 +865,12 @@ func (p *Prober) sendProbe(t *target, via table.Ref, now time.Duration) {
 	} else {
 		p.stats.ProbesSent++
 	}
-	p.inflight[p.seq] = probe{target: t.ref.ID, deadline: now + p.cfg.ProbeTimeout}
+	p.inflight[p.seq] = probe{
+		target:   t.ref.ID,
+		sentAt:   now,
+		deadline: now + p.probeBudget(t, via),
+		indirect: !via.IsZero(),
+	}
 	t.pending++
 	if p.sink != nil {
 		e := obs.Event{Node: p.selfName, Kind: obs.KindProbe, Peer: t.ref.ID.String(), Seq: p.seq}

@@ -102,6 +102,13 @@ const (
 	// update was skipped (N the offending push count).
 	KindSampleRound Kind = "sample_round"
 	KindSampleFlood Kind = "sample_flood"
+	// Gray-failure (adaptive timeout) events. KindDegraded marks a peer
+	// whose smoothed probe RTT stays persistently above the cross-peer
+	// median (Peer the flagged node); KindDegradedClear reports the
+	// hysteresis recovery. Emitted only when an RTT estimator is
+	// attached, so fixed-timeout traces are unchanged.
+	KindDegraded      Kind = "degraded"
+	KindDegradedClear Kind = "degraded_clear"
 )
 
 // Event is one traced protocol step. The zero value of every field but

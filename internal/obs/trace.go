@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -48,12 +49,21 @@ type Summary struct {
 	Repairs   int // repair_start events
 	SyncRound int
 	// Guard-layer activity (hostile-input hardening).
-	GuardRejects int           // semantically invalid messages rejected
-	GuardDrops   int           // unvalidated drops: unknown types, quarantined senders
-	Quarantines  int           // peers quarantined for repeated misbehavior
-	Releases     int           // quarantines released after cooldown
-	Busy         int           // budget-exceeded deferrals
-	Span         time.Duration // time of the last event
+	GuardRejects int // semantically invalid messages rejected
+	GuardDrops   int // unvalidated drops: unknown types, quarantined senders
+	Quarantines  int // peers quarantined for repeated misbehavior
+	Releases     int // quarantines released after cooldown
+	Busy         int // budget-exceeded deferrals
+	// Gray-failure (adaptive timeout) activity. ProbeRTTs holds the
+	// measured round-trip of each answered direct probe (probe event
+	// paired with its probe_ack by node and sequence number), capped at
+	// probeRTTCap samples; LatePongs counts acks that arrived after
+	// their probe expired (Detail "late").
+	ProbeRTTs       []time.Duration
+	LatePongs       int
+	Degraded        int // degraded-flag marks
+	DegradedCleared int
+	Span            time.Duration // time of the last event
 }
 
 // Completed returns only the joins that reached in_system.
@@ -82,17 +92,38 @@ type joinState struct {
 type Analyzer struct {
 	joins map[string]*joinState
 	sum   Summary
+
+	// probeAt holds the send time of each not-yet-answered direct probe,
+	// keyed by node+"|"+seq, for RTT pairing. Misses evict their entry;
+	// the map is additionally capped so a trace with pathological loss
+	// cannot grow it without bound.
+	probeAt map[string]time.Duration
 }
+
+// probePendingCap bounds the in-flight probe-pairing map; probeRTTCap
+// bounds the collected RTT samples (enough for percentile stability on
+// soak-length traces without holding every sample of a long run).
+const (
+	probePendingCap = 1 << 16
+	probeRTTCap     = 1 << 18
+)
 
 // NewAnalyzer creates an empty analyzer.
 func NewAnalyzer() *Analyzer {
 	return &Analyzer{
-		joins: make(map[string]*joinState),
+		joins:   make(map[string]*joinState),
+		probeAt: make(map[string]time.Duration),
 		sum: Summary{
 			Sent:     make(map[string]int),
 			Received: make(map[string]int),
 		},
 	}
+}
+
+// probeKey identifies one probe across its probe/probe_ack pair: the
+// prober's node name plus the probe sequence number (per-node unique).
+func probeKey(e Event) string {
+	return e.Node + "|" + strconv.FormatUint(e.Seq, 10)
 }
 
 func (a *Analyzer) node(name string) *joinState {
@@ -158,8 +189,31 @@ func (a *Analyzer) Feed(e Event) {
 		a.sum.GiveUps++
 	case KindProbe:
 		a.sum.Probes++
+		// Track direct probes for RTT pairing. Indirect probes measure
+		// the relay's path too, so they are excluded — same rule the
+		// estimator applies. Entries persist past a probe_miss because
+		// the ack may still arrive late; the cap bounds the leak from
+		// probes that never get answered at all.
+		if e.Detail != "indirect" && len(a.probeAt) < probePendingCap {
+			a.probeAt[probeKey(e)] = e.T
+		}
+	case KindProbeAck:
+		if e.Detail == "late" {
+			a.sum.LatePongs++
+		}
+		key := probeKey(e)
+		if at, ok := a.probeAt[key]; ok {
+			delete(a.probeAt, key)
+			if rtt := e.T - at; rtt > 0 && len(a.sum.ProbeRTTs) < probeRTTCap {
+				a.sum.ProbeRTTs = append(a.sum.ProbeRTTs, rtt)
+			}
+		}
 	case KindProbeMiss:
 		a.sum.ProbeMiss++
+	case KindDegraded:
+		a.sum.Degraded++
+	case KindDegradedClear:
+		a.sum.DegradedCleared++
 	case KindSuspect:
 		a.sum.Suspects++
 	case KindDeclared:

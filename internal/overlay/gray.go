@@ -1,0 +1,173 @@
+package overlay
+
+// Gray-failure fault injection: slow nodes (per-node processing delay
+// with a ramp) and asymmetric link latency. Unlike the crash and
+// byzantine models, a gray node runs the correct protocol and answers
+// every message — just late. A fixed-timeout failure detector cannot
+// tell this from a crash; the adaptive (RTT-estimating) detector must.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/rtt"
+	"hypercube/internal/table"
+)
+
+// SlowNodes configures per-node processing-delay injection. A marked
+// node processes slowly in both directions: every message it sends or
+// receives is delayed by the current per-side delay, so a round trip
+// involving one slow endpoint inflates by 2x the delay. The delay
+// ramps linearly from zero to Delay over Ramp — modeling gradual
+// degradation (GC pressure, disk stalls, thermal throttling) rather
+// than a step change, which is the harder case for an estimator that
+// must chase a moving target.
+type SlowNodes struct {
+	// Delay is the full per-side processing delay once the ramp
+	// completes. Default 500ms.
+	Delay time.Duration
+	// Ramp is how long a newly marked node takes to reach Delay;
+	// 0 applies the full delay immediately.
+	Ramp time.Duration
+	// Fraction of the candidates SelectSlow marks, in [0,1].
+	Fraction float64
+	// Seed feeds the deterministic selection.
+	Seed int64
+}
+
+func (s *SlowNodes) delay() time.Duration {
+	if s.Delay <= 0 {
+		return 500 * time.Millisecond
+	}
+	return s.Delay
+}
+
+// MarkSlow marks the given members slow starting now (their delay
+// begins ramping). Panics unless the network was configured with
+// Config.SlowNodes.
+func (n *Network) MarkSlow(ids ...id.ID) {
+	if n.cfg.SlowNodes == nil {
+		panic("overlay: MarkSlow without Config.SlowNodes")
+	}
+	now := n.engine.Now()
+	for _, x := range ids {
+		if _, dup := n.slow[x]; !dup {
+			n.slow[x] = now
+		}
+	}
+}
+
+// UnmarkSlow restores the given members to full speed (recovery).
+func (n *Network) UnmarkSlow(ids ...id.ID) {
+	for _, x := range ids {
+		delete(n.slow, x)
+	}
+}
+
+// SlowIDs returns the currently slow members, unsorted.
+func (n *Network) SlowIDs() []id.ID {
+	out := make([]id.ID, 0, len(n.slow))
+	for x := range n.slow {
+		out = append(out, x)
+	}
+	return out
+}
+
+// SelectSlow deterministically draws Fraction of the candidates
+// (rounded down, minimum 1 when Fraction > 0), marks them slow, and
+// returns their IDs. The draw depends only on SlowNodes.Seed and the
+// candidate order — the same discipline as SelectByzantine, with an
+// independent stream so the two fault sets are uncorrelated.
+func (n *Network) SelectSlow(candidates []table.Ref) []id.ID {
+	s := n.cfg.SlowNodes
+	if s == nil {
+		panic("overlay: SelectSlow without Config.SlowNodes")
+	}
+	count := int(s.Fraction * float64(len(candidates)))
+	if count == 0 && s.Fraction > 0 && len(candidates) > 0 {
+		count = 1
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x536c6f77)) // "Slow"
+	perm := rng.Perm(len(candidates))
+	out := make([]id.ID, 0, count)
+	for _, i := range perm[:count] {
+		out = append(out, candidates[i].ID)
+	}
+	n.MarkSlow(out...)
+	return out
+}
+
+// slowDelay returns node x's current per-side processing delay: zero
+// for fast nodes, Delay scaled by ramp progress for slow ones.
+func (n *Network) slowDelay(x id.ID, now time.Duration) time.Duration {
+	since, ok := n.slow[x]
+	if !ok {
+		return 0
+	}
+	s := n.cfg.SlowNodes
+	d := s.delay()
+	if s.Ramp <= 0 || now-since >= s.Ramp {
+		return d
+	}
+	return time.Duration(int64(d) * int64(now-since) / int64(s.Ramp))
+}
+
+// SlowDelayed returns how many message transmissions were delayed by
+// the slow-node model so far.
+func (n *Network) SlowDelayed() uint64 { return n.slowDelayed }
+
+// AsymmetricLatency wraps a LatencyFunc with directional skew: a
+// hash-chosen fraction of node pairs have one direction's latency
+// multiplied by factor while the reverse stays at base — the
+// "asymmetric link" gray failure, where A hears B promptly but B's
+// replies to A crawl. The skewed direction is chosen per pair from the
+// seed, so the wrapper is deterministic and the skew survives replays.
+func AsymmetricLatency(base LatencyFunc, fraction, factor float64, seed int64) LatencyFunc {
+	if factor < 1 {
+		panic(fmt.Sprintf("overlay: asymmetric factor %v < 1", factor))
+	}
+	return func(from, to table.Ref) time.Duration {
+		d := base(from, to)
+		a, b := from.ID.String(), to.ID.String()
+		flip := false
+		if b < a {
+			a, b = b, a
+			flip = true
+		}
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d|%s|%s", seed, a, b)
+		sum := h.Sum64()
+		// Low 52 bits select the pair; bit 52 picks the slow direction.
+		if float64(sum&((1<<52)-1))/float64(uint64(1)<<52) >= fraction {
+			return d
+		}
+		lowToHigh := sum&(1<<52) == 0
+		if lowToHigh != flip {
+			return time.Duration(float64(d) * factor)
+		}
+		return d
+	}
+}
+
+// RTT returns node x's estimator, if Config.RTT attached one.
+func (n *Network) RTT(x id.ID) (*rtt.Estimator, bool) {
+	e, ok := n.ests[x]
+	return e, ok
+}
+
+// RTTStats aggregates estimator counters over all live nodes.
+func (n *Network) RTTStats() rtt.Stats {
+	var total rtt.Stats
+	for _, e := range n.ests {
+		s := e.Stats()
+		total.Tracked += s.Tracked
+		total.Degraded += s.Degraded
+		total.Samples += s.Samples
+		total.Marked += s.Marked
+		total.Cleared += s.Cleared
+	}
+	return total
+}

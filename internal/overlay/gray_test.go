@@ -1,0 +1,158 @@
+package overlay
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/liveness"
+	"hypercube/internal/rtt"
+)
+
+func grayConfig() Config {
+	return Config{
+		Params:  id.Params{B: 4, D: 4},
+		Latency: ConstantLatency(5 * time.Millisecond),
+		Liveness: &liveness.Config{
+			ProbeInterval:  100 * time.Millisecond,
+			ProbeTimeout:   400 * time.Millisecond,
+			SuspectAfter:   3,
+			IndirectProbes: 2,
+			ConfirmRounds:  3,
+		},
+		SlowNodes:    &SlowNodes{Delay: 300 * time.Millisecond, Ramp: 2 * time.Second},
+		TickInterval: 50 * time.Millisecond,
+	}
+}
+
+// TestGraySlowNodeAdaptiveVsFixed is the overlay-level gray-failure
+// contrast: a node that ramps to 300ms per-side processing delay
+// (round trips ~610ms, well past the 400ms fixed probe timeout) stays
+// alive and answering. Under fixed timeouts the detector falsely
+// declares it dead; under adaptive timeouts the estimators chase the
+// ramp via late pongs and nobody is declared.
+func TestGraySlowNodeAdaptiveVsFixed(t *testing.T) {
+	run := func(adaptive bool) (declared int, marked int) {
+		cfg := grayConfig()
+		if adaptive {
+			cfg.RTT = &rtt.Config{MinRTO: 50 * time.Millisecond, MaxRTO: 5 * time.Second}
+		}
+		rng := rand.New(rand.NewSource(7))
+		net := New(cfg)
+		refs := RandomRefs(cfg.Params, 16, rng, nil)
+		net.BuildDirect(refs, rng)
+
+		// Warm-up: estimators learn the fast baseline before the ramp.
+		net.RunFor(5 * time.Second)
+		gray := refs[4].ID
+		net.MarkSlow(gray)
+		net.RunFor(40 * time.Second)
+
+		if net.SlowDelayed() == 0 {
+			t.Fatalf("slow-node model never delayed a message (adaptive=%v)", adaptive)
+		}
+		st := net.LivenessStats()
+		return st.Declared, net.RTTStats().Marked
+	}
+
+	if declared, marked := run(true); declared != 0 {
+		t.Errorf("adaptive run falsely declared %d nodes", declared)
+	} else if marked == 0 {
+		t.Error("adaptive run never flagged the slow node degraded")
+	}
+	if declared, _ := run(false); declared == 0 {
+		t.Error("fixed run did not declare the slow node — the contrast scenario has no teeth")
+	}
+}
+
+// TestSelectSlowDeterministic: the draw depends only on seed and
+// candidate order, and a positive fraction marks at least one node.
+func TestSelectSlowDeterministic(t *testing.T) {
+	cfg := grayConfig()
+	cfg.SlowNodes.Fraction = 0.1
+	cfg.SlowNodes.Seed = 99
+	rng := rand.New(rand.NewSource(3))
+	refs := RandomRefs(cfg.Params, 20, rng, nil)
+
+	pick := func() []id.ID {
+		net := New(cfg)
+		net.BuildDirect(refs, rand.New(rand.NewSource(3)))
+		return net.SelectSlow(refs)
+	}
+	a, b := pick(), pick()
+	if len(a) != 2 {
+		t.Fatalf("SelectSlow marked %d of 20 at fraction 0.1, want 2", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("SelectSlow not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestAsymmetricLatencySkew: the wrapper is deterministic, skews
+// exactly one direction of a selected pair, and leaves unselected
+// pairs (fraction 0) untouched.
+func TestAsymmetricLatencySkew(t *testing.T) {
+	p := id.Params{B: 4, D: 4}
+	rng := rand.New(rand.NewSource(11))
+	refs := RandomRefs(p, 12, rng, nil)
+	base := ConstantLatency(10 * time.Millisecond)
+
+	identity := AsymmetricLatency(base, 0, 10, 5)
+	all := AsymmetricLatency(base, 1, 10, 5)
+	skewedPairs := 0
+	for i := range refs {
+		for j := i + 1; j < len(refs); j++ {
+			a, b := refs[i], refs[j]
+			if identity(a, b) != 10*time.Millisecond || identity(b, a) != 10*time.Millisecond {
+				t.Fatalf("fraction 0 altered latency for %v<->%v", a.ID, b.ID)
+			}
+			ab, ba := all(a, b), all(b, a)
+			if ab != all(a, b) || ba != all(b, a) {
+				t.Fatalf("wrapper not deterministic for %v<->%v", a.ID, b.ID)
+			}
+			slow, fast := ab, ba
+			if fast > slow {
+				slow, fast = fast, slow
+			}
+			if fast != 10*time.Millisecond || slow != 100*time.Millisecond {
+				t.Fatalf("pair %v<->%v: latencies %v/%v, want one 10ms and one 100ms", a.ID, b.ID, ab, ba)
+			}
+			skewedPairs++
+		}
+	}
+	if skewedPairs == 0 {
+		t.Fatal("no pairs checked")
+	}
+}
+
+// TestSlowDelayRamp: the injected delay grows linearly from the mark
+// time and recovery restores full speed.
+func TestSlowDelayRamp(t *testing.T) {
+	cfg := grayConfig()
+	rng := rand.New(rand.NewSource(5))
+	net := New(cfg)
+	refs := RandomRefs(cfg.Params, 4, rng, nil)
+	net.BuildDirect(refs, rng)
+
+	x := refs[0].ID
+	net.MarkSlow(x)
+	if d := net.slowDelay(x, 0); d != 0 {
+		t.Fatalf("delay at mark time = %v, want 0 (ramp start)", d)
+	}
+	if d := net.slowDelay(x, time.Second); d != 150*time.Millisecond {
+		t.Fatalf("delay mid-ramp = %v, want 150ms", d)
+	}
+	if d := net.slowDelay(x, 3*time.Second); d != 300*time.Millisecond {
+		t.Fatalf("delay post-ramp = %v, want full 300ms", d)
+	}
+	net.UnmarkSlow(x)
+	if d := net.slowDelay(x, 3*time.Second); d != 0 {
+		t.Fatalf("delay after recovery = %v, want 0", d)
+	}
+	if other := refs[1].ID; net.slowDelay(other, time.Minute) != 0 {
+		t.Fatal("unmarked node has injected delay")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/netcheck"
 	"hypercube/internal/obs"
+	"hypercube/internal/rtt"
 	"hypercube/internal/sampling"
 	"hypercube/internal/sim"
 	"hypercube/internal/table"
@@ -157,6 +158,18 @@ type Config struct {
 	// randomly mutated, withheld, or replayed (see Byzantine). Nil keeps
 	// every member honest.
 	Byzantine *Byzantine
+	// RTT attaches a per-peer round-trip estimator (internal/rtt) to
+	// every node, shared by its prober (adaptive probe deadlines, accrual
+	// suspicion, late-pong learning) and its machine (per-peer seeded
+	// exchange backoff); anti-entropy partner choice and the sampling
+	// validator deprioritize peers the estimator flags degraded. Nil
+	// keeps the fixed timeouts — and, because every adaptive path is
+	// gated on the estimator, bit-identical legacy behavior.
+	RTT *rtt.Config
+	// SlowNodes enables the gray-failure fault model: members marked via
+	// MarkSlow/SelectSlow process all traffic with a ramping per-side
+	// delay (see SlowNodes). Nil keeps every member fast.
+	SlowNodes *SlowNodes
 	// Sink, when non-nil, receives every protocol event from every
 	// machine, prober, and anti-entropy engine, stamped with the virtual
 	// clock — the same trace schema live TCP runs produce, so
@@ -203,6 +216,12 @@ type Network struct {
 	// different groups drop in flight (Partition/Heal fault injection).
 	partition        map[id.ID]int
 	partitionDropped uint64
+	// ests holds each node's RTT estimator (Config.RTT); slow maps
+	// gray-marked nodes to their mark time (Config.SlowNodes), and
+	// slowDelayed counts transmissions the model delayed.
+	ests        map[id.ID]*rtt.Estimator
+	slow        map[id.ID]time.Duration
+	slowDelayed uint64
 	// byz marks byzantine members (Config.Byzantine); byzHistory is the
 	// bounded replay ring of recently sent honest envelopes.
 	byz            map[id.ID]bool
@@ -239,6 +258,10 @@ func New(cfg Config) *Network {
 		probers:         make(map[id.ID]*liveness.Prober),
 		engines:         make(map[id.ID]*antientropy.Engine),
 		samplers:        make(map[id.ID]*sampling.Engine),
+		ests:            make(map[id.ID]*rtt.Estimator),
+	}
+	if cfg.SlowNodes != nil {
+		n.slow = make(map[id.ID]time.Duration)
 	}
 	if cfg.Loss != nil {
 		n.lossRng = rand.New(rand.NewSource(cfg.Loss.Seed))
@@ -275,14 +298,29 @@ func (n *Network) addMachine(m *core.Machine) {
 	m.SetSink(n.sink)
 	// Quarantine cooldowns age on the virtual clock.
 	m.SetClock(n.engine.Now)
+	var est *rtt.Estimator
+	if n.cfg.RTT != nil {
+		// One estimator per node, shared by prober and machine so probe
+		// and exchange samples pool into the same per-peer estimates.
+		est = rtt.New(*n.cfg.RTT)
+		n.ests[m.Self().ID] = est
+		m.SetRTT(est)
+	}
 	if n.cfg.Liveness != nil {
 		p := liveness.NewProber(*n.cfg.Liveness, m.Self())
 		p.SetSink(n.sink)
+		if est != nil {
+			p.SetRTT(est)
+			p.SetClock(n.engine.Now)
+		}
 		n.probers[m.Self().ID] = p
 	}
 	if n.cfg.AntiEntropy != nil {
 		e := antientropy.New(*n.cfg.AntiEntropy, m)
 		e.SetSink(n.sink)
+		if est != nil {
+			e.SetHealth(func(x id.ID) bool { return !est.Degraded(x) })
+		}
 		n.engines[m.Self().ID] = e
 	}
 	if n.cfg.Sampling != nil {
@@ -290,7 +328,14 @@ func (n *Network) addMachine(m *core.Machine) {
 		// Quarantined peers are inadmissible; live table neighbors re-prime
 		// an emptied view; the machine (and its anti-entropy engine) draw
 		// restart gateways and sync peers from the min-wise samplers.
-		s.SetValidator(func(r table.Ref) bool { return !m.PeerQuarantined(r.ID) })
+		// With an estimator, degraded peers are inadmissible too — a gray
+		// node should fall out of sampled views while it crawls.
+		s.SetValidator(func(r table.Ref) bool {
+			if m.PeerQuarantined(r.ID) {
+				return false
+			}
+			return est == nil || !est.Degraded(r.ID)
+		})
 		s.SetBootstrap(m.SyncPeers)
 		s.SetSink(n.sink)
 		m.SetPeerSampler(s.Sample)
@@ -421,6 +466,16 @@ func (n *Network) post(env msg.Envelope, attempt int) {
 	delay := n.cfg.Latency(env.From, env.To)
 	if attempt > 1 {
 		delay += n.cfg.Loss.retryDelay() << (attempt - 2)
+	}
+	if len(n.slow) > 0 {
+		// Gray nodes are slow on both sides: sending late and processing
+		// received traffic late. Both legs of a round trip through a slow
+		// node inflate, which is what its peers' estimators must learn.
+		now := n.engine.Now()
+		if extra := n.slowDelay(env.From.ID, now) + n.slowDelay(env.To.ID, now); extra > 0 {
+			delay += extra
+			n.slowDelayed++
+		}
 	}
 	n.engine.Schedule(delay, func() {
 		// Partition cut: checked at delivery time so a Heal() scheduled
@@ -658,6 +713,10 @@ func (n *Network) LivenessStats() liveness.Stats {
 		total.PartitionsExited += s.PartitionsExited
 		total.DeclarationsHeld += s.DeclarationsHeld
 		total.Unreachable += s.Unreachable
+		total.AdaptiveDeadlines += s.AdaptiveDeadlines
+		total.LatePongs += s.LatePongs
+		total.DegradedMarked += s.DegradedMarked
+		total.DegradedCleared += s.DegradedCleared
 	}
 	return total
 }
@@ -701,6 +760,7 @@ func (n *Network) AntiEntropyStats() antientropy.Stats {
 		total.Rounds += s.Rounds
 		total.Pulled += s.Pulled
 		total.Purged += s.Purged
+		total.Deprioritized += s.Deprioritized
 	}
 	return total
 }

@@ -1,0 +1,294 @@
+// Package rtt estimates per-peer round-trip times and derives retry
+// deadlines from them — the measured-RTT substrate of the gray-failure
+// extension (and of future proximity neighbor selection).
+//
+// The paper's failure model is crash-only: a node is either correct or
+// silent, so one global probe timeout suffices. Real overlays mostly
+// degrade instead of dying — a peer stays alive but answers 10× slower,
+// or one direction of a link drags. A fixed timeout then fails both
+// ways at once: tuned to the fast majority it declares slow-but-alive
+// peers dead, tuned to the slow tail it detects genuine crashes late.
+// The standard repair is Jacobson/Karels estimation (the TCP RTO
+// discipline): track a smoothed RTT and its mean deviation per peer and
+// time out at srtt + 4·rttvar, clamped to [MinRTO, MaxRTO].
+//
+// The estimator is deliberately clock-agnostic and deterministic: it
+// never reads a clock — callers hand it measured samples as
+// time.Duration values — and its arithmetic is pure integer EWMA, so
+// the overlay simulator replays bit-identically under virtual time
+// while tcptransport feeds it wall-clock samples. One Estimator serves
+// one node and tracks all of that node's peers; it carries its own lock
+// because two subsystems share it (the liveness prober feeds probe
+// RTTs, core.Machine feeds request/reply round-trips) and in the TCP
+// runtime those run under different locks.
+//
+// On top of the per-peer RTO the estimator derives a "degraded" health
+// flag: a peer whose smoothed RTT stays persistently inflated relative
+// to the node's other peers (the cross-peer median) is marked degraded,
+// with hysteresis so a borderline peer does not flap. Consumers
+// deprioritize degraded peers (anti-entropy partner choice, the
+// sampling validator) without declaring them dead — gray failure is a
+// health state, not a crash.
+package rtt
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hypercube/internal/id"
+)
+
+// Config tunes an Estimator. The zero value is usable: every field
+// falls back to the default documented on it.
+type Config struct {
+	// MinRTO floors the derived retry timeout: below it, scheduler
+	// granularity and queueing jitter dominate the measurement and a
+	// timeout would misfire on noise. Default 100ms.
+	MinRTO time.Duration
+	// MaxRTO caps the derived retry timeout so a peer with a wildly
+	// inflated history cannot push detection latency unboundedly.
+	// Default 10s.
+	MaxRTO time.Duration
+	// DegradedFactor marks a peer degraded when its smoothed RTT
+	// exceeds this multiple of the cross-peer median; the flag clears
+	// (hysteresis) when it falls back to half the multiple. Default 4.
+	DegradedFactor float64
+	// DegradedMinSamples is how many samples a peer needs before it can
+	// be judged degraded. Default 4.
+	DegradedMinSamples int
+	// DegradedMinPeers is how many tracked peers the estimator needs
+	// before the cross-peer median is meaningful. Default 4.
+	DegradedMinPeers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinRTO <= 0 {
+		c.MinRTO = 100 * time.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 10 * time.Second
+	}
+	if c.MaxRTO < c.MinRTO {
+		c.MaxRTO = c.MinRTO
+	}
+	if c.DegradedFactor <= 1 {
+		c.DegradedFactor = 4
+	}
+	if c.DegradedMinSamples <= 0 {
+		c.DegradedMinSamples = 4
+	}
+	if c.DegradedMinPeers <= 0 {
+		c.DegradedMinPeers = 4
+	}
+	return c
+}
+
+// Stats is a snapshot of the estimator's activity, for admin endpoints
+// and scenario reports.
+type Stats struct {
+	// Tracked is the number of peers with at least one sample.
+	Tracked int
+	// Degraded is the number of peers currently flagged degraded.
+	Degraded int
+	// Samples counts all observations ever fed.
+	Samples int
+	// Marked / Cleared count degraded-flag transitions.
+	Marked  int
+	Cleared int
+}
+
+// Update reports the outcome of one observation: the peer's new RTO,
+// whether it is degraded, and whether this sample flipped the flag
+// (so the caller can emit a transition event exactly once).
+type Update struct {
+	RTO      time.Duration
+	SRTT     time.Duration
+	Degraded bool
+	Changed  bool
+}
+
+// peerEstimate is the Jacobson/Karels state for one peer.
+type peerEstimate struct {
+	srtt     time.Duration
+	rttvar   time.Duration
+	samples  int
+	degraded bool
+}
+
+// Estimator tracks round-trip estimates for all peers of one node. It
+// is safe for concurrent use.
+type Estimator struct {
+	mu    sync.Mutex
+	cfg   Config
+	peers map[id.ID]*peerEstimate
+
+	degraded int // current flag count
+	samples  int
+	marked   int
+	cleared  int
+}
+
+// New creates an estimator with no samples.
+func New(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg.withDefaults(), peers: make(map[id.ID]*peerEstimate)}
+}
+
+// Config returns the estimator's effective (defaulted) configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// Observe feeds one measured round-trip for peer x and returns the
+// updated estimate. Non-positive samples are ignored (a clock glitch
+// must not poison the EWMA); the returned Update then reflects the
+// unchanged state.
+func (e *Estimator) Observe(x id.ID, sample time.Duration) Update {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pe := e.peers[x]
+	if pe == nil {
+		pe = &peerEstimate{}
+		e.peers[x] = pe
+	}
+	if sample > 0 {
+		if pe.samples == 0 {
+			// First sample: srtt = s, rttvar = s/2 (RFC 6298 §2.2).
+			pe.srtt = sample
+			pe.rttvar = sample / 2
+		} else {
+			// srtt += err/8; rttvar += (|err| - rttvar)/4.
+			err := sample - pe.srtt
+			pe.srtt += err / 8
+			if err < 0 {
+				err = -err
+			}
+			pe.rttvar += (err - pe.rttvar) / 4
+		}
+		pe.samples++
+		e.samples++
+	}
+	changed := e.reassess(pe)
+	return Update{RTO: e.rto(pe), SRTT: pe.srtt, Degraded: pe.degraded, Changed: changed}
+}
+
+// rto derives the clamped retry timeout from one peer's estimate.
+// Callers hold e.mu.
+func (e *Estimator) rto(pe *peerEstimate) time.Duration {
+	rto := pe.srtt + 4*pe.rttvar
+	if rto < e.cfg.MinRTO {
+		rto = e.cfg.MinRTO
+	}
+	if rto > e.cfg.MaxRTO {
+		rto = e.cfg.MaxRTO
+	}
+	return rto
+}
+
+// reassess re-evaluates one peer's degraded flag against the cross-peer
+// median, with hysteresis: mark above DegradedFactor × median, clear at
+// or below half that. Returns whether the flag flipped. Callers hold
+// e.mu.
+func (e *Estimator) reassess(pe *peerEstimate) bool {
+	if pe.samples < e.cfg.DegradedMinSamples {
+		return false
+	}
+	med := e.medianSRTT()
+	if med <= 0 {
+		return false
+	}
+	limit := e.cfg.DegradedFactor * float64(med)
+	switch {
+	case !pe.degraded && float64(pe.srtt) > limit:
+		pe.degraded = true
+		e.degraded++
+		e.marked++
+		return true
+	case pe.degraded && float64(pe.srtt) <= limit/2:
+		pe.degraded = false
+		e.degraded--
+		e.cleared++
+		return true
+	}
+	return false
+}
+
+// medianSRTT computes the median smoothed RTT over all sampled peers;
+// zero when fewer than DegradedMinPeers are tracked. Callers hold e.mu.
+// O(peers log peers) per call, but observations arrive at probe rate
+// (a few per second per node), so this stays negligible.
+func (e *Estimator) medianSRTT() time.Duration {
+	srtts := make([]time.Duration, 0, len(e.peers))
+	for _, pe := range e.peers {
+		if pe.samples > 0 {
+			srtts = append(srtts, pe.srtt)
+		}
+	}
+	if len(srtts) < e.cfg.DegradedMinPeers {
+		return 0
+	}
+	sort.Slice(srtts, func(i, j int) bool { return srtts[i] < srtts[j] })
+	return srtts[len(srtts)/2]
+}
+
+// RTO returns the retry timeout derived for peer x, and whether any
+// samples exist to derive it from. Callers fall back to their fixed
+// default when ok is false.
+func (e *Estimator) RTO(x id.ID) (rto time.Duration, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pe := e.peers[x]
+	if pe == nil || pe.samples == 0 {
+		return 0, false
+	}
+	return e.rto(pe), true
+}
+
+// SRTT returns the smoothed round-trip estimate for peer x.
+func (e *Estimator) SRTT(x id.ID) (srtt time.Duration, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pe := e.peers[x]
+	if pe == nil || pe.samples == 0 {
+		return 0, false
+	}
+	return pe.srtt, true
+}
+
+// Degraded reports whether peer x is currently flagged degraded.
+func (e *Estimator) Degraded(x id.ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pe := e.peers[x]
+	return pe != nil && pe.degraded
+}
+
+// Forget drops all state for peer x (declared failed, departed, or no
+// longer monitored).
+func (e *Estimator) Forget(x id.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pe := e.peers[x]; pe != nil {
+		if pe.degraded {
+			e.degraded--
+		}
+		delete(e.peers, x)
+	}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (e *Estimator) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tracked := 0
+	for _, pe := range e.peers {
+		if pe.samples > 0 {
+			tracked++
+		}
+	}
+	return Stats{
+		Tracked:  tracked,
+		Degraded: e.degraded,
+		Samples:  e.samples,
+		Marked:   e.marked,
+		Cleared:  e.cleared,
+	}
+}

@@ -1,0 +1,118 @@
+package tcptransport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+	"hypercube/internal/liveness"
+	"hypercube/internal/rtt"
+)
+
+// TestTCPAdaptiveRTTSampling: with WithRTT, a live two-node network
+// feeds the shared estimator from real probe and exchange round trips,
+// and the counters surface on /status.
+func TestTCPAdaptiveRTTSampling(t *testing.T) {
+	lc := liveness.Config{
+		ProbeInterval:  50 * time.Millisecond,
+		ProbeTimeout:   300 * time.Millisecond,
+		SuspectAfter:   3,
+		IndirectProbes: 2,
+		ConfirmRounds:  2,
+	}
+	rc := rtt.Config{MinRTO: 20 * time.Millisecond, MaxRTO: 2 * time.Second}
+	opts := core.Options{Timeouts: core.Timeouts{
+		RetryAfter:  250 * time.Millisecond,
+		MaxAttempts: 4,
+	}}
+	options := []Option{WithLiveness(lc), WithRTT(rc)}
+
+	seed, err := StartSeed(p163, opts, id.MustParse(p163, "abc"), "127.0.0.1:0", options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+	j, err := StartJoiner(p163, opts, id.MustParse(p163, "123"), "127.0.0.1:0", options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Join(seed.Ref()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := j.AwaitStatus(ctx, core.StatusInSystem); err != nil {
+		t.Fatal(err)
+	}
+
+	// The join exchanges alone seed the estimator; probes keep feeding
+	// it. Wait for both nodes to accumulate samples.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, n := range []*Node{seed, j} {
+		for {
+			st, ok := n.RTTStats()
+			if !ok {
+				t.Fatalf("node %v reports no RTT stats despite WithRTT", n.Ref().ID)
+			}
+			if st.Samples > 0 && st.Tracked > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %v never sampled an RTT: %+v", n.Ref().ID, st)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// On a loopback link nobody is degraded, and /status carries the
+	// estimator section.
+	st := adminStatus(t, seed)
+	if st.RTT == nil {
+		t.Fatal("/status has no rtt section despite WithRTT")
+	}
+	if st.RTT.Samples == 0 || st.RTT.Tracked == 0 {
+		t.Fatalf("/status rtt counters empty: %+v", st.RTT)
+	}
+	if st.RTT.Degraded != 0 {
+		t.Fatalf("loopback peer flagged degraded: %+v", st.RTT)
+	}
+	if n, ok := seed.RTTStats(); !ok || n.Samples != st.RTT.Samples && n.Samples < st.RTT.Samples {
+		t.Fatalf("RTTStats regressed vs /status: %+v vs %+v", n, st.RTT)
+	}
+}
+
+// TestFaultsStallInjection: every StallEvery-th write succeeds but only
+// after the extra StallFor delay, and the counter tracks it.
+func TestFaultsStallInjection(t *testing.T) {
+	f := NewFaults(1)
+	f.StallEvery = 3
+	f.StallFor = 40 * time.Millisecond
+	var stalled, clean int
+	for i := 0; i < 9; i++ {
+		drop, kill, delay := f.nextWrite()
+		if drop || kill {
+			t.Fatalf("write %d: unexpected drop=%v kill=%v", i, drop, kill)
+		}
+		if delay >= 40*time.Millisecond {
+			stalled++
+		} else {
+			clean++
+		}
+	}
+	if stalled != 3 || clean != 6 {
+		t.Fatalf("9 writes at StallEvery=3: %d stalled, %d clean; want 3/6", stalled, clean)
+	}
+	if f.Stalls() != 3 {
+		t.Fatalf("Stalls() = %d, want 3", f.Stalls())
+	}
+
+	// Default StallFor when unset.
+	g := NewFaults(1)
+	g.StallEvery = 1
+	if _, _, delay := g.nextWrite(); delay != time.Second {
+		t.Fatalf("default stall delay = %v, want 1s", delay)
+	}
+}

@@ -60,9 +60,20 @@ type statusResponse struct {
 	// deep queue is the signature of a wedged or unreachable peer.
 	Queues      map[string]int     `json:"queues,omitempty"`
 	Liveness    *livenessStatus    `json:"liveness,omitempty"`
+	RTT         *rttStatus         `json:"rtt,omitempty"`
 	AntiEntropy *antiEntropyStatus `json:"antiEntropy,omitempty"`
 	Sampling    *samplingStatus    `json:"sampling,omitempty"`
 	Guard       *guardStatus       `json:"guard,omitempty"`
+}
+
+// rttStatus is the adaptive-timeout slice of /status; present only when
+// the node was started with WithRTT.
+type rttStatus struct {
+	Tracked  int `json:"tracked"`
+	Degraded int `json:"degraded"`
+	Samples  int `json:"samples"`
+	Marked   int `json:"marked"`
+	Cleared  int `json:"cleared"`
 }
 
 // guardStatus is the hostile-input slice of /status: the machine's
@@ -99,6 +110,12 @@ type livenessStatus struct {
 	PartitionsExited  int  `json:"partitionsExited"`
 	DeclarationsHeld  int  `json:"declarationsHeld"`
 	Unreachable       int  `json:"unreachable"`
+	// Adaptive-timeout activity; all zero when the node runs fixed
+	// timeouts (no WithRTT).
+	AdaptiveDeadlines int `json:"adaptiveDeadlines,omitempty"`
+	LatePongs         int `json:"latePongs,omitempty"`
+	DegradedMarked    int `json:"degradedMarked,omitempty"`
+	DegradedCleared   int `json:"degradedCleared,omitempty"`
 }
 
 // antiEntropyStatus is the table-repair slice of /status; present only
@@ -174,6 +191,19 @@ func (n *Node) handleStatus(w http.ResponseWriter, r *http.Request) {
 			PartitionsExited:  stats.PartitionsExited,
 			DeclarationsHeld:  stats.DeclarationsHeld,
 			Unreachable:       stats.Unreachable,
+			AdaptiveDeadlines: stats.AdaptiveDeadlines,
+			LatePongs:         stats.LatePongs,
+			DegradedMarked:    stats.DegradedMarked,
+			DegradedCleared:   stats.DegradedCleared,
+		}
+	}
+	if stats, ok := n.RTTStats(); ok {
+		resp.RTT = &rttStatus{
+			Tracked:  stats.Tracked,
+			Degraded: stats.Degraded,
+			Samples:  stats.Samples,
+			Marked:   stats.Marked,
+			Cleared:  stats.Cleared,
 		}
 	}
 	if stats, ok := n.AntiEntropyStats(); ok {

@@ -11,6 +11,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/rtt"
 	"hypercube/internal/sampling"
 	"hypercube/internal/wire"
 )
@@ -107,6 +108,13 @@ type Config struct {
 	// rotating neighbors, repairing divergence (e.g. after a partition
 	// heals). Nil disables it.
 	AntiEntropy *antientropy.Config
+	// RTT enables adaptive per-peer timeouts: one shared Jacobson/Karels
+	// estimator is fed by liveness probe round trips and protocol
+	// request/reply latencies, drives per-target probe deadlines and
+	// retransmission timers, and flags persistently slow peers degraded
+	// (deprioritized by anti-entropy partner choice and the sampling
+	// validator). Nil keeps the fixed timeouts.
+	RTT *rtt.Config
 	// Sampling enables the byzantine-resistant gossip peer-sampling
 	// layer: a background ticker runs Brahms-style push-pull rounds, and
 	// the machine's gateway selection plus the anti-entropy engine's peer
@@ -217,6 +225,12 @@ func WithLiveness(lc liveness.Config) Option {
 	return func(c *Config) { c.Liveness = &lc }
 }
 
+// WithRTT enables adaptive per-peer timeouts backed by a shared RTT
+// estimator with the given tuning.
+func WithRTT(rc rtt.Config) Option {
+	return func(c *Config) { c.RTT = &rc }
+}
+
 // WithSampling enables the gossip peer-sampling layer with the given
 // tuning.
 func WithSampling(sc sampling.Config) Option {
@@ -278,7 +292,9 @@ func WithInboundRate(rate float64, burst int) Option {
 // delivery layer retries it with backoff exactly as it would a real
 // timeout. Injected kills close the sender's connection after a
 // successful write, forcing the redial path. Latency delays every
-// write.
+// write. Injected stalls model a gray sender — every StallEvery-th
+// write completes, but only after an extra StallFor delay, so the peer
+// sees intact-but-late traffic rather than loss.
 type Faults struct {
 	// DropRate is the probability in [0,1] that a write attempt is
 	// suppressed and reported as failed.
@@ -288,12 +304,21 @@ type Faults struct {
 	// KillEvery forcibly closes the outbound connection after every
 	// Nth successful write (0 = never).
 	KillEvery int
+	// StallEvery delays every Nth successful write by StallFor before
+	// the bytes go out (0 = never) — the stalled-write gray failure:
+	// delivery succeeds, so no retry fires, but the receiver's RTT for
+	// that exchange inflates by StallFor.
+	StallEvery int
+	// StallFor is the extra delay a stalled write suffers. Default 1s
+	// when StallEvery is set.
+	StallFor time.Duration
 
 	mu     sync.Mutex
 	rng    *rand.Rand
 	writes int
 	drops  int
 	kills  int
+	stalls int
 }
 
 // NewFaults creates an injector whose drop decisions are drawn from a
@@ -316,6 +341,13 @@ func (f *Faults) Kills() int {
 	return f.kills
 }
 
+// Stalls returns how many writes were stalled so far.
+func (f *Faults) Stalls() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalls
+}
+
 // nextWrite decides the fate of one write attempt.
 func (f *Faults) nextWrite() (drop, kill bool, delay time.Duration) {
 	f.mu.Lock()
@@ -326,6 +358,14 @@ func (f *Faults) nextWrite() (drop, kill bool, delay time.Duration) {
 		return true, false, delay
 	}
 	f.writes++
+	if f.StallEvery > 0 && f.writes%f.StallEvery == 0 {
+		f.stalls++
+		if f.StallFor > 0 {
+			delay += f.StallFor
+		} else {
+			delay += time.Second
+		}
+	}
 	if f.KillEvery > 0 && f.writes%f.KillEvery == 0 {
 		f.kills++
 		return false, true, delay

@@ -16,6 +16,7 @@ import (
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
+	"hypercube/internal/rtt"
 	"hypercube/internal/sampling"
 	"hypercube/internal/table"
 	"hypercube/internal/wire"
@@ -41,6 +42,11 @@ type Node struct {
 	probeMu sync.Mutex
 	prober  *liveness.Prober
 	start   time.Time
+
+	// est is the shared per-peer RTT estimator (nil unless Config.RTT is
+	// set). It has its own internal lock, so the prober (under probeMu)
+	// and the machine (under mu) feed it without coordination.
+	est *rtt.Estimator
 
 	// Observability (see obs.go): the always-on per-node hub and
 	// registry, the clocked sink protocol components emit through, and
@@ -115,25 +121,46 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	n.machine.SetSink(n.sink)
 	// Quarantine cooldowns age on wall time, not just liveness ticks.
 	n.machine.SetClock(func() time.Duration { return time.Since(n.start) })
+	if n.cfg.RTT != nil {
+		// One estimator per node, shared by the prober (probe RTTs) and
+		// the machine (request/reply round trips); both consumers below
+		// read it for deadlines and degraded flags.
+		n.est = rtt.New(*n.cfg.RTT)
+		n.machine.SetRTT(n.est)
+	}
 	if n.cfg.Liveness != nil {
 		n.prober = liveness.NewProber(*n.cfg.Liveness, ref)
 		n.prober.SetSink(n.sink)
+		if n.est != nil {
+			n.prober.SetRTT(n.est)
+			n.prober.SetClock(func() time.Duration { return time.Since(n.start) })
+		}
 		n.wg.Add(1)
 		go n.livenessLoop()
 	}
 	if n.cfg.AntiEntropy != nil {
 		n.engine = antientropy.New(*n.cfg.AntiEntropy, n.machine)
 		n.engine.SetSink(n.sink)
+		if est := n.est; est != nil {
+			n.engine.SetHealth(func(x id.ID) bool { return !est.Degraded(x) })
+		}
 		n.wg.Add(1)
 		go n.antiEntropyLoop()
 	}
 	if n.cfg.Sampling != nil {
 		n.sampler = sampling.New(*n.cfg.Sampling, ref)
-		// Quarantined peers are inadmissible; live table neighbors re-prime
-		// an emptied view; gateway selection and anti-entropy peer choice
+		// Quarantined peers are inadmissible, and so are degraded ones
+		// when the estimator runs; live table neighbors re-prime an
+		// emptied view; gateway selection and anti-entropy peer choice
 		// draw from the min-wise samplers. All hooks run under n.mu — the
 		// sampler is only ever driven while the machine lock is held.
-		n.sampler.SetValidator(func(r table.Ref) bool { return !n.machine.PeerQuarantined(r.ID) })
+		est := n.est
+		n.sampler.SetValidator(func(r table.Ref) bool {
+			if n.machine.PeerQuarantined(r.ID) {
+				return false
+			}
+			return est == nil || !est.Degraded(r.ID)
+		})
 		n.sampler.SetBootstrap(n.machine.SyncPeers)
 		n.sampler.SetSink(n.sink)
 		n.machine.SetPeerSampler(n.sampler.Sample)
@@ -399,6 +426,19 @@ func (n *Node) SeedSamplingPeers(refs ...table.Ref) {
 	defer n.mu.Unlock()
 	n.sampler.SeedPeers(refs...)
 }
+
+// RTTStats returns the shared estimator's counters; ok is false when
+// adaptive timeouts are disabled.
+func (n *Node) RTTStats() (stats rtt.Stats, ok bool) {
+	if n.est == nil {
+		return rtt.Stats{}, false
+	}
+	return n.est.Stats(), true
+}
+
+// RTT returns the node's shared estimator, or nil when adaptive
+// timeouts are disabled. The estimator is internally synchronized.
+func (n *Node) RTT() *rtt.Estimator { return n.est }
 
 // AntiEntropyStats returns the anti-entropy engine's counters; ok is
 // false when anti-entropy is disabled.

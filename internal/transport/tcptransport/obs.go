@@ -215,6 +215,32 @@ func (n *Node) setupObs() {
 	n.tobs.reg.GaugeFunc("hypercube_guard_disconnects_total",
 		"Inbound connections dropped for oversized frames or exhausted decode budgets.",
 		func() float64 { return float64(n.guardDisconnects.Load()) })
+	if n.cfg.RTT != nil {
+		n.tobs.reg.GaugeFunc("hypercube_rtt_tracked_peers",
+			"Peers with at least one RTT sample in the shared estimator.",
+			func() float64 {
+				st, _ := n.RTTStats()
+				return float64(st.Tracked)
+			})
+		n.tobs.reg.GaugeFunc("hypercube_rtt_degraded_peers",
+			"Peers currently flagged degraded (persistently slow vs the cross-peer median).",
+			func() float64 {
+				st, _ := n.RTTStats()
+				return float64(st.Degraded)
+			})
+		n.tobs.reg.GaugeFunc("hypercube_rtt_samples_total",
+			"RTT samples fed into the shared estimator.",
+			func() float64 {
+				st, _ := n.RTTStats()
+				return float64(st.Samples)
+			})
+		n.tobs.reg.GaugeFunc("hypercube_rtt_degraded_marked_total",
+			"Times any peer was flagged degraded.",
+			func() float64 {
+				st, _ := n.RTTStats()
+				return float64(st.Marked)
+			})
+	}
 	if n.cfg.Sampling != nil {
 		n.tobs.reg.GaugeFunc("hypercube_sampling_view_size",
 			"Current gossip peer-sampling view occupancy.",
