@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-wire bench-join bench-liveness vet fmt lint cover experiments trace-smoke gray-smoke fuzz-smoke
+.PHONY: all build test race bench bench-all bench-wire bench-join bench-liveness vet fmt lint cover experiments trace-smoke fleettrace-smoke gray-smoke fuzz-smoke
 
 all: build lint test fuzz-smoke
 
@@ -18,7 +18,15 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-bench:
+# bench runs the three pinned suites (wire codec, join waves, failure
+# detection). Each regenerates its BENCH_*.json snapshot — stamped with
+# the git commit, UTC date, and go version — and appends the same run to
+# BENCH_history.jsonl, the one-line-per-run log that lets a regression
+# be bisected across commits. `bench-all` is the old sweep of every
+# benchmark in the module, without recording.
+bench: bench-wire bench-join bench-liveness
+
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 # bench-wire pins the wire-codec suite (binary vs gob encode/decode plus
@@ -27,15 +35,18 @@ bench:
 bench-wire:
 	$(GO) test -run '^$$' -bench 'BenchmarkWire|BenchmarkFrame' -benchmem \
 		./internal/transport/tcptransport | tee /tmp/bench_wire.txt
-	$(GO) run ./cmd/benchjson < /tmp/bench_wire.txt > BENCH_wire.json
+	$(GO) run ./cmd/benchjson -suite wire -history BENCH_history.jsonl \
+		< /tmp/bench_wire.txt > BENCH_wire.json
 
 # bench-join pins the concurrent join-wave suite (paper-scale and
-# flash-crowd-scale waves, plus the tracing-overhead guardrail) and
-# records ns/op plus mean JoinNotiMsg per join into BENCH_join.json for
-# regression comparison across PRs.
+# flash-crowd-scale waves, plus the tracing-overhead guardrail with its
+# sampling-off/sampling-on causal-tracing variants) and records ns/op
+# plus mean JoinNotiMsg per join into BENCH_join.json for regression
+# comparison across PRs.
 bench-join:
 	$(GO) test -run '^$$' -bench 'BenchmarkJoinWave' -benchmem . | tee /tmp/bench_join.txt
-	$(GO) run ./cmd/benchjson < /tmp/bench_join.txt > BENCH_join.json
+	$(GO) run ./cmd/benchjson -suite join -history BENCH_history.jsonl \
+		< /tmp/bench_join.txt > BENCH_join.json
 
 # bench-liveness pins the failure-detection suite: virtual
 # crash-to-declaration latency (the custom detect-ms metric) for the
@@ -45,7 +56,8 @@ bench-join:
 bench-liveness:
 	$(GO) test -run '^$$' -bench 'BenchmarkDetection|BenchmarkProbeTick' -benchmem \
 		./internal/liveness | tee /tmp/bench_liveness.txt
-	$(GO) run ./cmd/benchjson < /tmp/bench_liveness.txt > BENCH_liveness.json
+	$(GO) run ./cmd/benchjson -suite liveness -history BENCH_history.jsonl \
+		< /tmp/bench_liveness.txt > BENCH_liveness.json
 
 vet:
 	$(GO) vet ./...
@@ -95,6 +107,15 @@ fuzz-smoke:
 trace-smoke:
 	$(GO) run ./cmd/tracewave -n 16 -m 12 -out /tmp/hypercube-trace-smoke.jsonl
 	$(GO) run ./cmd/tracestat /tmp/hypercube-trace-smoke.jsonl
+
+# fleettrace-smoke proves cross-node causal tracing end to end at a
+# CI-friendly size: a 32-node flash-crowd run with tracing on writes a
+# fleet JSONL trace, and fleettrace must reconstruct at least 95% of
+# the joins as complete cross-node span trees (exit non-zero below).
+fleettrace-smoke:
+	$(GO) run ./cmd/churn -flashcrowd -n 32 -fc-joins 32 -b 16 -d 4 -seed 7 \
+		-trace /tmp/hypercube-fleettrace-smoke.jsonl
+	$(GO) run ./cmd/fleettrace -require-joins 0.95 /tmp/hypercube-fleettrace-smoke.jsonl
 
 # gray-smoke runs the gray-degradation contrast at a CI-friendly size:
 # the adaptive detector must hold every declaration of a slow-but-live

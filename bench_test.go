@@ -595,12 +595,18 @@ func BenchmarkJoinWave(b *testing.B) {
 // to nil by SetSink), and with a real JSONL sink writing to io.Discard
 // (full event construction + marshalling). The untraced and nop
 // variants must stay within noise of each other; jsonl-discard bounds
-// the worst-case cost of turning tracing on.
+// the worst-case cost of turning tracing on. The sampled variants add
+// causal tracing on top of the JSONL sink: sampled-0 installs tracers
+// whose head-sampling rejects every root (the sampling-off hot path —
+// one threshold check per operation root, zero span allocation; must
+// stay within noise of jsonl-discard), while sampled-1 traces every
+// operation and bounds the full span-propagation + v2-trailer cost.
 func BenchmarkJoinWaveTraced(b *testing.B) {
-	run := func(b *testing.B, sink obs.Sink) {
+	run := func(b *testing.B, sink obs.Sink, sample float64) {
 		for i := 0; i < b.N; i++ {
 			res, err := overlay.RunWave(overlay.WaveConfig{
 				Params: id.Params{B: 16, D: 4}, N: 128, M: 96, Seed: 11, Sink: sink,
+				TraceSample: sample, TraceSeed: 11,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -610,9 +616,17 @@ func BenchmarkJoinWaveTraced(b *testing.B) {
 			}
 		}
 	}
-	b.Run("untraced", func(b *testing.B) { run(b, nil) })
-	b.Run("nop", func(b *testing.B) { run(b, obs.Nop) })
+	b.Run("untraced", func(b *testing.B) { run(b, nil, 0) })
+	b.Run("nop", func(b *testing.B) { run(b, obs.Nop, 0) })
 	b.Run("jsonl-discard", func(b *testing.B) {
-		run(b, obs.NewJSONL(io.Discard))
+		run(b, obs.NewJSONL(io.Discard), 0)
+	})
+	// 1e-12*2^32 truncates to a zero sampling threshold: tracers exist
+	// on every node but never sample, exercising the guardrail path.
+	b.Run("sampled-0", func(b *testing.B) {
+		run(b, obs.NewJSONL(io.Discard), 1e-12)
+	})
+	b.Run("sampled-1", func(b *testing.B) {
+		run(b, obs.NewJSONL(io.Discard), 1)
 	})
 }

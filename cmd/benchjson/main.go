@@ -1,18 +1,28 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// JSON array on stdout, one object per benchmark with its iteration
-// count and every reported metric (ns/op, B/op, allocs/op, and custom
-// metrics like wirebytes). The Makefile's bench-wire target uses it to
-// commit machine-readable wire-codec numbers (BENCH_wire.json) next to
-// the human-readable log.
+// JSON document on stdout: a run-metadata header (git commit, UTC
+// timestamp, go version, host arch) plus one object per benchmark with
+// its iteration count and every reported metric (ns/op, B/op,
+// allocs/op, and custom metrics like wirebytes). The Makefile's bench-*
+// targets use it to commit machine-readable numbers (BENCH_wire.json
+// and friends) next to the human-readable log, and -history appends the
+// same document as one compact JSONL line so regressions can be traced
+// across commits:
+//
+//	go test -bench BenchmarkWire -benchmem ./internal/wire | \
+//	    benchjson -suite wire -history BENCH_history.jsonl > BENCH_wire.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 type result struct {
@@ -21,9 +31,58 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
+// run is the full document: where and when the numbers were taken,
+// then the numbers. Old consumers that ranged over a bare array must
+// read .results instead.
+type run struct {
+	Suite   string   `json:"suite,omitempty"`
+	Commit  string   `json:"commit,omitempty"`
+	Date    string   `json:"date"`
+	Go      string   `json:"go"`
+	Arch    string   `json:"arch"`
+	Results []result `json:"results"`
+}
+
 func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	suite := flag.String("suite", "", "suite name recorded in the output (e.g. wire, join)")
+	history := flag.String("history", "", "append the run as one compact JSON line to this file")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	doc := run{
+		Suite:   *suite,
+		Commit:  gitCommit(),
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Go:      runtime.Version(),
+		Arch:    runtime.GOOS + "/" + runtime.GOARCH,
+		Results: results,
+	}
+	if *history != "" {
+		if err := appendHistory(*history, doc); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func parse(f *os.File) ([]result, error) {
 	var results []result
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -49,18 +108,35 @@ func main() {
 		}
 		results = append(results, r)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	return results, sc.Err()
+}
+
+// gitCommit returns the short HEAD SHA (with a -dirty suffix when the
+// tree has uncommitted changes), or "" outside a git checkout — the
+// numbers are still useful without provenance.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+	sha := strings.TrimSpace(string(out))
+	if err := exec.Command("git", "diff", "--quiet", "HEAD").Run(); err != nil {
+		sha += "-dirty"
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	return sha
+}
+
+func appendHistory(path string, doc run) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
 	}
+	defer f.Close()
+	line, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	_, err = f.Write(line)
+	return err
 }

@@ -27,6 +27,10 @@ import (
 	"hypercube/internal/topology"
 )
 
+// traceSample is package-level because scenarioConfig (scenarios.go)
+// reads it alongside the per-mode configs built here.
+var traceSample = flag.Float64("trace-sample", 1, "causal-trace head-sampling rate in [0,1]; effective only with -trace (reconstruct with fleettrace)")
+
 func main() {
 	var (
 		b      = flag.Int("b", 16, "digit base")
@@ -38,7 +42,7 @@ func main() {
 		auto   = flag.Bool("crash", false, "self-healing crash mode: nodes detect and repair crashes themselves (no recovery oracle)")
 		heal   = flag.Duration("heal", 20*time.Second, "virtual healing window per crash in -crash mode")
 
-		trace = flag.String("trace", "", "write every protocol event as JSONL to this file (analyze with tracestat)")
+		trace = flag.String("trace", "", "write every protocol event as JSONL to this file (analyze with tracestat or fleettrace)")
 
 		partition = flag.Bool("partition", false, "partition experiment: split the network into halves, verify declarations are held, heal, and measure anti-entropy reconvergence (replaces the churn phases)")
 		split     = flag.Duration("split", 15*time.Second, "virtual duration of the partition in -partition mode")
@@ -121,6 +125,8 @@ func main() {
 		// Assigning a nil *obs.JSONL directly would make cfg.Sink a
 		// non-nil interface holding nil.
 		cfg.Sink = sink
+		cfg.TraceSample = *traceSample
+		cfg.TraceSeed = uint64(*seed)
 	}
 	if *auto {
 		// Self-healing mode: every node runs a failure detector and the
@@ -336,6 +342,8 @@ func runPartition(p id.Params, n, joins int, seed int64, split, syncEvery time.D
 	}
 	if sink != nil {
 		cfg.Sink = sink
+		cfg.TraceSample = *traceSample
+		cfg.TraceSeed = uint64(seed)
 	}
 	net := overlay.New(cfg)
 	taken := make(map[id.ID]bool)
@@ -469,6 +477,8 @@ func runByzantine(p id.Params, n, joins int, seed int64, frac, corrupt float64, 
 	}
 	if sink != nil {
 		cfg.Sink = sink
+		cfg.TraceSample = *traceSample
+		cfg.TraceSeed = uint64(seed)
 	}
 	net := overlay.New(cfg)
 	taken := make(map[id.ID]bool)

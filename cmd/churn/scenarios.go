@@ -143,6 +143,10 @@ func scenarioConfig(p id.Params, seed int64, syncEvery time.Duration, tl *overla
 	var fwd obs.Sink
 	if sink != nil {
 		fwd = sink
+		// A JSONL trace is the input of cross-node span reconstruction
+		// (cmd/fleettrace), so tracing there means causal tracing too.
+		cfg.TraceSample = *traceSample
+		cfg.TraceSeed = uint64(seed)
 	}
 	cfg.Sink = obs.Tee(fwd, watch)
 	return cfg

@@ -1,0 +1,610 @@
+// Command fleettrace merges per-node trace streams into cross-node span
+// trees and reports on them: end-to-end join reconstruction with per-hop
+// latency breakdowns, probe round-trip chains with per-node clock-skew
+// estimates, anti-entropy and gossip round trees, hop-count
+// distributions, and a fleet convergence summary.
+//
+// Input is either JSONL trace files (one merged file or one per node —
+// events carry their node ID, so concatenation is merging):
+//
+//	fleettrace node1.jsonl node2.jsonl node3.jsonl
+//	churn -n 64 -flashcrowd -trace trace.jsonl && fleettrace trace.jsonl
+//
+// or a live fleet, scraping GET /trace (the in-memory event ring; start
+// nodes with WithTraceRing) and GET /metrics from each admin endpoint:
+//
+//	fleettrace -scrape localhost:7001,localhost:7002,localhost:7003
+//
+// The simulator and the TCP runtime emit the same schema, so both work.
+// With -require-joins the exit status enforces a reconstruction floor,
+// which is how CI keeps the tracing pipeline honest.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypercube/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleettrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
+	scrape := flag.String("scrape", "", "comma-separated admin endpoints to scrape live (/trace + /metrics) instead of reading files")
+	requireJoins := flag.Float64("require-joins", 0, "exit nonzero unless at least this fraction of joins reconstructs end to end (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: fleettrace [-json] [-require-joins 0.95] <trace.jsonl ... | -> \n"+
+				"       fleettrace [-json] -scrape host:port,host:port,...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var (
+		events  []obs.Event
+		metrics map[string]float64
+		err     error
+	)
+	if *scrape != "" {
+		if flag.NArg() != 0 {
+			return fmt.Errorf("-scrape and file arguments are mutually exclusive")
+		}
+		events, metrics, err = scrapeFleet(strings.Split(*scrape, ","))
+	} else {
+		if flag.NArg() == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		events, err = readFiles(flag.Args())
+	}
+	if err != nil {
+		return err
+	}
+
+	rep := analyze(events)
+	rep.FleetMetrics = metrics
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(os.Stdout, rep)
+	}
+	if *requireJoins > 0 {
+		if rep.Joins.Attempted == 0 {
+			return fmt.Errorf("join reconstruction required but no join traces found")
+		}
+		if rep.Joins.Ratio < *requireJoins {
+			return fmt.Errorf("join reconstruction %.1f%% below required %.1f%%",
+				100*rep.Joins.Ratio, 100**requireJoins)
+		}
+	}
+	return nil
+}
+
+// readFiles loads and concatenates JSONL traces; "-" reads stdin.
+func readFiles(paths []string) ([]obs.Event, error) {
+	var events []obs.Event
+	for _, path := range paths {
+		var r io.Reader = os.Stdin
+		if path != "-" {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := sc.Bytes()
+			if len(raw) == 0 {
+				continue
+			}
+			var e obs.Event
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("%s line %d: %w", path, line, err)
+			}
+			events = append(events, e)
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return events, nil
+}
+
+// scrapeFleet drains every node's trace ring and sums its numeric
+// metrics. Endpoints may omit the scheme.
+func scrapeFleet(endpoints []string) ([]obs.Event, map[string]float64, error) {
+	var events []obs.Event
+	metrics := make(map[string]float64)
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, ep := range endpoints {
+		ep = strings.TrimSpace(ep)
+		if ep == "" {
+			continue
+		}
+		base := ep
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		evs, err := scrapeTrace(client, base+"/trace")
+		if err != nil {
+			return nil, nil, fmt.Errorf("scrape %s: %w", ep, err)
+		}
+		events = append(events, evs...)
+		if err := scrapeMetrics(client, base+"/metrics", metrics); err != nil {
+			return nil, nil, fmt.Errorf("scrape %s: %w", ep, err)
+		}
+	}
+	return events, metrics, nil
+}
+
+func scrapeTrace(client *http.Client, url string) ([]obs.Event, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /trace: %s (is the node running with WithTraceRing?)", resp.Status)
+	}
+	var body struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Events, nil
+}
+
+// scrapeMetrics folds one node's Prometheus text exposition into the
+// fleet-wide sums. Histogram buckets are skipped (their _sum and _count
+// carry the aggregatable signal); labeled series are summed under the
+// bare metric name.
+func scrapeMetrics(client *http.Client, url string, into map[string]float64) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if strings.HasSuffix(name[:i], "_bucket") {
+				continue
+			}
+			name = name[:i]
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		into[name] += v
+	}
+	return sc.Err()
+}
+
+// latencyStats is a percentile summary of a duration sample.
+type latencyStats struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50"`
+	P90   time.Duration `json:"p90"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+func summarize(ds []time.Duration) latencyStats {
+	return latencyStats{
+		Count: len(ds),
+		P50:   obs.Percentile(ds, 50),
+		P90:   obs.Percentile(ds, 90),
+		P99:   obs.Percentile(ds, 99),
+		Max:   obs.Percentile(ds, 100),
+	}
+}
+
+// opStats counts one root kind's trees and how many reconstruct.
+type opStats struct {
+	Traces   int `json:"traces"`
+	Complete int `json:"complete"`
+}
+
+// joinReport is the headline number: of the nodes that started a join,
+// how many have at least one join operation whose span tree
+// reconstructs end to end (root, every parent resolved, in_system
+// reached inside the trace).
+type joinReport struct {
+	Attempted     int                     `json:"attempted"`
+	Reconstructed int                     `json:"reconstructed"`
+	Ratio         float64                 `json:"ratio"`
+	Restarts      int                     `json:"restarts"`
+	HopsByMsg     map[string]latencyStats `json:"hopLatencyByMsg,omitempty"`
+	DepthDist     map[int]int             `json:"depthDistribution,omitempty"`
+}
+
+type probeReport struct {
+	Samples int                      `json:"samples"`
+	RTT     latencyStats             `json:"rtt"`
+	Skew    map[string]time.Duration `json:"clockSkewByNode,omitempty"`
+}
+
+type convergenceReport struct {
+	Nodes       int `json:"nodes"`
+	InSystem    int `json:"inSystem"`
+	Suspects    int `json:"suspects"`
+	Degraded    int `json:"degraded"`
+	Quarantined int `json:"quarantined"`
+}
+
+type report struct {
+	Events       int                `json:"events"`
+	TracedEvents int                `json:"tracedEvents"`
+	Traces       int                `json:"traces"`
+	Ops          map[string]opStats `json:"operations"`
+	Joins        joinReport         `json:"joins"`
+	Probes       probeReport        `json:"probes"`
+	DHTHops      map[int]int        `json:"dhtLookupHops,omitempty"`
+	Convergence  convergenceReport  `json:"convergence"`
+	FleetMetrics map[string]float64 `json:"fleetMetrics,omitempty"`
+}
+
+func analyze(events []obs.Event) *report {
+	rep := &report{
+		Events: len(events),
+		Ops:    make(map[string]opStats),
+		Joins: joinReport{
+			HopsByMsg: make(map[string]latencyStats),
+			DepthDist: make(map[int]int),
+		},
+		DHTHops: make(map[int]int),
+	}
+	for _, e := range events {
+		if e.Trace != "" {
+			rep.TracedEvents++
+		}
+	}
+
+	trees := obs.BuildTrees(events)
+	rep.Traces = len(trees)
+
+	joinByNode := make(map[string]bool) // node -> any complete join
+	joinTrees := 0
+	var completeJoins []*obs.Tree
+	var rtts []time.Duration
+	skewEdges := make(map[[2]string]*edge)
+	for _, t := range trees {
+		kind := string(t.RootKind())
+		if kind == "" {
+			kind = "(rootless)"
+		}
+		op := rep.Ops[kind]
+		op.Traces++
+		if t.Complete() {
+			op.Complete++
+		}
+		rep.Ops[kind] = op
+
+		switch t.RootKind() {
+		case obs.KindJoinStart:
+			joinTrees++
+			node := t.RootNode()
+			if t.JoinComplete() {
+				joinByNode[node] = true
+				rep.Joins.DepthDist[t.Depth()]++
+				completeJoins = append(completeJoins, t)
+			} else if _, seen := joinByNode[node]; !seen {
+				joinByNode[node] = false
+			}
+		case obs.KindProbe:
+			if s, ok := t.ProbeSample(); ok {
+				rtts = append(rtts, s.RTT)
+				k := [2]string{s.Prober, s.Target}
+				if skewEdges[k] == nil {
+					skewEdges[k] = &edge{}
+				}
+				skewEdges[k].sum += s.Skew
+				skewEdges[k].count++
+			}
+		case obs.KindDHTLookup:
+			if e, ok := rootEvent(t); ok && !strings.HasSuffix(e.Detail, " miss") {
+				rep.DHTHops[e.N]++
+			}
+		}
+	}
+
+	for _, ok := range joinByNode {
+		rep.Joins.Attempted++
+		if ok {
+			rep.Joins.Reconstructed++
+		}
+	}
+	if rep.Joins.Attempted > 0 {
+		rep.Joins.Ratio = float64(rep.Joins.Reconstructed) / float64(rep.Joins.Attempted)
+	}
+	rep.Joins.Restarts = joinTrees - rep.Joins.Attempted
+	if rep.Joins.Restarts < 0 {
+		rep.Joins.Restarts = 0
+	}
+	// Hop latencies subtract each end's solved clock offset: a hop's raw
+	// recv.T − send.T is measured on two different clocks, and on a live
+	// fleet those clocks are wall-time-since-each-process-start, so the
+	// offsets (seconds of start stagger) would swamp the real
+	// milliseconds. The probe-derived skew map is exactly that offset.
+	skew := solveSkew(skewEdges)
+	hopSamples := make(map[string][]time.Duration)
+	for _, t := range completeJoins {
+		for _, h := range t.Hops() {
+			lat := h.Latency() - (skew[h.To] - skew[h.From])
+			hopSamples[h.Msg] = append(hopSamples[h.Msg], lat)
+		}
+	}
+	for msg, ds := range hopSamples {
+		rep.Joins.HopsByMsg[msg] = summarize(ds)
+	}
+	rep.Probes = probeReport{
+		Samples: len(rtts),
+		RTT:     summarize(rtts),
+		Skew:    skew,
+	}
+	rep.Convergence = convergence(events)
+	return rep
+}
+
+func rootEvent(t *obs.Tree) (obs.Event, bool) {
+	if t.Root == nil {
+		return obs.Event{}, false
+	}
+	for _, e := range t.Root.Events {
+		if e.Kind == t.RootKind() {
+			return e, true
+		}
+	}
+	return obs.Event{}, false
+}
+
+// solveSkew turns pairwise probe skew estimates into per-node clock
+// offsets: average each directed pair's samples, then anchor the node
+// with the most measurement partners at zero and propagate
+// breadth-first (offset[target] = offset[prober] + skew). Nodes
+// unreachable from the anchor through any probe pair are omitted.
+func solveSkew(edges map[[2]string]*edge) map[string]time.Duration {
+	if len(edges) == 0 {
+		return nil
+	}
+	adj := make(map[string]map[string]time.Duration)
+	link := func(a, b string, d time.Duration) {
+		if adj[a] == nil {
+			adj[a] = make(map[string]time.Duration)
+		}
+		adj[a][b] = d
+	}
+	for k, e := range edges {
+		avg := e.sum / time.Duration(e.count)
+		link(k[0], k[1], avg)
+		link(k[1], k[0], -avg)
+	}
+	anchor, best := "", -1
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if len(adj[n]) > best {
+			anchor, best = n, len(adj[n])
+		}
+	}
+	offsets := map[string]time.Duration{anchor: 0}
+	queue := []string{anchor}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := make([]string, 0, len(adj[cur]))
+		for n := range adj[cur] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if _, done := offsets[n]; done {
+				continue
+			}
+			offsets[n] = offsets[cur] + adj[cur][n]
+			queue = append(queue, n)
+		}
+	}
+	return offsets
+}
+
+// edge is solveSkew's accumulator, declared at package scope so both
+// analyze and solveSkew name the same type.
+type edge struct {
+	sum   time.Duration
+	count int
+}
+
+// convergence replays the whole event stream (traced or not) into the
+// fleet's final state: each node's last protocol status and the sets of
+// currently suspected, degraded, and quarantined peers.
+func convergence(events []obs.Event) convergenceReport {
+	status := make(map[string]string)
+	suspects := make(map[string]bool)
+	degraded := make(map[string]bool)
+	quarantined := make(map[string]bool)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindStatus:
+			status[e.Node] = e.Detail
+		case obs.KindSuspect:
+			suspects[e.Peer] = true
+		case obs.KindRecovered, obs.KindDeclared:
+			delete(suspects, e.Peer)
+		case obs.KindDegraded:
+			degraded[e.Peer] = true
+		case obs.KindDegradedClear:
+			delete(degraded, e.Peer)
+		case obs.KindQuarantine:
+			quarantined[e.Peer] = true
+		case obs.KindQuarantineRelease:
+			delete(quarantined, e.Peer)
+		}
+	}
+	rep := convergenceReport{Nodes: len(status)}
+	for _, s := range status {
+		if s == "in_system" {
+			rep.InSystem++
+		}
+	}
+	rep.Suspects = len(suspects)
+	rep.Degraded = len(degraded)
+	rep.Quarantined = len(quarantined)
+	return rep
+}
+
+func printReport(w io.Writer, rep *report) {
+	fmt.Fprintf(w, "fleet trace: %d events (%d traced), %d span trees\n",
+		rep.Events, rep.TracedEvents, rep.Traces)
+
+	if len(rep.Ops) > 0 {
+		kinds := make([]string, 0, len(rep.Ops))
+		for k := range rep.Ops {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "operations:\n")
+		for _, k := range kinds {
+			op := rep.Ops[k]
+			fmt.Fprintf(w, "  %-14s %6d traces, %6d complete (%.1f%%)\n",
+				k, op.Traces, op.Complete, pct(op.Complete, op.Traces))
+		}
+	}
+
+	j := rep.Joins
+	if j.Attempted > 0 {
+		fmt.Fprintf(w, "joins: %d/%d reconstructed end-to-end (%.1f%%), %d restarts\n",
+			j.Reconstructed, j.Attempted, 100*j.Ratio, j.Restarts)
+		if len(j.DepthDist) > 0 {
+			depths := make([]int, 0, len(j.DepthDist))
+			for d := range j.DepthDist {
+				depths = append(depths, d)
+			}
+			sort.Ints(depths)
+			fmt.Fprintf(w, "  span depth:")
+			for _, d := range depths {
+				fmt.Fprintf(w, " %d:%d", d, j.DepthDist[d])
+			}
+			fmt.Fprintln(w)
+		}
+		if len(j.HopsByMsg) > 0 {
+			msgs := make([]string, 0, len(j.HopsByMsg))
+			for m := range j.HopsByMsg {
+				msgs = append(msgs, m)
+			}
+			sort.Strings(msgs)
+			fmt.Fprintf(w, "  %-16s %6s %12s %12s %12s %12s   (skew-corrected)\n",
+				"hop (msg)", "count", "p50", "p90", "p99", "max")
+			for _, m := range msgs {
+				s := j.HopsByMsg[m]
+				fmt.Fprintf(w, "  %-16s %6d %12v %12v %12v %12v\n",
+					m, s.Count, s.P50, s.P90, s.P99, s.Max)
+			}
+		}
+	}
+
+	if rep.Probes.Samples > 0 {
+		s := rep.Probes.RTT
+		fmt.Fprintf(w, "probes: %d full round trips, RTT p50 %v, p90 %v, p99 %v, max %v\n",
+			rep.Probes.Samples, s.P50, s.P90, s.P99, s.Max)
+		if len(rep.Probes.Skew) > 0 {
+			nodes := make([]string, 0, len(rep.Probes.Skew))
+			allZero := true
+			for n, sk := range rep.Probes.Skew {
+				nodes = append(nodes, n)
+				if sk != 0 {
+					allZero = false
+				}
+			}
+			if allZero {
+				// The simulator's nodes share one virtual clock; a wall
+				// of "node:0s" entries would bury the real signal.
+				fmt.Fprintf(w, "  clock skew (vs anchor): all %d nodes at 0s\n", len(nodes))
+			} else {
+				sort.Strings(nodes)
+				fmt.Fprintf(w, "  clock skew (vs anchor):")
+				for _, n := range nodes {
+					fmt.Fprintf(w, " %s:%v", n, rep.Probes.Skew[n])
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+
+	if len(rep.DHTHops) > 0 {
+		hops := make([]int, 0, len(rep.DHTHops))
+		for h := range rep.DHTHops {
+			hops = append(hops, h)
+		}
+		sort.Ints(hops)
+		fmt.Fprintf(w, "dht lookups by hop count:")
+		for _, h := range hops {
+			fmt.Fprintf(w, " %d:%d", h, rep.DHTHops[h])
+		}
+		fmt.Fprintln(w)
+	}
+
+	c := rep.Convergence
+	fmt.Fprintf(w, "convergence: %d nodes seen, %d in_system, %d suspected, %d degraded, %d quarantined\n",
+		c.Nodes, c.InSystem, c.Suspects, c.Degraded, c.Quarantined)
+
+	if len(rep.FleetMetrics) > 0 {
+		names := make([]string, 0, len(rep.FleetMetrics))
+		for n := range rep.FleetMetrics {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "fleet metrics (summed across nodes):\n")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %-44s %g\n", n, rep.FleetMetrics[n])
+		}
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

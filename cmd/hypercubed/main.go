@@ -15,9 +15,11 @@
 //
 // Observability: -trace writes every protocol event as JSONL (analyze
 // with tracestat), -trace-ring keeps the newest N events in memory
-// behind GET /trace, -log-level=debug mirrors events into the log
-// stream, and the admin server serves net/http/pprof under
-// /debug/pprof/.
+// behind GET /trace, -trace-sample enables causal tracing (crypto/rand
+// span IDs, wire-v2 trace trailers; merge per-node traces or scrape a
+// fleet's /trace endpoints with fleettrace), -log-level=debug mirrors
+// events into the log stream, and the admin server serves
+// net/http/pprof under /debug/pprof/.
 //
 // Hostile-input hardening is on by default: inbound frames are bounded
 // (-max-frame), malformed frames are budgeted per connection
@@ -75,9 +77,10 @@ func run() error {
 		timeout = flag.Duration("timeout", time.Minute, "join/leave completion timeout")
 
 		// Observability knobs.
-		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error (debug mirrors protocol events)")
-		tracePath = flag.String("trace", "", "write protocol events as JSONL to this file")
-		traceRing = flag.Int("trace-ring", 0, "keep the newest N events in memory behind GET /trace (0 = off)")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error (debug mirrors protocol events)")
+		tracePath   = flag.String("trace", "", "write protocol events as JSONL to this file")
+		traceRing   = flag.Int("trace-ring", 0, "keep the newest N events in memory behind GET /trace (0 = off)")
+		traceSample = flag.Float64("trace-sample", 0, "causal-trace head-sampling rate in [0,1]; sampled operations carry trace context on the wire (reconstruct fleet-wide with fleettrace; 0 = off, node stays a v1 opaque hop)")
 
 		// Reliable-delivery knobs (0 keeps the transport default).
 		attempts = flag.Int("max-attempts", 0, "delivery attempts per message before dead-lettering")
@@ -190,6 +193,7 @@ func run() error {
 		WriteTimeout:      *writeTimeout,
 		Sink:              obs.Tee(sinks...),
 		TraceRing:         *traceRing,
+		TraceSample:       *traceSample,
 	})}
 	opts := core.Options{}
 	if !*noGuard {

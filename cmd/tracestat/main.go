@@ -8,10 +8,14 @@
 //
 //	tracewave -n 256 -m 192 -out wave.jsonl
 //	tracestat wave.jsonl
+//	tracestat node1.jsonl node2.jsonl node3.jsonl   # per-node streams merge
+//	tracestat -node 1a2b3c4d fleet.jsonl            # one node's view only
 //	... | tracestat -        # or stream from stdin
 //
-// The analysis is streaming (one pass, O(nodes) memory), so multi-GB
-// soak traces are fine.
+// Every event carries the emitting node's identity, so per-node files
+// concatenate into one fleet view and -node slices it back apart. The
+// analysis is streaming (one pass, O(nodes) memory), so multi-GB soak
+// traces are fine.
 package main
 
 import (
@@ -45,18 +49,36 @@ func main() {
 
 func run() error {
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of text")
+	nodeFilter := flag.String("node", "", "analyze only events emitted by this node ID")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracestat [-json] <trace.jsonl | ->\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tracestat [-json] [-node <id>] <trace.jsonl ... | ->\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	a := obs.NewAnalyzer()
+	for _, path := range flag.Args() {
+		if err := feedFile(a, path, *nodeFilter); err != nil {
+			return err
+		}
+	}
+	sum := a.Summary()
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(report(sum))
+	}
+	printText(os.Stdout, sum)
+	return nil
+}
+
+// feedFile streams one JSONL trace ("-" is stdin) into the analyzer,
+// dropping events from other nodes when a filter is set.
+func feedFile(a *obs.Analyzer, path, nodeFilter string) error {
 	var r io.Reader = os.Stdin
-	if path := flag.Arg(0); path != "-" {
+	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -64,8 +86,6 @@ func run() error {
 		defer f.Close()
 		r = f
 	}
-
-	a := obs.NewAnalyzer()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	line := 0
@@ -77,18 +97,16 @@ func run() error {
 		}
 		var e obs.Event
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
+			return fmt.Errorf("%s line %d: %w", path, line, err)
+		}
+		if nodeFilter != "" && e.Node != nodeFilter {
+			continue
 		}
 		a.Feed(e)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	sum := a.Summary()
-	if *jsonOut {
-		return json.NewEncoder(os.Stdout).Encode(report(sum))
-	}
-	printText(os.Stdout, sum)
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // Config tunes the anti-entropy engine. The zero value is usable.
@@ -80,9 +81,11 @@ type Engine struct {
 	healthy       func(id.ID) bool
 	deprioritized int
 
-	// Observability (nil when tracing is off; see SetSink).
+	// Observability (nil when tracing is off; see SetSink). tracer,
+	// when non-nil, roots one span per sync round (see SetTracer).
 	sink     obs.Sink
 	selfName string
+	tracer   *trace.Tracer
 }
 
 // New creates an engine auditing m.
@@ -121,6 +124,12 @@ func (e *Engine) SetSink(s obs.Sink) {
 	e.sink = s
 	e.selfName = e.m.Self().ID.String()
 }
+
+// SetTracer installs the span-context source for causal tracing; nil
+// turns it off (the default). Each sync round becomes a traced
+// operation root: the sync_round event carries the root span and the
+// round's digest exchange descends from it.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
 
 // Stats returns the engine's activity counters.
 func (e *Engine) Stats() Stats {
@@ -195,8 +204,12 @@ func (e *Engine) round() []msg.Envelope {
 	peer := peers[e.cursor%len(peers)]
 	e.cursor++
 	e.rounds++
-	if e.sink != nil {
-		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSyncRound, Peer: peer.ID.String()})
+	var ctx trace.Context
+	if e.tracer != nil {
+		ctx = e.tracer.Root()
 	}
-	return append(out, e.m.StartSync(peer)...)
+	if e.sink != nil {
+		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSyncRound, Peer: peer.ID.String()}.Stamped(ctx, trace.SpanID{}))
+	}
+	return append(out, e.m.StartSyncTraced(peer, ctx)...)
 }

@@ -25,6 +25,7 @@ import (
 	"hypercube/internal/obs"
 	"hypercube/internal/rtt"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // Status is a node's protocol status (§4).
@@ -218,6 +219,20 @@ type Machine struct {
 	sink     obs.Sink
 	selfName string
 
+	// Causal tracing (nil when off; see SetTracer). cur is the active
+	// span context: a root allocated at an operation start (StartJoin,
+	// startRejoin, StartSync) or the context of the envelope currently
+	// being delivered. send allocates one child span per outgoing
+	// envelope under it; a machine without a tracer drops inbound
+	// contexts — it is an opaque hop. joinCtx pins the in-flight join's
+	// root context from join_start until in_system: status transitions
+	// are stamped with it, because under concurrent joins the message
+	// that completes this node's join may belong to another operation's
+	// trace — the lifecycle still belongs to ours.
+	tracer  *trace.Tracer
+	cur     trace.Context
+	joinCtx trace.Context
+
 	// Trace, when non-nil, receives a line per protocol step; for tests
 	// and debugging only.
 	Trace func(format string, args ...any)
@@ -235,13 +250,30 @@ func (m *Machine) SetSink(s obs.Sink) {
 	m.selfName = m.self.ID.String()
 }
 
+// SetTracer installs the span-context source for causal tracing; nil
+// turns it off (the default). Without a tracer the machine neither
+// roots spans nor forwards inbound contexts — traced traffic crosses it
+// as an opaque hop.
+func (m *Machine) SetTracer(t *trace.Tracer) { m.tracer = t }
+
 // setStatus transitions the protocol status and emits the event every
 // status change must produce; all assignments to m.status (after
-// construction) go through here.
+// construction) go through here. While a traced join is in flight the
+// event is stamped with the join's root context (so the in_system
+// transition lands in the join's own span tree even when the message
+// that triggered it belongs to a concurrent operation); otherwise with
+// the active span context.
 func (m *Machine) setStatus(s Status) {
 	m.status = s
 	if m.sink != nil {
-		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindStatus, Detail: s.String()})
+		ctx := m.cur
+		if m.joinCtx.Sampled() {
+			ctx = m.joinCtx
+		}
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindStatus, Detail: s.String()}.Stamped(ctx, trace.SpanID{}))
+	}
+	if s == StatusInSystem {
+		m.joinCtx = trace.Context{}
 	}
 }
 
@@ -403,18 +435,25 @@ func (m *Machine) trace(format string, args ...any) {
 	}
 }
 
-// send queues an envelope and counts it.
+// send queues an envelope and counts it. Under an active span context
+// the envelope gets its own child span (one hop, one span): the
+// send-side event carries the new span with the active span as parent,
+// and the receiver's recv-side event will carry the same span.
 func (m *Machine) send(to table.Ref, pm msg.Message) {
 	if to.IsZero() {
 		panic(fmt.Sprintf("core: %v sending %v to null ref", m.self.ID, pm.Type()))
 	}
 	m.counters.CountSent(pm)
-	m.out = append(m.out, msg.Envelope{From: m.self, To: to, Msg: pm})
+	env := msg.Envelope{From: m.self, To: to, Msg: pm}
+	if m.tracer != nil {
+		env.Trace = m.tracer.Child(m.cur)
+	}
+	m.out = append(m.out, env)
 	m.trace("%v -> %v: %v", m.self.ID, to.ID, pm.Type())
 	if m.sink != nil {
-		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindSend, Peer: to.ID.String(), Msg: pm.Type().String()})
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindSend, Peer: to.ID.String(), Msg: pm.Type().String()}.Stamped(env.Trace, m.cur.Span))
 	}
-	m.trackExchange(to, pm)
+	m.trackExchange(env)
 }
 
 // setNeighbor fills entry (level,digit) and, per the protocol note in §4,
@@ -439,14 +478,22 @@ func (m *Machine) StartJoin(g0 table.Ref) ([]msg.Envelope, error) {
 	}
 	m.out = m.out[:0]
 	m.AddGateways(g0)
+	// The join is a traced operation root: the join_start event carries
+	// the root span, and every message of the join wave descends from it.
+	if m.tracer != nil {
+		m.cur = m.tracer.Root()
+	}
+	m.joinCtx = m.cur
 	if m.sink != nil {
-		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindJoinStart, Peer: g0.ID.String(), N: m.restarts})
-		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindStatus, Detail: m.status.String()})
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindJoinStart, Peer: g0.ID.String(), N: m.restarts}.Stamped(m.cur, trace.SpanID{}))
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindStatus, Detail: m.status.String()}.Stamped(m.cur, trace.SpanID{}))
 	}
 	m.copyLevel = 0
 	m.copyFrom = g0
 	m.send(g0, msg.CpRst{Level: 0})
-	return m.take(), nil
+	out := m.take()
+	m.cur = trace.Context{}
+	return out, nil
 }
 
 // Deliver processes one incoming message and returns the messages to
@@ -476,8 +523,15 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 		return nil
 	}
 	m.counters.CountReceived(env.Msg)
+	// Install the inbound context for the duration of this delivery:
+	// the recv-side event shares the sender's hop span, and any message
+	// sent in response becomes a child of it. A tracerless machine
+	// drops the context — it is an opaque hop in the trace.
+	if m.tracer != nil {
+		m.cur = env.Trace
+	}
 	if m.sink != nil {
-		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindRecv, Peer: env.From.ID.String(), Msg: env.Msg.Type().String()})
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindRecv, Peer: env.From.ID.String(), Msg: env.Msg.Type().String()}.Stamped(m.cur, trace.SpanID{}))
 	}
 	from := env.From
 	m.clearExchange(from, env.Msg)
@@ -535,6 +589,7 @@ func (m *Machine) Deliver(env msg.Envelope) []msg.Envelope {
 			m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindGuardDrop, Peer: from.ID.String(), Detail: fmt.Sprintf("unknown message type %T", env.Msg)})
 		}
 	}
+	m.cur = trace.Context{}
 	return m.take()
 }
 

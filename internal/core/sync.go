@@ -24,16 +24,27 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // StartSync opens one anti-entropy round with peer and returns the
 // SyncReqMsg to transmit. Only S-nodes sync; other statuses return nil.
 func (m *Machine) StartSync(peer table.Ref) []msg.Envelope {
+	return m.StartSyncTraced(peer, trace.Context{})
+}
+
+// StartSyncTraced is StartSync under an externally-allocated trace
+// context: the anti-entropy engine owns the round's root span (its
+// sync_round event carries it), and the round's SyncReq — and, on the
+// initiator, the follow-up SyncPush — descend from it.
+func (m *Machine) StartSyncTraced(peer table.Ref, ctx trace.Context) []msg.Envelope {
 	if m.status != StatusInSystem || peer.IsZero() || peer.ID == m.self.ID {
 		return nil
 	}
 	m.out = m.out[:0]
+	m.cur = ctx
 	m.send(peer, msg.SyncReq{Fill: m.tbl.FillVector()})
+	m.cur = trace.Context{}
 	return m.take()
 }
 

@@ -22,6 +22,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // entryName renders a table coordinate for event details.
@@ -119,11 +120,13 @@ type repairJob struct {
 
 // trackExchange registers a just-sent request for timeout-driven resend.
 // Only the request/reply pairs whose loss wedges the protocol are
-// tracked; replies and one-way notifications are not.
-func (m *Machine) trackExchange(to table.Ref, pm msg.Message) {
+// tracked; replies and one-way notifications are not. The envelope is
+// stored whole, so a resend reuses the original hop span.
+func (m *Machine) trackExchange(env msg.Envelope) {
 	if !m.opts.Timeouts.Enabled() {
 		return
 	}
+	to, pm := env.To, env.Msg
 	var key xchgKey
 	switch x := pm.(type) {
 	case msg.CpRst:
@@ -164,7 +167,7 @@ func (m *Machine) trackExchange(to table.Ref, pm msg.Message) {
 	}
 	now := m.clockNow()
 	m.exchanges[key] = &exchange{
-		env:      msg.Envelope{From: m.self, To: to, Msg: pm},
+		env:      env,
 		attempts: 1,
 		base:     base,
 		due:      m.now + base,
@@ -264,7 +267,7 @@ func (m *Machine) tickExchanges(now time.Duration) {
 		m.out = append(m.out, ex.env)
 		m.trace("%v resends %v to %v (attempt %d)", m.self.ID, ex.env.Msg.Type(), k.peer, ex.attempts)
 		if m.sink != nil {
-			m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindResend, Peer: k.peer.String(), Msg: ex.env.Msg.Type().String(), N: ex.attempts})
+			m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindResend, Peer: k.peer.String(), Msg: ex.env.Msg.Type().String(), N: ex.attempts}.Stamped(ex.env.Trace, trace.SpanID{}))
 		}
 	}
 }
@@ -334,12 +337,19 @@ func (m *Machine) restartJoin(avoid id.ID) {
 
 // startRejoin resets the join bookkeeping and begins copying from g.
 // Unlike the public StartRejoin it preserves m.out, so it can run inside
-// Tick and give-up handling.
+// Tick and give-up handling. Each restart is its own traced operation
+// root — a restarted join is a new wave, not a continuation of the
+// abandoned one.
 func (m *Machine) startRejoin(g table.Ref) {
 	m.exchanges = nil
+	prev := m.cur
+	if m.tracer != nil {
+		m.cur = m.tracer.Root()
+	}
+	m.joinCtx = m.cur
 	m.setStatus(StatusCopying)
 	if m.sink != nil {
-		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindJoinStart, Peer: g.ID.String(), N: m.restarts})
+		m.sink.Emit(obs.Event{Node: m.selfName, Kind: obs.KindJoinStart, Peer: g.ID.String(), N: m.restarts}.Stamped(m.cur, trace.SpanID{}))
 	}
 	m.qn = make(map[id.ID]struct{})
 	m.qr = make(map[id.ID]struct{})
@@ -348,6 +358,7 @@ func (m *Machine) startRejoin(g table.Ref) {
 	m.copyLevel = 0
 	m.copyFrom = g
 	m.send(g, msg.CpRst{Level: 0})
+	m.cur = prev
 }
 
 // pickGateway chooses a restart gateway from the registered gateways and

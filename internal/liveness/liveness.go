@@ -67,6 +67,7 @@ import (
 	"hypercube/internal/obs"
 	"hypercube/internal/rtt"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // Config tunes the failure detector. The zero value is usable: every
@@ -207,6 +208,11 @@ type probe struct {
 	sentAt   time.Duration
 	deadline time.Duration
 	indirect bool
+	// ctx is the probe's trace context (zero when unsampled): one span
+	// covers the whole round trip — probe, the responder's recv/send
+	// pair, and probe_ack all carry it, which is what lets an analyzer
+	// recover both the RTT and the responder's clock skew.
+	ctx trace.Context
 }
 
 // Prober is one node's failure detector. It is not safe for concurrent
@@ -237,9 +243,11 @@ type Prober struct {
 
 	partitioned bool
 
-	// Observability (nil when tracing is off; see SetSink).
+	// Observability (nil when tracing is off; see SetSink). tracer,
+	// when non-nil, roots one span per probe round trip (see SetTracer).
 	sink     obs.Sink
 	selfName string
+	tracer   *trace.Tracer
 
 	stats Stats
 	out   []msg.Envelope
@@ -256,6 +264,13 @@ func (p *Prober) SetSink(s obs.Sink) {
 	p.sink = s
 	p.selfName = p.self.ID.String()
 }
+
+// SetTracer installs the span-context source for causal tracing; nil
+// turns it off (the default). Each (sampled) probe is a traced
+// operation: ping and pong share one root span end to end, and a
+// responding prober echoes an inbound ping's context verbatim — it
+// needs no generator of its own to keep the chain intact.
+func (p *Prober) SetTracer(t *trace.Tracer) { p.tracer = t }
 
 // SetRTT attaches a per-peer RTT estimator: probe deadlines derive
 // from each target's measured round-trips (falling back to
@@ -467,7 +482,23 @@ func (p *Prober) HandleMessage(env msg.Envelope) []msg.Envelope {
 	p.out = p.out[:0]
 	switch pm := env.Msg.(type) {
 	case msg.Ping:
-		p.out = append(p.out, RespondPing(p.self, env.From, pm)...)
+		replies := RespondPing(p.self, env.From, pm)
+		// Echo a sampled inbound context verbatim: the pong (or relayed
+		// ping) shares the probe's span, so the four timestamps — probe,
+		// recv, send, probe_ack — pair up across the two nodes' clocks.
+		// A tracerless prober drops the context (opaque hop).
+		if p.tracer != nil && env.Trace.Sampled() {
+			if p.sink != nil {
+				p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindRecv, Peer: env.From.ID.String(), Msg: env.Msg.Type().String()}.Stamped(env.Trace, trace.SpanID{}))
+			}
+			for i := range replies {
+				replies[i].Trace = env.Trace
+				if p.sink != nil {
+					p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindSend, Peer: replies[i].To.ID.String(), Msg: replies[i].Msg.Type().String()}.Stamped(env.Trace, trace.SpanID{}))
+				}
+			}
+		}
+		p.out = append(p.out, replies...)
 	case msg.Pong:
 		pr, ok := p.inflight[pm.Seq]
 		if !ok {
@@ -490,7 +521,7 @@ func (p *Prober) HandleMessage(env msg.Envelope) []msg.Envelope {
 			p.stats.LatePongs++
 			p.sampleRTT(pr)
 			if p.sink != nil {
-				p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq, Detail: "late"})
+				p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq, Detail: "late"}.Stamped(pr.ctx, trace.SpanID{}))
 			}
 			if t, ok := p.targets[pr.target]; ok {
 				p.markAlive(t)
@@ -501,7 +532,7 @@ func (p *Prober) HandleMessage(env msg.Envelope) []msg.Envelope {
 		p.stats.PongsReceived++
 		p.sampleRTT(pr)
 		if p.sink != nil {
-			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq})
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeAck, Peer: pr.target.String(), Seq: pm.Seq}.Stamped(pr.ctx, trace.SpanID{}))
 		}
 		if t, ok := p.targets[pr.target]; ok {
 			p.markAlive(t)
@@ -577,7 +608,7 @@ func (p *Prober) Tick(now time.Duration) (out []msg.Envelope, declared, unreacha
 		}
 		t.pending--
 		if p.sink != nil {
-			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeMiss, Peer: e.pr.target.String(), Seq: e.seq})
+			p.sink.Emit(obs.Event{Node: p.selfName, Kind: obs.KindProbeMiss, Peer: e.pr.target.String(), Seq: e.seq}.Stamped(e.pr.ctx, trace.SpanID{}))
 		}
 		switch t.state {
 		case stateAlive:
@@ -865,11 +896,16 @@ func (p *Prober) sendProbe(t *target, via table.Ref, now time.Duration) {
 	} else {
 		p.stats.ProbesSent++
 	}
+	var ctx trace.Context
+	if p.tracer != nil {
+		ctx = p.tracer.Root()
+	}
 	p.inflight[p.seq] = probe{
 		target:   t.ref.ID,
 		sentAt:   now,
 		deadline: now + p.probeBudget(t, via),
 		indirect: !via.IsZero(),
+		ctx:      ctx,
 	}
 	t.pending++
 	if p.sink != nil {
@@ -877,7 +913,7 @@ func (p *Prober) sendProbe(t *target, via table.Ref, now time.Duration) {
 		if !via.IsZero() {
 			e.Detail = "indirect"
 		}
-		p.sink.Emit(e)
+		p.sink.Emit(e.Stamped(ctx, trace.SpanID{}))
 	}
-	p.out = append(p.out, msg.Envelope{From: p.self, To: to, Msg: ping})
+	p.out = append(p.out, msg.Envelope{From: p.self, To: to, Msg: ping, Trace: ctx})
 }

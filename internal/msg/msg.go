@@ -12,6 +12,7 @@ import (
 
 	"hypercube/internal/id"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // Type enumerates the message types of Figure 4.
@@ -362,6 +363,11 @@ type Envelope struct {
 	From table.Ref
 	To   table.Ref
 	Msg  Message
+	// Trace is the causal trace context the envelope carries across the
+	// network (zero — the common case — means untraced). It rides in the
+	// wire codec's v2 trailer and does not count toward WireSize, which
+	// models the paper's §5.2 payload accounting.
+	Trace trace.Context
 }
 
 // WireSize is the envelope's total accounting size.

@@ -27,6 +27,8 @@ package obs
 
 import (
 	"time"
+
+	"hypercube/internal/trace"
 )
 
 // Kind names the protocol step an Event records. Kinds are stable
@@ -102,6 +104,13 @@ const (
 	// update was skipped (N the offending push count).
 	KindSampleRound Kind = "sample_round"
 	KindSampleFlood Kind = "sample_flood"
+	// DHT (object-location) events. KindDHTPublish is one publish walk
+	// (Node the holder, Detail the object ID, N the directory-path
+	// length); KindDHTLookup one lookup (Node the querier, Detail the
+	// object ID, N the hop count — Detail gains a " miss" suffix when
+	// no holder was found). Both are traced operation roots.
+	KindDHTPublish Kind = "dht_publish"
+	KindDHTLookup  Kind = "dht_lookup"
 	// Gray-failure (adaptive timeout) events. KindDegraded marks a peer
 	// whose smoothed probe RTT stays persistently above the cross-peer
 	// median (Peer the flagged node); KindDegradedClear reports the
@@ -125,6 +134,32 @@ type Event struct {
 	Detail string        `json:"detail,omitempty"`
 	Seq    uint64        `json:"seq,omitempty"`
 	N      int           `json:"n,omitempty"`
+	// Causal trace context (hex, empty when the event belongs to no
+	// sampled operation — the overwhelmingly common case). Trace is the
+	// 16-byte operation ID, Span the 8-byte span this event belongs to,
+	// Parent the span that caused it (empty on roots). One network hop is
+	// one span: the sender's send-kind event and the receiver's recv-kind
+	// event share Span, so hop latency is their T difference.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+}
+
+// Stamped returns a copy of e carrying span context c: c.Span is the
+// span the event belongs to, parent the span that caused it (zero on
+// operation roots, and on recv-side events — the send side carries the
+// edge). Unsampled contexts return e unchanged, so emitters stamp
+// unconditionally and untraced runs produce byte-identical events.
+func (e Event) Stamped(c trace.Context, parent trace.SpanID) Event {
+	if !c.Sampled() {
+		return e
+	}
+	e.Trace = c.Trace.String()
+	e.Span = c.Span.String()
+	if !parent.IsZero() {
+		e.Parent = parent.String()
+	}
+	return e
 }
 
 // Sink consumes emitted events. Emit must not retain e past the call

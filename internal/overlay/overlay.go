@@ -28,6 +28,7 @@ import (
 	"hypercube/internal/sim"
 	"hypercube/internal/table"
 	"hypercube/internal/topology"
+	"hypercube/internal/trace"
 )
 
 // LatencyFunc returns the one-way delivery latency between two nodes.
@@ -175,6 +176,17 @@ type Config struct {
 	// clock — the same trace schema live TCP runs produce, so
 	// cmd/tracestat works on either.
 	Sink obs.Sink
+	// TraceSample enables causal tracing: protocol-operation roots
+	// (joins, probe round trips, sync and gossip rounds, DHT walks) are
+	// head-sampled at this rate (0 = off, 1 = every operation), their
+	// messages carry trace contexts on the wire, and events arrive at
+	// the Sink span-stamped. Span IDs come from a deterministic
+	// per-(TraceSeed, node) splitmix64 stream, so the same run always
+	// traces identically.
+	TraceSample float64
+	// TraceSeed varies the deterministic span-ID streams between runs;
+	// the zero seed is fine for single runs.
+	TraceSeed uint64
 }
 
 // JoinRecord captures one node's completed join.
@@ -274,6 +286,17 @@ func New(cfg Config) *Network {
 	return n
 }
 
+// traceGenSeed folds a node's ID digits into the run's trace seed so
+// each node draws a distinct — but per-(seed, node) deterministic —
+// span-ID stream.
+func traceGenSeed(seed uint64, x id.ID) uint64 {
+	h := seed ^ 0x9e3779b97f4a7c15
+	for i := 0; i < x.Len(); i++ {
+		h = h*0x100000001b3 + uint64(x.Digit(i)) + 1
+	}
+	return h
+}
+
 // Engine exposes the underlying event engine (e.g. for custom schedules).
 func (n *Network) Engine() *sim.Engine { return n.engine }
 
@@ -298,6 +321,11 @@ func (n *Network) addMachine(m *core.Machine) {
 	m.SetSink(n.sink)
 	// Quarantine cooldowns age on the virtual clock.
 	m.SetClock(n.engine.Now)
+	var tr *trace.Tracer
+	if n.cfg.TraceSample > 0 {
+		tr = trace.NewTracer(trace.NewDeterministicGen(traceGenSeed(n.cfg.TraceSeed, m.Self().ID)), n.cfg.TraceSample)
+		m.SetTracer(tr)
+	}
 	var est *rtt.Estimator
 	if n.cfg.RTT != nil {
 		// One estimator per node, shared by prober and machine so probe
@@ -309,6 +337,7 @@ func (n *Network) addMachine(m *core.Machine) {
 	if n.cfg.Liveness != nil {
 		p := liveness.NewProber(*n.cfg.Liveness, m.Self())
 		p.SetSink(n.sink)
+		p.SetTracer(tr)
 		if est != nil {
 			p.SetRTT(est)
 			p.SetClock(n.engine.Now)
@@ -318,6 +347,7 @@ func (n *Network) addMachine(m *core.Machine) {
 	if n.cfg.AntiEntropy != nil {
 		e := antientropy.New(*n.cfg.AntiEntropy, m)
 		e.SetSink(n.sink)
+		e.SetTracer(tr)
 		if est != nil {
 			e.SetHealth(func(x id.ID) bool { return !est.Degraded(x) })
 		}
@@ -338,6 +368,7 @@ func (n *Network) addMachine(m *core.Machine) {
 		})
 		s.SetBootstrap(m.SyncPeers)
 		s.SetSink(n.sink)
+		s.SetTracer(tr)
 		m.SetPeerSampler(s.Sample)
 		if e := n.engines[m.Self().ID]; e != nil {
 			e.SetPeerSampler(s.Sample)

@@ -32,6 +32,7 @@ import (
 	"hypercube/internal/msg"
 	"hypercube/internal/obs"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // Config parameterizes one engine. The zero value gets defaults.
@@ -168,9 +169,11 @@ type Engine struct {
 	validate  func(table.Ref) bool
 	bootstrap func() []table.Ref
 
-	// Observability (nil when tracing is off; see SetSink).
+	// Observability (nil when tracing is off; see SetSink). tracer,
+	// when non-nil, roots one span per gossip round (see SetTracer).
 	sink     obs.Sink
 	selfName string
+	tracer   *trace.Tracer
 
 	next  time.Duration
 	first bool
@@ -223,6 +226,12 @@ func (e *Engine) SetSink(s obs.Sink) {
 	e.selfName = e.self.ID.String()
 }
 
+// SetTracer installs the span-context source for causal tracing; nil
+// turns it off (the default). Each (sampled) gossip round is a traced
+// operation root; pushes and pulls ride child spans, and pull replies
+// descend from the request's hop span.
+func (e *Engine) SetTracer(t *trace.Tracer) { e.tracer = t }
+
 func (e *Engine) admissible(r table.Ref) bool {
 	if r.IsZero() || r.ID == e.self.ID {
 		return false
@@ -265,11 +274,22 @@ func (e *Engine) Deliver(env msg.Envelope) []msg.Envelope {
 			return nil
 		}
 		e.stats.PullsAnswered++
-		return []msg.Envelope{{
+		rly := msg.Envelope{
 			From: e.self,
 			To:   env.From,
 			Msg:  msg.SamplePullRly{Refs: e.View()},
-		}}
+		}
+		// The reply is its own hop: a child span of the request's, so
+		// the round tree keeps the request→reply causality. Tracerless
+		// engines drop the context (opaque hop).
+		if e.tracer != nil && env.Trace.Sampled() {
+			rly.Trace = e.tracer.Child(env.Trace)
+			if e.sink != nil {
+				e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindRecv, Peer: env.From.ID.String(), Msg: env.Msg.Type().String()}.Stamped(env.Trace, trace.SpanID{}))
+				e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSend, Peer: env.From.ID.String(), Msg: rly.Msg.Type().String()}.Stamped(rly.Trace, env.Trace.Span))
+			}
+		}
+		return []msg.Envelope{rly}
 	case msg.SamplePullRly:
 		// Unsolicited pull replies are an attack vector (they would let a
 		// flooder inject arbitrary references); accept only from peers we
@@ -348,20 +368,39 @@ func (e *Engine) round() []msg.Envelope {
 	}
 
 	// Open the next round: push self to α·l view members, pull from β·l.
+	// A sampled round roots one span; each push and pull rides its own
+	// child span.
+	var ctx trace.Context
+	if e.tracer != nil {
+		ctx = e.tracer.Root()
+	}
 	var out []msg.Envelope
 	for _, to := range e.pickRandom(e.view, alpha) {
-		out = append(out, msg.Envelope{From: e.self, To: to, Msg: msg.SamplePush{}})
+		out = append(out, e.traced(msg.Envelope{From: e.self, To: to, Msg: msg.SamplePush{}}, ctx))
 		e.stats.PushesSent++
 	}
 	for _, to := range e.pickRandom(e.view, beta) {
-		out = append(out, msg.Envelope{From: e.self, To: to, Msg: msg.SamplePullReq{}})
+		out = append(out, e.traced(msg.Envelope{From: e.self, To: to, Msg: msg.SamplePullReq{}}, ctx))
 		e.pullFrom[to.ID] = true
 		e.stats.PullsSent++
 	}
 	if e.sink != nil {
-		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSampleRound, N: len(e.view)})
+		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSampleRound, N: len(e.view)}.Stamped(ctx, trace.SpanID{}))
 	}
 	return out
+}
+
+// traced gives env a child span of the round context and emits its
+// send-side event; unsampled rounds pass through untouched.
+func (e *Engine) traced(env msg.Envelope, ctx trace.Context) msg.Envelope {
+	if e.tracer == nil || !ctx.Sampled() {
+		return env
+	}
+	env.Trace = e.tracer.Child(ctx)
+	if e.sink != nil {
+		e.sink.Emit(obs.Event{Node: e.selfName, Kind: obs.KindSend, Peer: env.To.ID.String(), Msg: env.Msg.Type().String()}.Stamped(env.Trace, ctx.Span))
+	}
+	return env
 }
 
 // sweep re-validates the view and samplers, ejecting references the

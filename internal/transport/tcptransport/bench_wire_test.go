@@ -68,9 +68,9 @@ func benchmarkBinaryEncode(b *testing.B, env msg.Envelope) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = buf[:0]
-		buf = wire.AppendHeader(buf)
+		buf = wire.AppendHeader(buf, wire.Version)
 		var err error
-		buf, err = wire.AppendEnvelope(buf, benchParams, env)
+		buf, err = wire.AppendEnvelope(buf, benchParams, env, wire.Version)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,10 +149,10 @@ func BenchmarkFrameCoalesce(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		buf = buf[:0]
 		buf = append(buf, make([]byte, frameHeaderLen)...)
-		buf = wire.AppendHeader(buf)
+		buf = wire.AppendHeader(buf, wire.Version)
 		var err error
 		for j := 0; j < batch; j++ {
-			if buf, err = wire.AppendEnvelope(buf, benchParams, env); err != nil {
+			if buf, err = wire.AppendEnvelope(buf, benchParams, env, wire.Version); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -129,6 +129,14 @@ type Config struct {
 	// in-memory ring drained via Node.DrainTrace and GET /trace on the
 	// admin API. 0 disables the ring.
 	TraceRing int
+	// TraceSample, when positive, enables causal tracing: every protocol
+	// operation root (join start, probe round, anti-entropy round,
+	// sampling round) is head-sampled at this rate, span IDs come from
+	// crypto/rand, and sampled context rides the wire (payload v2) so
+	// downstream nodes continue the trace. 0 disables tracing entirely;
+	// the node then ignores inbound contexts and emits v1 payloads — an
+	// opaque hop.
+	TraceSample float64
 }
 
 func (c Config) withDefaults() Config {
@@ -253,6 +261,12 @@ func WithSink(s obs.Sink) Option {
 // Node.DrainTrace or GET /trace on the admin API.
 func WithTraceRing(capacity int) Option {
 	return func(c *Config) { c.TraceRing = capacity }
+}
+
+// WithTraceSample enables causal tracing with the given head-sampling
+// rate (1 traces every operation, 0 disables tracing).
+func WithTraceSample(rate float64) Option {
+	return func(c *Config) { c.TraceSample = rate }
 }
 
 // WithMaxFrameBytes bounds inbound wire-frame payloads.
@@ -553,6 +567,10 @@ func (n *Node) deliverBatch(pq *peerQueue, batch []msg.Envelope) {
 	bufp := framePool.Get().(*[]byte)
 	frame := (*bufp)[:0]
 	kinds := make([]msg.Type, 0, len(batch))
+	// One version decision per batch: v2 only when some envelope carries
+	// a trace context, so untraced traffic stays byte-identical to a
+	// v1-only sender (and interops with v1-only receivers).
+	version := wire.PayloadVersion(batch)
 	flush := func() {
 		if len(kinds) == 0 {
 			return
@@ -571,10 +589,10 @@ func (n *Node) deliverBatch(pq *peerQueue, batch []msg.Envelope) {
 	for _, env := range batch {
 		if len(frame) == 0 {
 			frame = append(frame, make([]byte, frameHeaderLen)...)
-			frame = wire.AppendHeader(frame)
+			frame = wire.AppendHeader(frame, version)
 		}
 		mark := len(frame)
-		next, err := wire.AppendEnvelope(frame, n.params, env)
+		next, err := wire.AppendEnvelope(frame, n.params, env, version)
 		if err != nil {
 			// Unencodable message: retrying cannot help.
 			n.countDropped(env.Msg.Type())
@@ -588,8 +606,8 @@ func (n *Node) deliverBatch(pq *peerQueue, batch []msg.Envelope) {
 			frame = next[:mark]
 			flush()
 			frame = append(frame, make([]byte, frameHeaderLen)...)
-			frame = wire.AppendHeader(frame)
-			if next, err = wire.AppendEnvelope(frame, n.params, env); err != nil {
+			frame = wire.AppendHeader(frame, version)
+			if next, err = wire.AppendEnvelope(frame, n.params, env, version); err != nil {
 				n.countDropped(env.Msg.Type())
 				continue
 			}

@@ -101,7 +101,9 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}); err != nil {
 			return
 		}
-		re, err := wire.EncodePayload(p, envs...)
+		// Re-encode in the payload's own version so an accepted v2 payload
+		// with all-untraced records doesn't collapse to v1.
+		re, err := wire.EncodePayloadV(p, data[0], envs...)
 		if err != nil {
 			t.Fatalf("accepted payload failed to re-encode: %v", err)
 		}

@@ -1,0 +1,95 @@
+package tcptransport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hypercube/internal/core"
+	"hypercube/internal/id"
+)
+
+// TestMixedVersionInterop is the wire-v2 rollout test: a cluster of
+// traced nodes speaks v2 payloads (trace trailers on every sampled
+// record) while one tracerless node — exactly what a binary from
+// before the tracing release looks like on the wire, since a node
+// without a tracer emits v1 and drops inbound trace context — joins
+// and serves as a bootstrap gateway. Joins through and around the
+// opaque hop must succeed, traced nodes must keep producing spans, and
+// the opaque node must emit no trace state at all.
+func TestMixedVersionInterop(t *testing.T) {
+	traced := []Option{WithTraceSample(1), WithTraceRing(8192)}
+	seed, err := StartSeed(p163, core.Options{}, id.MustParse(p163, "a1c"), "127.0.0.1:0", traced...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	join := func(n *Node, via *Node) {
+		t.Helper()
+		if err := n.Join(via.Ref()); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AwaitStatus(ctx, core.StatusInSystem); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A traced node joins the traced seed: pure v2 traffic.
+	a, err := StartJoiner(p163, core.Options{}, id.MustParse(p163, "b2d"), "127.0.0.1:0", traced...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	join(a, seed)
+
+	// The "old binary": no WithTraceSample, so no tracer — it decodes
+	// the cluster's v2 frames, ignores the trailers, and emits v1. The
+	// ring is tracing-agnostic, so we can still watch its events.
+	old, err := StartJoiner(p163, core.Options{}, id.MustParse(p163, "c3e"), "127.0.0.1:0", WithTraceRing(8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	join(old, seed)
+
+	// A traced node bootstraps THROUGH the opaque node: its join's
+	// first hop lands on a peer that strips trace context.
+	c, err := StartJoiner(p163, core.Options{}, id.MustParse(p163, "d4f"), "127.0.0.1:0", traced...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	join(c, old)
+
+	// Traced nodes produced sampled spans despite the mixed cluster.
+	events, ok := seed.DrainTrace()
+	if !ok {
+		t.Fatal("seed has no trace ring")
+	}
+	sampled := 0
+	for _, e := range events {
+		if e.Trace != "" {
+			sampled++
+		}
+	}
+	if sampled == 0 {
+		t.Error("traced seed emitted no events with trace context")
+	}
+
+	// The opaque node never originates or propagates trace state.
+	events, ok = old.DrainTrace()
+	if !ok {
+		t.Fatal("old node has no trace ring")
+	}
+	if len(events) == 0 {
+		t.Fatal("old node emitted no events")
+	}
+	for _, e := range events {
+		if e.Trace != "" || e.Span != "" || e.Parent != "" {
+			t.Fatalf("tracerless node emitted trace state: %+v", e)
+		}
+	}
+}

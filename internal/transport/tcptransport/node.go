@@ -19,6 +19,7 @@ import (
 	"hypercube/internal/rtt"
 	"hypercube/internal/sampling"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 	"hypercube/internal/wire"
 )
 
@@ -121,6 +122,15 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	n.machine.SetSink(n.sink)
 	// Quarantine cooldowns age on wall time, not just liveness ticks.
 	n.machine.SetClock(func() time.Duration { return time.Since(n.start) })
+	// One tracer per node: crypto/rand IDs (real deployments need
+	// collision-free IDs across independently started processes, unlike
+	// the simulator's deterministic streams). Components tolerate a nil
+	// tracer, so the wiring below is unconditional.
+	var tr *trace.Tracer
+	if n.cfg.TraceSample > 0 {
+		tr = trace.NewTracer(trace.NewRandomGen(), n.cfg.TraceSample)
+	}
+	n.machine.SetTracer(tr)
 	if n.cfg.RTT != nil {
 		// One estimator per node, shared by the prober (probe RTTs) and
 		// the machine (request/reply round trips); both consumers below
@@ -131,6 +141,7 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	if n.cfg.Liveness != nil {
 		n.prober = liveness.NewProber(*n.cfg.Liveness, ref)
 		n.prober.SetSink(n.sink)
+		n.prober.SetTracer(tr)
 		if n.est != nil {
 			n.prober.SetRTT(n.est)
 			n.prober.SetClock(func() time.Duration { return time.Since(n.start) })
@@ -141,6 +152,7 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 	if n.cfg.AntiEntropy != nil {
 		n.engine = antientropy.New(*n.cfg.AntiEntropy, n.machine)
 		n.engine.SetSink(n.sink)
+		n.engine.SetTracer(tr)
 		if est := n.est; est != nil {
 			n.engine.SetHealth(func(x id.ID) bool { return !est.Degraded(x) })
 		}
@@ -163,6 +175,7 @@ func start(p id.Params, listenAddr string, mk func(table.Ref) *core.Machine, nod
 		})
 		n.sampler.SetBootstrap(n.machine.SyncPeers)
 		n.sampler.SetSink(n.sink)
+		n.sampler.SetTracer(tr)
 		n.machine.SetPeerSampler(n.sampler.Sample)
 		if n.engine != nil {
 			n.engine.SetPeerSampler(n.sampler.Sample)

@@ -11,6 +11,7 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 // wireRef is the encoded form of a table.Ref.
@@ -152,6 +153,11 @@ type wireEnvelope struct {
 
 	// Peer-sampling view (SamplePullRly).
 	Refs []wireRef
+
+	// Causal trace context (nil when untraced): 16-byte trace ID plus
+	// 8-byte span ID. Gob decoders that predate these fields skip them,
+	// so traced gob traffic still interops with v1-era nodes.
+	TraceID, SpanID []byte
 }
 
 // encodeEnvelope flattens a protocol envelope into its wire form.
@@ -160,6 +166,9 @@ func encodeEnvelope(env msg.Envelope) (wireEnvelope, error) {
 		From: encodeRef(env.From),
 		To:   encodeRef(env.To),
 		Kind: uint8(env.Msg.Type()),
+	}
+	if c := env.Trace; c.Sampled() {
+		w.TraceID, w.SpanID = c.Trace[:], c.Span[:]
 	}
 	switch m := env.Msg.(type) {
 	case msg.CpRst:
@@ -252,6 +261,19 @@ func decodeEnvelope(p id.Params, w wireEnvelope) (msg.Envelope, error) {
 		return msg.Envelope{}, err
 	}
 	env := msg.Envelope{From: from, To: to}
+	if len(w.TraceID) > 0 || len(w.SpanID) > 0 {
+		var c trace.Context
+		if len(w.TraceID) != len(c.Trace) || len(w.SpanID) != len(c.Span) {
+			return msg.Envelope{}, fmt.Errorf("tcptransport: trace context of %d+%d bytes, want %d+%d",
+				len(w.TraceID), len(w.SpanID), len(c.Trace), len(c.Span))
+		}
+		copy(c.Trace[:], w.TraceID)
+		copy(c.Span[:], w.SpanID)
+		if !c.Sampled() || c.Span.IsZero() {
+			return msg.Envelope{}, fmt.Errorf("tcptransport: trace context with zero trace or span ID")
+		}
+		env.Trace = c
+	}
 
 	var snap table.Snapshot
 	if w.HasTable {

@@ -24,9 +24,22 @@ func FuzzBinaryDecode(f *testing.F) {
 			f.Add(payload)
 		}
 	}
+	// Traced (v2) seeds, including the all-untraced trailer form.
+	for i, env := range sampleEnvelopes(t) {
+		env.Trace = sampleTraceContext(byte(i + 1))
+		if payload, err := EncodePayload(p, env); err == nil {
+			f.Add(payload)
+		}
+	}
+	if envs := sampleEnvelopes(t); len(envs) > 3 {
+		if payload, err := EncodePayloadV(p, VersionTraced, envs[:3]...); err == nil {
+			f.Add(payload)
+		}
+	}
 	// Hostile shapes: truncations, bad versions, padded fill vectors.
 	f.Add([]byte{Version, 1, 3, byte(msg.TPong), 0, 0})
 	f.Add([]byte{Version, 2, 1, 0})
+	f.Add([]byte{VersionTraced, 1, 3, byte(msg.TPong), 0, 0, 2})
 	f.Add([]byte{99, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var envs []msg.Envelope
@@ -36,7 +49,10 @@ func FuzzBinaryDecode(f *testing.F) {
 		}); err != nil {
 			return
 		}
-		re, err := EncodePayload(p, envs...)
+		// Re-encode in the payload's own version: an accepted v2 payload
+		// whose records all happen to be untraced must come back as v2,
+		// not collapse to the minimal version.
+		re, err := EncodePayloadV(p, data[0], envs...)
 		if err != nil {
 			t.Fatalf("accepted payload failed to re-encode: %v", err)
 		}

@@ -59,11 +59,21 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/msg"
 	"hypercube/internal/table"
+	"hypercube/internal/trace"
 )
 
 const (
-	// Version is the payload format version; the first payload byte.
+	// Version is the baseline payload format version; the first payload
+	// byte.
 	Version = 1
+	// VersionTraced is the v2 payload format: byte-identical to v1
+	// except that every record carries a trace trailer after its body —
+	// a flags byte (0 = untraced, 1 = traced) followed, when traced, by
+	// the 16-byte trace ID and 8-byte span ID. The trailer sits outside
+	// the length-prefixed body, so stripping it (and rewriting the
+	// version byte) yields a valid v1 payload carrying the same
+	// envelopes — the downgrade a v1-only hop effectively performs.
+	VersionTraced = 2
 	// MaxBatch is the largest envelope count one payload may carry. It
 	// fits one byte, so the count field never needs a varint.
 	MaxBatch = 127
@@ -72,6 +82,10 @@ const (
 	MaxAddr = 256
 	// headerLen is the payload header: version byte plus count byte.
 	headerLen = 2
+	// traceIDLen/spanIDLen/traceCtxLen size the traced trailer form.
+	traceIDLen  = 16
+	spanIDLen   = 8
+	traceCtxLen = traceIDLen + spanIDLen
 )
 
 // errMalformed is the sentinel wrapped by every decode failure, so the
@@ -89,9 +103,26 @@ func badf(format string, args ...any) error {
 
 // AppendHeader appends the payload header (version + count placeholder)
 // to dst. The caller appends 1..MaxBatch envelopes with AppendEnvelope
-// and then fixes the count with SetCount.
-func AppendHeader(dst []byte) []byte {
-	return append(dst, Version, 0)
+// (passing the same version) and then fixes the count with SetCount.
+// Pick the version with PayloadVersion so untraced payloads stay
+// byte-identical to what a v1-only encoder produces.
+func AppendHeader(dst []byte, version byte) []byte {
+	if version != Version && version != VersionTraced {
+		panic(fmt.Sprintf("wire: unknown payload version %d", version))
+	}
+	return append(dst, version, 0)
+}
+
+// PayloadVersion returns the minimal payload version able to carry the
+// given envelopes: VersionTraced when at least one carries a sampled
+// trace context, Version otherwise.
+func PayloadVersion(envs []msg.Envelope) byte {
+	for _, env := range envs {
+		if env.Trace.Sampled() {
+			return VersionTraced
+		}
+	}
+	return Version
 }
 
 // SetCount patches the envelope count into a payload started with
@@ -104,12 +135,17 @@ func SetCount(payload []byte, n int) {
 }
 
 // AppendEnvelope appends one envelope record (uvarint body length +
-// body) to dst and returns the extended slice. It allocates nothing
-// beyond growing dst. Envelopes the protocol can never produce (IDs of
-// the wrong length, oversized addresses, negative levels, unknown
-// message types) return an error; the input slice is returned unchanged
-// so a failed append can simply be skipped.
-func AppendEnvelope(dst []byte, p id.Params, env msg.Envelope) ([]byte, error) {
+// body, plus the trace trailer under VersionTraced) to dst and returns
+// the extended slice. It allocates nothing beyond growing dst.
+// Envelopes the protocol can never produce (IDs of the wrong length,
+// oversized addresses, negative levels, unknown message types) return
+// an error, as does a traced envelope under version 1 — the caller
+// chose too small a version (see PayloadVersion); the input slice is
+// returned unchanged so a failed append can simply be skipped.
+func AppendEnvelope(dst []byte, p id.Params, env msg.Envelope, version byte) ([]byte, error) {
+	if version != VersionTraced && env.Trace.Sampled() {
+		return dst, fmt.Errorf("wire: traced envelope needs payload version %d, got %d", VersionTraced, version)
+	}
 	mark := len(dst)
 	out, err := appendBody(dst, p, env)
 	if err != nil {
@@ -122,6 +158,18 @@ func AppendEnvelope(dst []byte, p id.Params, env msg.Envelope) ([]byte, error) {
 	out = append(out, lenBuf[:n]...)
 	copy(out[mark+n:], out[mark:mark+bodyLen])
 	copy(out[mark:], lenBuf[:n])
+	if version == VersionTraced {
+		if c := env.Trace; c.Sampled() {
+			if c.Span.IsZero() {
+				return dst, fmt.Errorf("wire: trace context with zero span ID")
+			}
+			out = append(out, 1)
+			out = append(out, c.Trace[:]...)
+			out = append(out, c.Span[:]...)
+		} else {
+			out = append(out, 0)
+		}
+	}
 	return out, nil
 }
 
@@ -129,13 +177,21 @@ func AppendEnvelope(dst []byte, p id.Params, env msg.Envelope) ([]byte, error) {
 // the convenience form used by tests and tools; the transport's hot path
 // assembles payloads incrementally with AppendHeader/AppendEnvelope.
 func EncodePayload(p id.Params, envs ...msg.Envelope) ([]byte, error) {
+	return EncodePayloadV(p, PayloadVersion(envs), envs...)
+}
+
+// EncodePayloadV builds a payload in an explicit format version —
+// VersionTraced carries a trace trailer per record even when every
+// record is untraced (flags 0), which is what a traced node's batch
+// that happens to hold only untraced envelopes looks like on the wire.
+func EncodePayloadV(p id.Params, version byte, envs ...msg.Envelope) ([]byte, error) {
 	if len(envs) == 0 || len(envs) > MaxBatch {
 		return nil, fmt.Errorf("wire: %d envelopes per payload, want 1..%d", len(envs), MaxBatch)
 	}
-	out := AppendHeader(nil)
+	out := AppendHeader(nil, version)
 	var err error
 	for _, env := range envs {
-		if out, err = AppendEnvelope(out, p, env); err != nil {
+		if out, err = AppendEnvelope(out, p, env, version); err != nil {
 			return nil, err
 		}
 	}
@@ -151,8 +207,9 @@ func DecodePayload(p id.Params, payload []byte, fn func(msg.Envelope) error) err
 	if len(payload) < headerLen {
 		return badf("%d bytes, want at least %d", len(payload), headerLen)
 	}
-	if payload[0] != Version {
-		return badf("version %d, want %d", payload[0], Version)
+	version := payload[0]
+	if version != Version && version != VersionTraced {
+		return badf("version %d, want %d or %d", version, Version, VersionTraced)
 	}
 	count := int(payload[1])
 	if count < 1 || count > MaxBatch {
@@ -171,6 +228,11 @@ func DecodePayload(p id.Params, payload []byte, fn func(msg.Envelope) error) err
 		env, err := decodeBody(p, body)
 		if err != nil {
 			return err
+		}
+		if version == VersionTraced {
+			if env.Trace, err = r.traceContext(); err != nil {
+				return err
+			}
 		}
 		if err := fn(env); err != nil {
 			return err
@@ -520,6 +582,36 @@ func (r *reader) bool() (bool, error) {
 		return true, nil
 	default:
 		return false, badf("flag byte %d, want 0 or 1", b)
+	}
+}
+
+// traceContext reads one v2 record trailer: a flags byte (0 =
+// untraced, 1 = traced), then the 16-byte trace ID and 8-byte span ID
+// when traced. Canonical form: flags above 1 and zero IDs under flags
+// 1 are malformed (an untraced record has exactly one encoding — the
+// lone 0 byte).
+func (r *reader) traceContext() (trace.Context, error) {
+	flags, err := r.u8()
+	if err != nil {
+		return trace.Context{}, err
+	}
+	switch flags {
+	case 0:
+		return trace.Context{}, nil
+	case 1:
+		raw, err := r.take(traceCtxLen)
+		if err != nil {
+			return trace.Context{}, err
+		}
+		var c trace.Context
+		copy(c.Trace[:], raw[:traceIDLen])
+		copy(c.Span[:], raw[traceIDLen:])
+		if c.Trace.IsZero() || c.Span.IsZero() {
+			return trace.Context{}, badf("traced record with zero trace or span ID")
+		}
+		return c, nil
+	default:
+		return trace.Context{}, badf("trace flags byte %d, want 0 or 1", flags)
 	}
 }
 

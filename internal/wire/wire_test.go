@@ -228,7 +228,7 @@ func TestDecodeRejectsCodecBoundaryClasses(t *testing.T) {
 	// Truncated fill bitmap: encode a SyncReq, then chop one word off the
 	// vector by hand-editing the payload length fields is fiddly — build
 	// the hostile payload directly instead.
-	hostileFill := AppendHeader(nil)
+	hostileFill := AppendHeader(nil, Version)
 	body := []byte{byte(msg.TSyncReq)}
 	body = appendRawRef(body, from)
 	body = appendRawRef(body, to)
@@ -241,7 +241,7 @@ func TestDecodeRejectsCodecBoundaryClasses(t *testing.T) {
 	}
 
 	// Padding bits beyond the declared length must be rejected.
-	padded := AppendHeader(nil)
+	padded := AppendHeader(nil, Version)
 	body = []byte{byte(msg.TSyncReq)}
 	body = appendRawRef(body, from)
 	body = appendRawRef(body, to)
@@ -256,7 +256,7 @@ func TestDecodeRejectsCodecBoundaryClasses(t *testing.T) {
 	}
 
 	// FindRly Found with an invalid state byte.
-	foundBad := AppendHeader(nil)
+	foundBad := AppendHeader(nil, Version)
 	body = []byte{byte(msg.TFindRly)}
 	body = appendRawRef(body, from)
 	body = appendRawRef(body, to)
@@ -273,7 +273,7 @@ func TestDecodeRejectsCodecBoundaryClasses(t *testing.T) {
 	}
 
 	// Oversized Found address.
-	foundAddr := AppendHeader(nil)
+	foundAddr := AppendHeader(nil, Version)
 	body = []byte{byte(msg.TFindRly)}
 	body = appendRawRef(body, from)
 	body = appendRawRef(body, to)
@@ -305,7 +305,7 @@ func TestDecodeRejectsCodecBoundaryClasses(t *testing.T) {
 	}
 	snapBody = append(snapBody, entry(2, 0)...)
 	snapBody = append(snapBody, entry(1, 0)...) // descending: hostile
-	outOfOrder := appendRecord(AppendHeader(nil), snapBody)
+	outOfOrder := appendRecord(AppendHeader(nil, Version), snapBody)
 	SetCount(outOfOrder, 1)
 	if _, err := DecodeOne(tp, outOfOrder); err == nil {
 		t.Error("out-of-order table entries accepted")
@@ -321,14 +321,14 @@ func TestDecodeRejectsCodecBoundaryClasses(t *testing.T) {
 	dupBody = append(dupBody, 2)
 	dupBody = append(dupBody, entry(1, 0)...)
 	dupBody = append(dupBody, entry(1, 0)...)
-	dup := appendRecord(AppendHeader(nil), dupBody)
+	dup := appendRecord(AppendHeader(nil, Version), dupBody)
 	SetCount(dup, 1)
 	if _, err := DecodeOne(tp, dup); err == nil {
 		t.Error("duplicate table entries accepted")
 	}
 
 	// Non-minimal varints re-encode shorter, so they must be rejected.
-	nonMinimal := AppendHeader(nil)
+	nonMinimal := AppendHeader(nil, Version)
 	body = []byte{byte(msg.TPong)}
 	body = appendRawRef(body, from)
 	body = appendRawRef(body, to)
@@ -370,7 +370,7 @@ func TestAppendEnvelopeRejectsUnencodable(t *testing.T) {
 	}
 	for i, env := range cases {
 		dst := []byte{0xaa}
-		out, err := AppendEnvelope(dst, tp, env)
+		out, err := AppendEnvelope(dst, tp, env, Version)
 		if err == nil {
 			t.Errorf("case %d: unencodable envelope accepted", i)
 		}
@@ -461,8 +461,8 @@ func TestAppendEnvelopeZeroAlloc(t *testing.T) {
 	}
 	buf := make([]byte, 0, 256)
 	allocs := testing.AllocsPerRun(200, func() {
-		out := AppendHeader(buf[:0])
-		out, err := AppendEnvelope(out, tp, env)
+		out := AppendHeader(buf[:0], Version)
+		out, err := AppendEnvelope(out, tp, env, Version)
 		if err != nil {
 			t.Fatal(err)
 		}
