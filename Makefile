@@ -1,9 +1,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build test race bench bench-all bench-wire bench-join bench-liveness vet fmt lint cover experiments trace-smoke fleettrace-smoke gray-smoke fuzz-smoke
+.PHONY: all build test race bench bench-all bench-wire bench-join bench-liveness vet fmt lint cover experiments trace-smoke fleettrace-smoke gray-smoke fuzz-smoke nemesis-smoke
 
-all: build lint test fuzz-smoke
+all: build lint test fuzz-smoke nemesis-smoke
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,10 @@ build:
 # The default test path includes vet and a race-detector pass over the
 # whole module — new packages (anti-entropy engine, partition plumbing)
 # get race coverage automatically instead of waiting to be listed.
+# -shuffle=on randomizes test order so inter-test state leaks surface
+# instead of hiding behind a lucky declaration order.
 test: vet
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race ./...
 
 race:
@@ -116,6 +118,19 @@ fleettrace-smoke:
 	$(GO) run ./cmd/churn -flashcrowd -n 32 -fc-joins 32 -b 16 -d 4 -seed 7 \
 		-trace /tmp/hypercube-fleettrace-smoke.jsonl
 	$(GO) run ./cmd/fleettrace -require-joins 0.95 /tmp/hypercube-fleettrace-smoke.jsonl
+
+# nemesis-smoke is the deterministic chaos-search gate: sweep a pinned
+# seed range of generated fault schedules (composed join waves, crashes,
+# partitions, loss bursts, clock pauses, restart-from-persist) at a
+# CI-friendly size, auditing Definition 3.8 consistency, sampled
+# reachability, and the false-declaration watcher at every quiescence
+# point. On any violation the driver delta-debugs the schedule to a
+# minimal repro-<seed>.json under /tmp/hypercube-nemesis (uploaded as a
+# CI artifact) and exits non-zero; `go run ./cmd/nemesis -replay <file>`
+# re-executes it bit-identically.
+nemesis-smoke:
+	$(GO) run ./cmd/nemesis -seeds 0..49 -n 32 -b 16 -d 4 -steps 8 \
+		-out /tmp/hypercube-nemesis
 
 # gray-smoke runs the gray-degradation contrast at a CI-friendly size:
 # the adaptive detector must hold every declaration of a slow-but-live

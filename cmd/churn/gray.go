@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hypercube/internal/id"
+	"hypercube/internal/nemesis/oracle"
 	"hypercube/internal/obs"
 	"hypercube/internal/overlay"
 	"hypercube/internal/rtt"
@@ -117,7 +118,7 @@ func grayDegradeOnce(p id.Params, n int, seed int64, adaptive bool, grayFrac flo
 		label = "adaptive"
 	}
 	rng := rand.New(rand.NewSource(seed))
-	watch := newDeclWatch()
+	watch := oracle.NewDeclWatch()
 	cfg := scenarioConfig(p, seed, syncEvery, tl, watch, sink, byz, byzFrac, byzRate)
 	cfg.SlowNodes = &overlay.SlowNodes{
 		Delay:    grayDelay,
@@ -138,8 +139,8 @@ func grayDegradeOnce(p id.Params, n int, seed int64, adaptive bool, grayFrac flo
 	// Warm-up: probers acquire targets and (in the adaptive run) the
 	// estimators learn the fast baseline the ramp will depart from.
 	net.RunFor(5 * time.Second)
-	if watch.genuine+watch.falsePos != 0 {
-		fmt.Fprintf(os.Stderr, "churn: [%s] %d declarations before degradation began\n", label, watch.genuine+watch.falsePos)
+	if watch.Total() != 0 {
+		fmt.Fprintf(os.Stderr, "churn: [%s] %d declarations before degradation began\n", label, watch.Total())
 		return grayRun{}, 1
 	}
 
@@ -164,7 +165,7 @@ func grayDegradeOnce(p id.Params, n int, seed int64, adaptive bool, grayFrac flo
 		}
 	}
 	crashAt := net.Engine().Now()
-	watch.markDeadAt(crashAt, crash...)
+	watch.MarkDeadAt(crashAt, crash...)
 	for _, x := range crash {
 		if err := net.InjectFailure(x); err != nil {
 			fmt.Fprintf(os.Stderr, "churn: [%s] %v\n", label, err)
@@ -178,10 +179,10 @@ func grayDegradeOnce(p id.Params, n int, seed int64, adaptive bool, grayFrac flo
 	ls := net.LivenessStats()
 	ae := net.AntiEntropyStats()
 	out := grayRun{
-		falsePos:    watch.falsePos,
-		detected:    len(watch.declAt),
+		falsePos:    watch.FalsePositives(),
+		detected:    watch.Detected(),
 		crashed:     len(crash),
-		meanDetect:  watch.meanDetection(),
+		meanDetect:  watch.MeanDetection(),
 		latePongs:   ls.LatePongs,
 		deprio:      ae.Deprioritized,
 		slowDelayed: net.SlowDelayed(),
@@ -191,9 +192,9 @@ func grayDegradeOnce(p id.Params, n int, seed int64, adaptive bool, grayFrac flo
 		out.marked = net.RTTStats().Marked
 	}
 	fmt.Printf("[%s] declarations: %d genuine / %d false; crash detection %v; %d late pongs, %d degraded flags, %d slow-delayed messages\n",
-		label, watch.genuine, watch.falsePos, out.meanDetect.Round(time.Millisecond), out.latePongs, out.marked, out.slowDelayed)
-	if watch.falsePos > 0 {
-		fmt.Printf("[%s]   falsely declared: %v\n", label, watch.examples)
+		label, watch.Genuine(), watch.FalsePositives(), out.meanDetect.Round(time.Millisecond), out.latePongs, out.marked, out.slowDelayed)
+	if watch.FalsePositives() > 0 {
+		fmt.Printf("[%s]   falsely declared: %v\n", label, watch.Examples())
 	}
 	return out, 0
 }

@@ -20,6 +20,7 @@ import (
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
 	"hypercube/internal/msg"
+	"hypercube/internal/nemesis/oracle"
 	"hypercube/internal/netcheck"
 	"hypercube/internal/obs"
 	"hypercube/internal/overlay"
@@ -234,28 +235,12 @@ func main() {
 	exit(reportFinal(net, unrepaired != 0))
 }
 
-// reportFinal prints the end-of-run summary every mode shares — node
-// count, Definition 3.8 consistency, and the guard layer's rejection and
-// quarantine counters — and returns the process exit code: non-zero when
-// the network ends inconsistent or the mode flagged an earlier failure.
-// Routing every mode through this one path keeps the exit semantics of
-// plain churn runs, -partition, and -byzantine identical.
+// reportFinal routes every mode through the shared oracle report (node
+// count, Definition 3.8 consistency, guard counters) so the exit
+// semantics of plain churn runs and every scenario mode — here and in
+// cmd/nemesis — stay identical.
 func reportFinal(net *overlay.Network, earlierFailure bool) int {
-	final := net.CheckConsistency()
-	state := "consistent"
-	if len(final) != 0 {
-		state = fmt.Sprintf("%d violations", len(final))
-	}
-	gs := net.GuardStats()
-	fmt.Printf("\nfinal network: %d nodes, %s; guard: %d rejected, %d unknown dropped, %d quarantines (%d active), %d released, %d ingress-dropped, %d busy-deferred\n",
-		net.Size(), state, gs.Rejected, gs.UnknownDropped,
-		gs.Scorer.Quarantines, gs.Scorer.Quarantined, gs.Scorer.Releases,
-		gs.IngressDropped, gs.BusyDeferred)
-	if len(final) != 0 || earlierFailure {
-		printViolations(final)
-		return 1
-	}
-	return 0
+	return oracle.ReportFinal(os.Stdout, os.Stderr, net, earlierFailure)
 }
 
 // partitionJoiner constructs a fresh node ID whose rightmost digit
@@ -301,13 +286,7 @@ func partitionJoiner(p id.Params, refs []table.Ref, taken map[id.ID]bool, rng *r
 // printViolations lists every netcheck violation on stderr so a failing
 // run names the broken entries instead of just exiting non-zero.
 func printViolations(v []netcheck.Violation) {
-	if len(v) == 0 {
-		return
-	}
-	fmt.Fprintf(os.Stderr, "churn: netcheck failed with %d violations:\n", len(v))
-	for _, x := range v {
-		fmt.Fprintf(os.Stderr, "  %v\n", x)
-	}
+	oracle.PrintViolations(os.Stderr, v)
 }
 
 // runPartition is the -partition experiment: build a consistent network,

@@ -21,6 +21,7 @@ import (
 	"hypercube/internal/guard"
 	"hypercube/internal/id"
 	"hypercube/internal/liveness"
+	"hypercube/internal/nemesis/oracle"
 	"hypercube/internal/obs"
 	"hypercube/internal/overlay"
 	"hypercube/internal/persist"
@@ -29,89 +30,12 @@ import (
 	"hypercube/internal/topology"
 )
 
-// declWatch splits failure declarations into genuine (the declared peer
-// was deliberately killed) and false (it was alive when declared). The
-// scenario modes tee it into the network's event sink; the simulator
-// emits from a single goroutine, so no lock is needed.
-type declWatch struct {
-	dead     map[string]bool
-	genuine  int
-	falsePos int
-	examples []string
-
-	// Detection latency, populated only through markDeadAt: virtual
-	// crash time per peer and the virtual time of the first declaration
-	// that names it.
-	crashedAt map[string]time.Duration
-	declAt    map[string]time.Duration
-}
-
-func newDeclWatch() *declWatch {
-	return &declWatch{
-		dead:      make(map[string]bool),
-		crashedAt: make(map[string]time.Duration),
-		declAt:    make(map[string]time.Duration),
-	}
-}
-
-func (w *declWatch) Emit(e obs.Event) {
-	if e.Kind != obs.KindDeclared {
-		return
-	}
-	if w.dead[e.Peer] {
-		w.genuine++
-		if _, seen := w.declAt[e.Peer]; !seen {
-			w.declAt[e.Peer] = e.T
-		}
-		return
-	}
-	w.falsePos++
-	if len(w.examples) < 5 {
-		w.examples = append(w.examples, e.Peer)
-	}
-}
-
-func (w *declWatch) markDead(ids ...id.ID) {
-	for _, x := range ids {
-		w.dead[x.String()] = true
-	}
-}
-
-// markDeadAt is markDead plus a crash timestamp, enabling
-// meanDetection for the peers it marks.
-func (w *declWatch) markDeadAt(now time.Duration, ids ...id.ID) {
-	w.markDead(ids...)
-	for _, x := range ids {
-		w.crashedAt[x.String()] = now
-	}
-}
-
-// meanDetection averages crash-to-first-declaration latency over the
-// peers marked via markDeadAt that were actually declared; zero when
-// none were.
-func (w *declWatch) meanDetection() time.Duration {
-	var sum time.Duration
-	n := 0
-	for peer, at := range w.declAt {
-		crashed, ok := w.crashedAt[peer]
-		if !ok {
-			continue
-		}
-		sum += at - crashed
-		n++
-	}
-	if n == 0 {
-		return 0
-	}
-	return sum / time.Duration(n)
-}
-
 // scenarioConfig is the simulator configuration the scenario modes
 // share: autonomous timeout handling, the guard layer, a
 // latency-tolerant failure detector, anti-entropy repair, and the
 // gossip peer-sampling layer feeding gateway selection, rejoin
 // bootstrap, and sync-peer choice.
-func scenarioConfig(p id.Params, seed int64, syncEvery time.Duration, tl *overlay.TopologyLatency, watch *declWatch, sink *obs.JSONL, byz bool, byzFrac, byzRate float64) overlay.Config {
+func scenarioConfig(p id.Params, seed int64, syncEvery time.Duration, tl *overlay.TopologyLatency, watch *oracle.DeclWatch, sink *obs.JSONL, byz bool, byzFrac, byzRate float64) overlay.Config {
 	cfg := overlay.Config{
 		Params:  p,
 		Latency: tl.Func(),
@@ -210,13 +134,13 @@ func checkIDCapacity(p id.Params, want int) error {
 
 // reportDeclarations prints the declaration audit every scenario shares
 // and returns true when any live node was declared dead.
-func reportDeclarations(w *declWatch) bool {
-	fmt.Printf("declarations: %d genuine, %d false", w.genuine, w.falsePos)
-	if w.falsePos > 0 {
-		fmt.Printf(" (e.g. %v)", w.examples)
+func reportDeclarations(w *oracle.DeclWatch) bool {
+	fmt.Printf("declarations: %d genuine, %d false", w.Genuine(), w.FalsePositives())
+	if w.FalsePositives() > 0 {
+		fmt.Printf(" (e.g. %v)", w.Examples())
 	}
 	fmt.Println()
-	return w.falsePos != 0
+	return w.FalsePositives() != 0
 }
 
 // reportSampling prints the aggregate gossip peer-sampling counters.
@@ -243,7 +167,7 @@ func runFlashCrowd(p id.Params, n, joins, gateways int, seed int64, syncEvery ti
 		return 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	watch := newDeclWatch()
+	watch := oracle.NewDeclWatch()
 	net := overlay.New(scenarioConfig(p, seed, syncEvery, tl, watch, sink, byz, byzFrac, byzRate))
 	taken := make(map[id.ID]bool)
 	refs, _ := buildScenarioBase(net, p, n, rng, topo, tl, taken)
@@ -268,8 +192,8 @@ func runFlashCrowd(p id.Params, n, joins, gateways int, seed int64, syncEvery ti
 		net.Size(), p.B, p.D, joins, gateways, len(byzSet), syncEvery)
 
 	net.RunFor(2 * time.Second) // warm-up: probers acquire targets, views fill
-	if watch.genuine+watch.falsePos != 0 {
-		fmt.Fprintf(os.Stderr, "churn: %d declarations before the crowd arrived\n", watch.genuine+watch.falsePos)
+	if watch.Total() != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d declarations before the crowd arrived\n", watch.Total())
 		return 1
 	}
 
@@ -343,7 +267,7 @@ func runMassFail(p id.Params, n, stubsToKill int, seed int64, syncEvery time.Dur
 		return 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	watch := newDeclWatch()
+	watch := oracle.NewDeclWatch()
 	net := overlay.New(scenarioConfig(p, seed, syncEvery, tl, watch, sink, byz, byzFrac, byzRate))
 	refs, hostOf := buildScenarioBase(net, p, n, rng, topo, tl, make(map[id.ID]bool))
 	byzSet := markScenarioByzantine(net, refs, byz)
@@ -370,12 +294,12 @@ func runMassFail(p id.Params, n, stubsToKill int, seed int64, syncEvery time.Dur
 		net.Size(), p.B, p.D, stubsToKill, len(kill), len(byzSet), syncEvery)
 
 	net.RunFor(2 * time.Second) // warm-up
-	if watch.genuine+watch.falsePos != 0 {
-		fmt.Fprintf(os.Stderr, "churn: %d declarations before the outage\n", watch.genuine+watch.falsePos)
+	if watch.Total() != 0 {
+		fmt.Fprintf(os.Stderr, "churn: %d declarations before the outage\n", watch.Total())
 		return 1
 	}
 
-	watch.markDead(kill...)
+	watch.MarkDead(kill...)
 	for _, x := range kill {
 		if err := net.InjectFailure(x); err != nil {
 			fmt.Fprintf(os.Stderr, "churn: %v\n", err)
@@ -406,7 +330,7 @@ func runRollingRestart(p id.Params, n, wave int, seed int64, syncEvery time.Dura
 		return 1
 	}
 	rng := rand.New(rand.NewSource(seed))
-	watch := newDeclWatch()
+	watch := oracle.NewDeclWatch()
 	net := overlay.New(scenarioConfig(p, seed, syncEvery, tl, watch, sink, byz, byzFrac, byzRate))
 	refs, _ := buildScenarioBase(net, p, n, rng, topo, tl, make(map[id.ID]bool))
 	byzSet := markScenarioByzantine(net, refs, byz)
@@ -454,8 +378,22 @@ func runRollingRestart(p id.Params, n, wave int, seed int64, syncEvery time.Dura
 			path := filepath.Join(dir, r.ID.String()+".json")
 			snap, sampled, err := persist.LoadFileState(path, p)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "churn: %v\n", err)
-				return 1
+				if !persist.IsCorrupt(err) {
+					fmt.Fprintf(os.Stderr, "churn: %v\n", err)
+					return 1
+				}
+				// A corrupt dump must not kill the restart: the node
+				// comes back with no state and performs a fresh join.
+				fmt.Fprintf(os.Stderr, "churn: %v — member %v restarting with a fresh join\n", err, r.ID)
+				helper, _ := rejoinHelper(net, r, nil)
+				if helper.IsZero() {
+					fmt.Fprintf(os.Stderr, "churn: no live helper for restarting member %v\n", r.ID)
+					return 1
+				}
+				net.ScheduleJoin(r, helper, net.Engine().Now())
+				net.Run()
+				restarts++
+				continue
 			}
 			m := net.AddEstablished(r, persist.Restore(snap))
 			if s, ok := net.Sampler(r.ID); ok && len(sampled) > 0 {

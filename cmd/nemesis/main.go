@@ -1,0 +1,157 @@
+// Command nemesis is the deterministic chaos-search driver: it sweeps a
+// range of seeds, derives a composed fault schedule from each (join
+// waves, graceful leaves, crashes, partitions, byzantine members, gray
+// slowness, loss bursts, clock pauses, restart-from-persist — all over
+// the virtual-clock simulator), executes it with the invariant oracle at
+// every quiescence point, and on a violation delta-debugs the schedule
+// down to a minimal repro.json. The same seed always produces the same
+// schedule, the same verdicts, and the same shrunk repro, so
+//
+//	nemesis -replay repro.json
+//
+// re-executes a recorded failure bit-identically — the FoundationDB
+// simulation-testing workflow for this codebase.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypercube/internal/id"
+	"hypercube/internal/nemesis"
+)
+
+func main() {
+	var (
+		b     = flag.Int("b", 16, "digit base")
+		d     = flag.Int("d", 4, "digits per ID")
+		n     = flag.Int("n", 32, "base network size per schedule")
+		steps = flag.Int("steps", 8, "actions per generated schedule")
+		seeds = flag.String("seeds", "", "seed range to sweep, e.g. 0..99 (inclusive); overrides -seed")
+		seed  = flag.Uint64("seed", 1, "single seed to run")
+
+		syncEvery = flag.Duration("sync-interval", 500*time.Millisecond, "anti-entropy/settle round interval")
+		reach     = flag.Int("reach-pairs", 16, "sampled reachability pairs per audit")
+
+		replay   = flag.String("replay", "", "re-execute a recorded repro.json and compare findings; exit 0 only on an exact match")
+		out      = flag.String("out", ".", "directory for repro files of shrunk failures")
+		noShrink = flag.Bool("no-shrink", false, "emit the full failing schedule instead of delta-debugging it")
+		maxExec  = flag.Int("max-shrink-exec", 200, "execution budget per shrink")
+		verbose  = flag.Bool("v", false, "log every schedule step")
+	)
+	flag.Parse()
+	os.Exit(run(*b, *d, *n, *steps, *seeds, *seed, *syncEvery, *reach, *replay, *out, *noShrink, *maxExec, *verbose))
+}
+
+func run(b, d, n, steps int, seedsSpec string, seed uint64, syncEvery time.Duration, reach int, replay, out string, noShrink bool, maxExec int, verbose bool) int {
+	opt := nemesis.Options{SyncEvery: syncEvery, ReachPairs: reach}
+	if verbose {
+		opt.Log = os.Stdout
+	}
+	if replay != "" {
+		return runReplay(replay, opt)
+	}
+
+	lo, hi, err := parseSeeds(seedsSpec, seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nemesis: %v\n", err)
+		return 1
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "nemesis: %v\n", err)
+		return 1
+	}
+	p := id.Params{B: b, D: d}
+	fmt.Printf("chaos search: seeds %d..%d, %d nodes (b=%d, d=%d), %d steps per schedule\n\n", lo, hi, n, b, d, steps)
+
+	failures := 0
+	wall := time.Now()
+	for s := lo; s <= hi; s++ {
+		sched := nemesis.Generate(s, p, n, steps)
+		res, err := nemesis.Execute(sched, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nemesis: seed %d: %v\n", s, err)
+			return 1
+		}
+		if !res.Failed() {
+			fmt.Printf("seed %4d: ok    (%2d steps, %3d nodes final, virtual %v)\n",
+				s, len(sched.Steps), res.FinalSize, res.VirtualEnd.Round(time.Second))
+			continue
+		}
+		failures++
+		fmt.Printf("seed %4d: FAIL  %d findings, first: %v\n", s, len(res.Findings), res.Findings[0])
+		repro := nemesis.Repro{Schedule: sched, Findings: res.Findings}
+		if !noShrink {
+			sh := nemesis.Shrink(sched, opt, res.Findings[0].Check, maxExec)
+			if len(sh.Findings) > 0 {
+				fmt.Printf("           shrunk %d -> %d steps (nodes %d -> %d) in %d executions\n",
+					len(sched.Steps), len(sh.Schedule.Steps), sched.Nodes, sh.Schedule.Nodes, sh.Executions)
+				repro = nemesis.Repro{Schedule: sh.Schedule, Findings: sh.Findings}
+			}
+		}
+		path := filepath.Join(out, fmt.Sprintf("repro-%d.json", s))
+		if err := nemesis.WriteRepro(path, repro); err != nil {
+			fmt.Fprintf(os.Stderr, "nemesis: %v\n", err)
+			return 1
+		}
+		fmt.Printf("           repro written to %s (replay with -replay)\n", path)
+	}
+	fmt.Printf("\nswept %d schedules in %v: %d violating\n", hi-lo+1, time.Since(wall).Round(time.Millisecond), failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func runReplay(path string, opt nemesis.Options) int {
+	r, err := nemesis.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nemesis: %v\n", err)
+		return 1
+	}
+	fmt.Printf("replaying %s: seed %d, %d nodes, %d steps, expecting %d findings\n",
+		path, r.Schedule.Seed, r.Schedule.Nodes, len(r.Schedule.Steps), len(r.Findings))
+	got, match, err := nemesis.Replay(r, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nemesis: %v\n", err)
+		return 1
+	}
+	for _, f := range got {
+		fmt.Printf("  %v\n", f)
+	}
+	if !match {
+		fmt.Fprintf(os.Stderr, "nemesis: replay DIVERGED from the recording (recorded %d findings, replayed %d) — the repro no longer reproduces\n",
+			len(r.Findings), len(got))
+		return 1
+	}
+	fmt.Printf("replay matches the recording exactly (%d findings)\n", len(got))
+	return 0
+}
+
+// parseSeeds interprets "lo..hi"; empty means the single -seed value.
+func parseSeeds(spec string, single uint64) (uint64, uint64, error) {
+	if spec == "" {
+		return single, single, nil
+	}
+	parts := strings.SplitN(spec, "..", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -seeds %q, want lo..hi", spec)
+	}
+	lo, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -seeds %q: %v", spec, err)
+	}
+	hi, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -seeds %q: %v", spec, err)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("bad -seeds %q: hi < lo", spec)
+	}
+	return lo, hi, nil
+}

@@ -243,6 +243,10 @@ type Network struct {
 	byzMutated     uint64
 	byzWithheld    uint64
 	byzReplayed    uint64
+	// paused maps clock-paused nodes to their resume time (PauseNode);
+	// pauseDeferred counts deliveries deferred into resume bursts.
+	paused        map[id.ID]time.Duration
+	pauseDeferred uint64
 	// livenessUntil bounds tick-pump rescheduling so Run() can quiesce.
 	livenessUntil time.Duration
 	tickPending   bool
@@ -271,6 +275,7 @@ func New(cfg Config) *Network {
 		engines:         make(map[id.ID]*antientropy.Engine),
 		samplers:        make(map[id.ID]*sampling.Engine),
 		ests:            make(map[id.ID]*rtt.Estimator),
+		paused:          make(map[id.ID]time.Duration),
 	}
 	if cfg.SlowNodes != nil {
 		n.slow = make(map[id.ID]time.Duration)
@@ -549,6 +554,22 @@ func (n *Network) Partition(groups ...[]id.ID) {
 // normally again.
 func (n *Network) Heal() { n.partition = nil }
 
+// SetLossRate changes the per-transmission loss probability mid-run —
+// the "loss-rate change" fault action. The network must have been
+// configured with a Loss model (possibly Rate 0); retry and seed
+// parameters are unchanged, so a run that ramps loss up and back down
+// stays deterministic.
+func (n *Network) SetLossRate(rate float64) error {
+	if n.cfg.Loss == nil {
+		return fmt.Errorf("overlay: SetLossRate without Config.Loss")
+	}
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("overlay: loss rate %v outside [0,1)", rate)
+	}
+	n.cfg.Loss.Rate = rate
+	return nil
+}
+
 // PartitionDropped returns how many messages the partition cut so far.
 func (n *Network) PartitionDropped() uint64 { return n.partitionDropped }
 
@@ -599,6 +620,13 @@ func (n *Network) deliver(env msg.Envelope) {
 			return
 		}
 		panic(fmt.Sprintf("overlay: envelope for unknown node %v: %v", env.To.ID, env))
+	}
+	if n.pausedNow(env.To.ID, n.engine.Now()) {
+		// Clock-pause fault: the recipient is stalled, so the message
+		// waits in its (virtual) socket buffer and bursts at resume.
+		n.pauseDeferred++
+		n.engine.ScheduleAt(n.paused[env.To.ID], func() { n.deliver(env) })
+		return
 	}
 	n.delivered++
 	if p := n.probers[env.To.ID]; p != nil {
@@ -695,6 +723,11 @@ func (n *Network) tick() {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	for _, x := range ids {
+		if n.pausedNow(x, now) {
+			// Clock-pause fault: the node's local timers stall; it will
+			// catch up on the first pump round after its resume.
+			continue
+		}
 		m := n.machines[x]
 		if p := n.probers[x]; p != nil {
 			p.SetTargets(probeTargets(m))

@@ -6,9 +6,12 @@ package persist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"hypercube/internal/id"
 	"hypercube/internal/table"
@@ -16,6 +19,30 @@ import (
 
 // formatVersion guards against silently reading an incompatible dump.
 const formatVersion = 1
+
+// ErrCorrupt marks a dump that is damaged — truncated, bit-flipped, or
+// failing its checksum — as opposed to merely incompatible (wrong
+// version or ID-space parameters). A restarting node that hits a
+// corrupt dump must fall back to a fresh join rather than trust the
+// bytes; callers detect the case with IsCorrupt.
+var ErrCorrupt = errors.New("corrupt dump")
+
+// IsCorrupt reports whether err means the dump bytes are damaged and a
+// restart should proceed as a fresh join.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }
+
+// corruptions counts corrupt dumps detected process-wide, so harnesses
+// can assert the fallback path actually fired.
+var corruptions atomic.Uint64
+
+// CorruptionsDetected returns how many corrupt dumps this process has
+// detected and rejected.
+func CorruptionsDetected() uint64 { return corruptions.Load() }
+
+func corruptf(format string, args ...any) error {
+	corruptions.Add(1)
+	return fmt.Errorf("persist: %w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
 
 // fileEntry is one non-empty table entry on disk.
 type fileEntry struct {
@@ -34,13 +61,19 @@ type filePeer struct {
 
 // fileSnapshot is the on-disk form of a snapshot.
 type fileSnapshot struct {
-	Version int         `json:"version"`
-	B       int         `json:"b"`
-	D       int         `json:"d"`
-	Owner   string      `json:"owner"`
-	Lo      int         `json:"lo"`
-	Hi      int         `json:"hi"`
-	Entries []fileEntry `json:"entries"`
+	Version int `json:"version"`
+	// Checksum is the CRC32 (IEEE) of the dump's canonical JSON bytes
+	// with this field empty, hex-encoded. Load re-derives the canonical
+	// bytes from the decoded values and compares, so any bit flip that
+	// changes a value — not just one that breaks JSON syntax — is caught.
+	// Absent in dumps from before checksumming; those still load.
+	Checksum string      `json:"crc32,omitempty"`
+	B        int         `json:"b"`
+	D        int         `json:"d"`
+	Owner    string      `json:"owner"`
+	Lo       int         `json:"lo"`
+	Hi       int         `json:"hi"`
+	Entries  []fileEntry `json:"entries"`
 	// Sampled carries the peer-sampling layer's long-term sample at dump
 	// time: bootstrap candidates for the restart-rejoin that remain valid
 	// even when every table neighbor died with the outage that forced the
@@ -80,12 +113,32 @@ func SaveState(w io.Writer, snap table.Snapshot, sampled []table.Ref) error {
 		}
 		out.Sampled = append(out.Sampled, filePeer{ID: r.ID.String(), Addr: r.Addr})
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	body, err := canonical(&out)
+	if err != nil {
 		return fmt.Errorf("persist: encode: %w", err)
 	}
+	out.Checksum = fmt.Sprintf("%08x", crc32.ChecksumIEEE(body))
+	final, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	if _, err := w.Write(append(final, '\n')); err != nil {
+		return fmt.Errorf("persist: write: %w", err)
+	}
 	return nil
+}
+
+// canonical returns the checksum-covered byte form of a snapshot: its
+// indented JSON with the checksum field cleared. Save computes the CRC
+// over these bytes; Load re-derives them from the decoded values, so
+// the check survives whitespace damage (harmless) while catching any
+// flip that altered a value.
+func canonical(s *fileSnapshot) ([]byte, error) {
+	saved := s.Checksum
+	s.Checksum = ""
+	b, err := json.MarshalIndent(s, "", "  ")
+	s.Checksum = saved
+	return b, err
 }
 
 // Load reads a snapshot from r, verifying it matches the expected ID
@@ -98,9 +151,24 @@ func Load(r io.Reader, p id.Params) (table.Snapshot, error) {
 // LoadState reads a snapshot plus any sampled bootstrap peers from r.
 // Dumps written before the sampling layer load with nil peers.
 func LoadState(r io.Reader, p id.Params) (table.Snapshot, []table.Ref, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return table.Snapshot{}, nil, fmt.Errorf("persist: read: %w", err)
+	}
 	var in fileSnapshot
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return table.Snapshot{}, nil, fmt.Errorf("persist: decode: %w", err)
+	if err := json.Unmarshal(raw, &in); err != nil {
+		// Truncated or syntactically mangled bytes: the dump is damaged,
+		// not from a different version of us.
+		return table.Snapshot{}, nil, corruptf("decode: %v", err)
+	}
+	if in.Checksum != "" {
+		body, err := canonical(&in)
+		if err != nil {
+			return table.Snapshot{}, nil, fmt.Errorf("persist: encode: %w", err)
+		}
+		if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)); got != in.Checksum {
+			return table.Snapshot{}, nil, corruptf("checksum %s, dump says %s", got, in.Checksum)
+		}
 	}
 	if in.Version != formatVersion {
 		return table.Snapshot{}, nil, fmt.Errorf("persist: format version %d, want %d", in.Version, formatVersion)
@@ -110,13 +178,13 @@ func LoadState(r io.Reader, p id.Params) (table.Snapshot, []table.Ref, error) {
 	}
 	owner, err := id.Parse(p, in.Owner)
 	if err != nil {
-		return table.Snapshot{}, nil, fmt.Errorf("persist: owner: %w", err)
+		return table.Snapshot{}, nil, corruptf("owner: %v", err)
 	}
 	entries := make(map[[2]int]table.Neighbor, len(in.Entries))
 	for _, e := range in.Entries {
 		x, err := id.Parse(p, e.ID)
 		if err != nil {
-			return table.Snapshot{}, nil, fmt.Errorf("persist: entry (%d,%d): %w", e.Level, e.Digit, err)
+			return table.Snapshot{}, nil, corruptf("entry (%d,%d): %v", e.Level, e.Digit, err)
 		}
 		var st table.State
 		switch e.State {
@@ -125,19 +193,19 @@ func LoadState(r io.Reader, p id.Params) (table.Snapshot, []table.Ref, error) {
 		case "S":
 			st = table.StateS
 		default:
-			return table.Snapshot{}, nil, fmt.Errorf("persist: entry (%d,%d): unknown state %q", e.Level, e.Digit, e.State)
+			return table.Snapshot{}, nil, corruptf("entry (%d,%d): unknown state %q", e.Level, e.Digit, e.State)
 		}
 		entries[[2]int{e.Level, e.Digit}] = table.Neighbor{ID: x, Addr: e.Addr, State: st}
 	}
 	snap, err := table.NewSnapshot(p, owner, in.Lo, in.Hi, entries)
 	if err != nil {
-		return table.Snapshot{}, nil, fmt.Errorf("persist: %w", err)
+		return table.Snapshot{}, nil, corruptf("%v", err)
 	}
 	var sampled []table.Ref
 	for i, fp := range in.Sampled {
 		x, err := id.Parse(p, fp.ID)
 		if err != nil {
-			return table.Snapshot{}, nil, fmt.Errorf("persist: sampled peer %d: %w", i, err)
+			return table.Snapshot{}, nil, corruptf("sampled peer %d: %v", i, err)
 		}
 		sampled = append(sampled, table.Ref{ID: x, Addr: fp.Addr})
 	}

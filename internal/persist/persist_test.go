@@ -178,3 +178,86 @@ func TestRestartRejoinFlow(t *testing.T) {
 		t.Fatal("restored table empty")
 	}
 }
+
+func TestBitFlipCorruptionDetected(t *testing.T) {
+	// The corruption-injection test: flip every bit of a valid dump in
+	// turn and load each damaged copy. Every load must either detect
+	// corruption (the restart-as-fresh-join path) or — never — succeed
+	// while returning a snapshot that differs from the original. A flip
+	// may legally go unnoticed only when it does not change the decoded
+	// values (whitespace damage), in which case the load must return the
+	// exact original state.
+	tbl := sampleTable(t)
+	sampled := []table.Ref{{ID: tbl.Owner(), Addr: "10.0.0.7:1"}}
+	var buf bytes.Buffer
+	if err := SaveState(&buf, tbl.Snapshot(), sampled); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	want, _, err := LoadState(bytes.NewReader(good), p164)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := CorruptionsDetected()
+	detected, harmless := 0, 0
+	// Step by a prime so the sweep covers bytes all over the file
+	// without taking len(good)*8 loads.
+	for off := 0; off < len(good); off += 7 {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), good...)
+			bad[off] ^= 1 << bit
+			snap, _, err := LoadState(bytes.NewReader(bad), p164)
+			if err != nil {
+				if !IsCorrupt(err) {
+					t.Fatalf("flip at %d.%d: error is not ErrCorrupt: %v", off, bit, err)
+				}
+				detected++
+				continue
+			}
+			if snap.Owner() != want.Owner() || snap.FilledCount() != want.FilledCount() {
+				t.Fatalf("flip at %d.%d loaded silently with altered state", off, bit)
+			}
+			harmless++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no flip was ever detected")
+	}
+	t.Logf("flips: %d detected, %d harmless", detected, harmless)
+	if got := CorruptionsDetected(); got < before+uint64(detected) {
+		t.Fatalf("CorruptionsDetected %d, want at least %d", got, before+uint64(detected))
+	}
+}
+
+func TestTruncatedDumpCorrupt(t *testing.T) {
+	tbl := sampleTable(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, tbl.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{0, 1, 2, 3} {
+		cut := buf.Len() * frac / 4
+		_, err := Load(bytes.NewReader(buf.Bytes()[:cut]), p164)
+		if err == nil {
+			t.Fatalf("dump truncated to %d/%d bytes loaded", cut, buf.Len())
+		}
+		if !IsCorrupt(err) {
+			t.Fatalf("truncation to %d bytes not flagged corrupt: %v", cut, err)
+		}
+	}
+}
+
+func TestChecksumlessDumpStillLoads(t *testing.T) {
+	// Dumps written before checksumming carry no crc32 field; they must
+	// keep loading so a node upgraded across the change can still
+	// restart from its last pre-upgrade dump.
+	in := `{"version":1,"b":16,"d":4,"owner":"0123","lo":0,"hi":3,"entries":[{"level":0,"digit":0,"id":"0123","state":"S"}]}`
+	snap, err := Load(strings.NewReader(in), p164)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FilledCount() != 1 {
+		t.Fatalf("FilledCount %d, want 1", snap.FilledCount())
+	}
+}
